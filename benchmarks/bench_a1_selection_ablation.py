@@ -1,0 +1,25 @@
+"""A1 — ablation: hash-family selection vs the greedy-slack heuristic.
+
+The family search (Algorithm 1 proper) guarantees Lemma 3.5's potential
+bound; the greedy heuristic is faster per stage (1 pass instead of 3) but
+carries no averaging guarantee.  Both must stay correct.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_a1_selection_ablation
+
+
+def test_a1_selection_ablation(benchmark, record_table):
+    headers, rows = run_once(
+        benchmark, run_a1_selection_ablation, n=96, delta=12
+    )
+    record_table("a1_selection_ablation", headers, rows,
+                 title="A1: stage-selection ablation (n=96, Delta=12)")
+    modes = {row[0]: row for row in rows}
+    assert modes["hash_family"][5] <= 2.0 + 1e-9  # Lemma 3.5 holds
+    assert all(row[7] is True for row in rows)  # both proper
+    # Greedy skips passes 2-3 of each stage, so it streams fewer passes per
+    # stage — but without the averaging guarantee it may need more epochs,
+    # which is the ablation's finding.
+    assert modes["greedy_slack"][4] < modes["hash_family"][4]

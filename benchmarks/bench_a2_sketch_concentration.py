@@ -1,0 +1,20 @@
+"""A2 — ablation: Algorithm 2's sketch sizes concentrate (Lemmas 4.2/4.3).
+
+Claim: with high probability every vertex has ``O(log n)`` incident edges
+across all ``A_i`` and ``C_i`` sketches, even under an adaptive,
+level-aware adversary — the property the space bound rests on.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_a2_sketch_concentration
+
+
+def test_a2_sketch_concentration(benchmark, record_table):
+    headers, rows = run_once(
+        benchmark, run_a2_sketch_concentration, n=128, delta=16, trials=3
+    )
+    record_table("a2_sketch_concentration", headers, rows,
+                 title="A2: per-vertex sketch degree concentration (n=128, Delta=16)")
+    for row in rows:
+        assert row[-1] is True  # within the O(log n) regime

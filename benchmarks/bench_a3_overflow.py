@@ -1,0 +1,21 @@
+"""A3 — ablation: Algorithm 3's sketch-overflow survival (Lemma 4.8).
+
+Claim: each D_{i,j} overflows with probability <= 1/2, so with
+``P = ceil(10 log n)`` repetitions at least one survives w.h.p. and the
+query never fails.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_a3_overflow_survival
+
+
+def test_a3_overflow_survival(benchmark, record_table):
+    headers, rows = run_once(
+        benchmark, run_a3_overflow_survival, n=96, delta=12, trials=3
+    )
+    record_table("a3_overflow_survival", headers, rows,
+                 title="A3: Algorithm 3 sketch survival (n=96, Delta=12)")
+    for row in rows:
+        assert row[3] is True  # >= 1 surviving sketch
+        assert row[4] == 0  # no declared failures

@@ -1,0 +1,24 @@
+"""A4 — ablation: paper-sized prime vs scaled prime in the family search.
+
+Lemma 3.2 requires ``p >= 8 n log n`` for its ``1 + 1/(8 log n)`` rounding
+factor; the ``scaled`` policy uses ``p ~ 2n``.  Both must keep the
+Lemma 3.5 potential bound on realistic workloads; the scaled prime should
+be faster (the pass-2/3 accumulators are Theta(p)-sized).
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_a4_prime_ablation
+
+
+def test_a4_prime_ablation(benchmark, record_table):
+    headers, rows = run_once(benchmark, run_a4_prime_ablation, n=128, delta=12)
+    record_table("a4_prime_ablation", headers, rows,
+                 title="A4: family-search prime policy (n=128, Delta=12)")
+    by_policy = {row[0]: row for row in rows}
+    assert by_policy["paper"][1] > by_policy["scaled"][1]  # bigger prime
+    for row in rows:
+        assert row[4] <= 2.0 + 1e-9  # Lemma 3.5 bound holds for both
+        assert row[6] is True
+    # Same pass structure regardless of prime size.
+    assert by_policy["paper"][2] == by_policy["scaled"][2]

@@ -1,0 +1,25 @@
+"""F1 — Lemma 3.5: the potential Phi through the stages of each epoch.
+
+Claims: Phi_0 <= |U| at the start of an epoch and Phi_l <= 2|U| after every
+stage (the selected hash function is near-average).
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_f1_potential_trace
+
+
+def test_f1_potential_trace(benchmark, record_table):
+    headers, rows = run_once(benchmark, run_f1_potential_trace, n=96, delta=16)
+    record_table("f1_potential_trace", headers, rows,
+                 title="F1: potential Phi per stage (n=96, Delta=16)")
+    assert rows
+    for row in rows:
+        assert row[6] is True  # phi_after <= 2|U|
+    # First stage of each epoch starts from the trivial PCC: Phi_0 <= |U|.
+    seen_epochs = set()
+    for row in rows:
+        epoch, stage, _, u_size, phi_before = row[0], row[1], row[2], row[3], row[4]
+        if stage == 1 and epoch not in seen_epochs:
+            seen_epochs.add(epoch)
+            assert phi_before <= u_size + 1e-9

@@ -1,0 +1,19 @@
+"""F2 — Lemmas 3.7 & 3.8: conflict-set size and uncolored-set decay.
+
+Claims: the end-of-epoch conflict edge set satisfies ``|F| <= |U|``, and
+each epoch shrinks ``|U|`` to at most ``2|U|/3``.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_f2_shrinkage_trace
+
+
+def test_f2_shrinkage(benchmark, record_table):
+    headers, rows = run_once(benchmark, run_f2_shrinkage_trace, n=96, delta=16)
+    record_table("f2_shrinkage_trace", headers, rows,
+                 title="F2: |U| decay and |F| bound per epoch (n=96, Delta=16)")
+    assert rows
+    for row in rows:
+        assert row[4] is True  # |F| <= |U|
+        assert row[5] <= 2 / 3 + 1e-9  # Lemma 3.8 shrink factor

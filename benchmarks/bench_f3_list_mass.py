@@ -1,0 +1,28 @@
+"""F3 — Lemma 3.10: the list-mass decay inside a list-coloring epoch.
+
+Claim: each adaptive partition stage multiplies
+``sum_x (|P_x ∩ L_x| - 1)`` by at most ``~2^{-k/2}`` on average (Theorem 2
+proof), so the mass falls below ``|U|`` within ``ceil(2 lg(Delta+1)/k)``
+stages.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_f3_list_mass_decay
+
+
+def test_f3_list_mass_decay(benchmark, record_table):
+    headers, rows = run_once(
+        benchmark, run_f3_list_mass_decay, n=48, delta=6, universe=28
+    )
+    record_table("f3_list_mass_decay", headers, rows,
+                 title="F3: Lemma 3.10 list-mass decay (n=48, Delta=6, |C|=28)")
+    assert rows
+    # Monotone within an epoch; and strictly decaying whenever a stage ran.
+    for (e1, _, m1, _, _), (e2, _, m2, _, _) in zip(rows, rows[1:]):
+        if e1 == e2:
+            assert m2 <= m1
+    # The epoch's final measured mass is at or near the stop threshold |U|.
+    last_epoch = rows[-1][0]
+    final_mass = [r[2] for r in rows if r[0] == last_epoch][-1]
+    assert final_mass <= 2 * rows[-1][4]

@@ -1,0 +1,17 @@
+"""T10 — Lemma 2.1: the constructive Turán independent set.
+
+Claim: ``|I| >= n^2 / (2m + n)`` on every input, found deterministically.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_t10_turan
+
+
+def test_t10_turan(benchmark, record_table):
+    cases = [(64, 0.05), (64, 0.2), (128, 0.1), (128, 0.3), (256, 0.05)]
+    headers, rows = run_once(benchmark, run_t10_turan, cases)
+    record_table("t10_turan", headers, rows,
+                 title="T10: constructive Turan bound (Lemma 2.1)")
+    for row in rows:
+        assert row[-1] is True  # |I| >= n^2/(2m+n)

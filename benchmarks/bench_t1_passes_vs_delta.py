@@ -1,0 +1,24 @@
+"""T1 — Theorem 1: passes vs Delta for the deterministic algorithm.
+
+Claim: ``O(log Delta * log log Delta)`` passes, palette exactly
+``Delta + 1``.  Shape check: the ratio ``passes / (lg D * lg lg D)`` stays
+bounded as Delta grows, and every run is a proper (Delta+1)-coloring.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_t1_passes_vs_delta
+
+
+def test_t1_passes_vs_delta(benchmark, record_table):
+    deltas = [2, 4, 8, 16, 32, 64]
+    headers, rows = run_once(
+        benchmark, run_t1_passes_vs_delta, deltas, n=256
+    )
+    record_table("t1_passes_vs_delta", headers, rows,
+                 title="T1: deterministic (Delta+1)-coloring, passes vs Delta (n=256)")
+    ratios = [row[6] for row in rows]
+    assert all(row[7] is True for row in rows)  # proper everywhere
+    assert all(row[4] <= row[5] for row in rows)  # within (Delta+1) palette
+    # Bounded pass ratio: no blow-up across a 16x Delta range.
+    assert max(ratios) <= 12.0

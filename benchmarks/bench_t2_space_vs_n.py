@@ -1,0 +1,20 @@
+"""T2 — Theorem 1: peak working space vs n.
+
+Claim: ``O(n log^2 n)`` bits.  Shape check: peak_bits / (n lg^2 n) stays
+bounded (and does not grow) as n quadruples.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_t2_space_vs_n
+
+
+def test_t2_space_vs_n(benchmark, record_table):
+    ns = [32, 64, 128, 256, 512]
+    headers, rows = run_once(benchmark, run_t2_space_vs_n, ns, delta=8)
+    record_table("t2_space_vs_n", headers, rows,
+                 title="T2: deterministic coloring, peak space vs n (Delta=8)")
+    ratios = [row[4] for row in rows]
+    assert max(ratios) <= 60.0  # constant-factor region
+    # The ratio must not blow up with n (allow mild drift).
+    assert ratios[-1] <= 3.0 * ratios[0] + 1.0

@@ -1,0 +1,19 @@
+"""T3 — Theorem 2: (deg+1)-list-coloring on interleaved token streams.
+
+Claims: the coloring respects every list, and the pass count stays in the
+same ``O(log Delta log log Delta)`` regime as Algorithm 1.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_t3_list_coloring
+
+
+def test_t3_list_coloring(benchmark, record_table):
+    cases = [(24, 4, 16), (40, 5, 24), (56, 6, 32)]
+    headers, rows = run_once(benchmark, run_t3_list_coloring, cases)
+    record_table("t3_list_coloring", headers, rows,
+                 title="T3: (deg+1)-list-coloring (Theorem 2)")
+    for row in rows:
+        assert row[5] is True  # proper and on-list
+        assert row[6] <= 20.0  # bounded pass ratio

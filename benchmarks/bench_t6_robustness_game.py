@@ -1,0 +1,33 @@
+"""T6 — the robustness separation (Section 4's raison d'etre).
+
+Claims: the non-robust one-pass baseline errs against an adaptive
+adversary but not against an oblivious one; the paper's robust algorithms
+(Theorems 3 and 4) never err against either.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_t6_robustness_game
+
+
+def test_t6_robustness_game(benchmark, record_table):
+    # n ~ Delta^2 puts the non-robust baseline at its natural operating
+    # point: birthday collisions exist for the adaptive adversary to
+    # exploit, but oblivious streams stay below its repair capacity.
+    headers, rows = run_once(
+        benchmark, run_t6_robustness_game, n=96, delta=10, rounds=320, trials=3
+    )
+    record_table("t6_robustness_game", headers, rows,
+                 title="T6: adaptive vs oblivious adversaries (n=96, Delta=10)")
+    by_key = {(r[0], r[1]): r for r in rows}
+    nonrobust_adaptive = by_key[
+        ("one-shot random (non-robust)", "adaptive (conflict)")
+    ]
+    assert nonrobust_adaptive[4] > 0, "adaptive adversary failed to break the baseline"
+    nonrobust_oblivious = by_key[
+        ("one-shot random (non-robust)", "oblivious (random)")
+    ]
+    assert nonrobust_oblivious[5] <= 1  # at most a fluke error obliviously
+    for (algo, adv), row in by_key.items():
+        if algo != "one-shot random (non-robust)":
+            assert row[5] == 0, f"{algo} vs {adv} erred"

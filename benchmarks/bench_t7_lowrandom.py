@@ -1,0 +1,24 @@
+"""T7 — Theorem 4: the randomness-efficient robust O(Delta^3)-coloring.
+
+Claims: palette exactly ``(Delta+1) l^2 = O(Delta^3)``; total space
+*including random bits* is ``~O(n)``; queries never err (and the w.h.p.
+sketch-survival event holds).
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_t7_lowrandom
+
+
+def test_t7_lowrandom(benchmark, record_table):
+    deltas = [4, 8, 16, 32]
+    headers, rows = run_once(
+        benchmark, run_t7_lowrandom, deltas, n_of_delta=lambda d: 40 * d
+    )
+    record_table("t7_lowrandom", headers, rows,
+                 title="T7: Theorem 4 robust O(D^3)-coloring (n = 40 Delta)")
+    for row in rows:
+        assert row[-1] == 0  # no errors or failures
+        assert row[2] == row[3]  # palette == (Delta+1) l^2 exactly
+        assert row[8] >= 1  # some sketch survived
+        assert row[7] <= 40.0  # (work + random) bits within ~O(n lg^2 n)

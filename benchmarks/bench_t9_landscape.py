@@ -1,0 +1,27 @@
+"""T9 — the deterministic landscape (Section 1's trichotomy, upper-bound side).
+
+One workload, four algorithms: ours (Delta+1, O(lgD lglgD) passes), the
+ACS22-style O(Delta^2) O(1)-pass and O(Delta) O(lgD)-round baselines, and
+the ACK19 randomized single-pass (Delta+1).  Shape check: the
+colors/passes frontier is as the papers order it.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_t9_deterministic_landscape
+
+
+def test_t9_landscape(benchmark, record_table):
+    headers, rows = run_once(
+        benchmark, run_t9_deterministic_landscape, n=128, delta=8
+    )
+    record_table("t9_landscape", headers, rows,
+                 title="T9: deterministic landscape (n=128, Delta=8)")
+    ours, quad, reduction, ack19 = rows
+    # Palette ordering: ours == ACK19 == Delta+1 < reduction < quadratic.
+    assert ours[2] == ack19[2] == 9
+    assert ours[2] < reduction[2] < quad[2]
+    # Pass ordering: ACK19 (1) < quadratic (4) < ours; reduction in between.
+    assert ack19[3] == 1
+    assert quad[3] < ours[3]
+    assert ours[1] <= 9  # we actually deliver Delta+1 colors

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one experiment table (DESIGN.md section 4),
+prints it, and archives it under ``benchmarks/results/`` so EXPERIMENTS.md
+entries can be refreshed from a single ``pytest benchmarks/
+--benchmark-only`` run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Fixture: ``record_table(name, headers, rows, title)`` -> str."""
+
+    def _record(name, headers, rows, title=None):
+        from repro.analysis.tables import format_table
+
+        text = format_table(headers, rows, title=title or name)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (experiment runners are too slow to repeat)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""The adaptive-adversary game, live: why robust algorithms exist.
+
+Plays the Section 2 insert/query game against three single-pass
+algorithms:
+
+- a natural non-robust randomized coloring (Delta^2 palette) — the
+  adaptive adversary reads its outputs, floods monochromatic pairs, and
+  forces improper outputs;
+- Algorithm 2 (Theorem 3, O(Delta^{5/2}) colors) — survives;
+- Algorithm 3 (Theorem 4, O(Delta^3) colors, tiny randomness) — survives.
+
+An oblivious (random) adversary is run alongside as the control group.
+
+Run: ``python examples/adversarial_robustness_demo.py``
+"""
+
+from repro import (
+    ConflictSeekingAdversary,
+    LowRandomnessRobustColoring,
+    RandomAdversary,
+    RobustColoring,
+    run_adversarial_game,
+)
+from repro.baselines import OneShotRandomColoring
+
+
+def play(name, make_algorithm, make_adversary, n, delta, rounds):
+    result = run_adversarial_game(
+        make_algorithm(), make_adversary(), n=n, delta=delta, rounds=rounds
+    )
+    status = "SURVIVED" if result.clean else "BROKEN"
+    first = result.error_rounds[0] if result.error_rounds else "-"
+    print(f"  {name:<38} {status:<9} errors={result.errors:<4} "
+          f"first_error_round={first:<5} colors<={result.max_colors_used}")
+    return result
+
+
+def main() -> None:
+    n, delta = 96, 10
+    rounds = (n * delta) // 3
+    print(f"game: n={n}, Delta={delta}, {rounds} adaptive insertions, "
+          "query after every insertion\n")
+
+    print("vs ADAPTIVE adversary (sees every output):")
+    play("non-robust random (Delta^2 colors)",
+         lambda: OneShotRandomColoring(n, delta, seed=1),
+         lambda: ConflictSeekingAdversary(seed=2), n, delta, rounds)
+    play("Theorem 3 robust (O(Delta^2.5) colors)",
+         lambda: RobustColoring(n, delta, seed=3),
+         lambda: ConflictSeekingAdversary(seed=4), n, delta, rounds)
+    play("Theorem 4 robust (O(Delta^3) colors)",
+         lambda: LowRandomnessRobustColoring(n, delta, seed=5),
+         lambda: ConflictSeekingAdversary(seed=6), n, delta, rounds)
+
+    print("\nvs OBLIVIOUS adversary (random edges; the control group):")
+    play("non-robust random (Delta^2 colors)",
+         lambda: OneShotRandomColoring(n, delta, seed=7),
+         lambda: RandomAdversary(seed=8), n, delta, rounds)
+    play("Theorem 3 robust (O(Delta^2.5) colors)",
+         lambda: RobustColoring(n, delta, seed=9),
+         lambda: RandomAdversary(seed=10), n, delta, rounds)
+
+    print("\nTakeaway: the non-robust algorithm is fine on oblivious "
+          "streams but collapses once the\nstream depends on its outputs — "
+          "the separation Theorems 3 and 4 close with poly(Delta)\n"
+          "palettes ([CGS22] proved Omega(Delta^2) colors are necessary).")
+
+
+if __name__ == "__main__":
+    main()

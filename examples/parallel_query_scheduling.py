@@ -1,0 +1,98 @@
+"""Parallel query scheduling via streaming coloring (the paper's intro use-case).
+
+The paper motivates graph coloring with database applications, citing
+Hasan & Motwani's "Coloring Away Communication in Parallel Query
+Optimization" [HM95]: operators of a query plan that *contend* (share a
+table, a worker, or a network link) must not run in the same time slot —
+i.e., slots are colors of the contention graph.
+
+In a modern engine the contention pairs arrive as a *stream* while plans
+are admitted, and the scheduler's memory is much smaller than the full
+contention graph.  This example builds a synthetic multi-query workload,
+streams its contention edges, and uses Theorem 1's deterministic coloring
+to assign execution slots — deterministically, so repeated planner runs
+produce identical schedules (an operational requirement randomized
+schedulers violate).
+
+Run: ``python examples/parallel_query_scheduling.py``
+"""
+
+from repro import DeterministicColoring, TokenStream
+from repro.common.rng import SeededRng
+from repro.graph.coloring import validate_coloring
+from repro.graph.graph import Graph
+from repro.streaming.tokens import EdgeToken
+
+
+def build_contention_workload(num_queries: int, ops_per_query: int,
+                              num_tables: int, seed: int):
+    """Synthesize operators and their contention edges.
+
+    Operators within a query chain contend with their neighbors
+    (pipelining), and any two operators scanning the same table contend
+    globally.  Returns (graph, operator labels, slots upper bound).
+    """
+    rng = SeededRng(seed)
+    n = num_queries * ops_per_query
+    graph = Graph(n)
+    table_of = {}
+    labels = {}
+    for q in range(num_queries):
+        for i in range(ops_per_query):
+            op = q * ops_per_query + i
+            table_of[op] = rng.randint(0, num_tables - 1)
+            labels[op] = f"Q{q}.op{i}(T{table_of[op]})"
+            if i > 0:
+                graph.add_edge(op - 1, op)  # pipeline contention
+    by_table = {}
+    for op, t in table_of.items():
+        by_table.setdefault(t, []).append(op)
+    for ops in by_table.values():
+        # Same-table scans contend pairwise (bounded per table).
+        for i in range(len(ops)):
+            for j in range(i + 1, min(i + 4, len(ops))):
+                if ops[i] != ops[j]:
+                    graph.add_edge(ops[i], ops[j])
+    return graph, labels
+
+
+def main() -> None:
+    graph, labels = build_contention_workload(
+        num_queries=18, ops_per_query=5, num_tables=12, seed=3
+    )
+    delta = graph.max_degree()
+    print(f"contention graph: {graph.n} operators, {graph.m} conflicts, "
+          f"max contention degree {delta}")
+
+    stream = TokenStream([EdgeToken(u, v) for u, v in graph.edge_list()],
+                         graph.n)
+    scheduler = DeterministicColoring(graph.n, delta)
+    slots = scheduler.run(stream)
+    validate_coloring(graph, slots, palette_size=delta + 1)
+
+    num_slots = max(slots.values())
+    print(f"schedule uses {num_slots} time slots "
+          f"(optimal-by-degree bound: {delta + 1}); "
+          f"{stream.passes_used} passes over the contention stream, "
+          f"{scheduler.peak_space_bits / 8000:.1f} kB scheduler state\n")
+
+    by_slot: dict[int, list[str]] = {}
+    for op, slot in slots.items():
+        by_slot.setdefault(slot, []).append(labels[op])
+    for slot in sorted(by_slot)[:4]:
+        ops = by_slot[slot]
+        shown = ", ".join(sorted(ops)[:6])
+        more = f", ... (+{len(ops) - 6})" if len(ops) > 6 else ""
+        print(f"  slot {slot:2d}: {shown}{more}")
+    print(f"  ... {len(by_slot)} slots total")
+
+    # Determinism check: rerunning the scheduler reproduces the schedule.
+    rerun = DeterministicColoring(graph.n, delta).run(
+        TokenStream([EdgeToken(u, v) for u, v in graph.edge_list()], graph.n)
+    )
+    assert rerun == slots
+    print("\nrerun produced the identical schedule (deterministic).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Exploring the Corollary 4.7 colors/space frontier, against [CGS22].
+
+Sweeps the tradeoff parameter beta of the robust algorithm and plots (in
+ASCII) where each configuration lands in the (space, colors) plane,
+alongside the prior-work [CGS22]-style O(Delta^2) @ ~O(n sqrt(Delta))
+point that the paper's headline improvements are measured against.
+
+Run: ``python examples/tradeoff_explorer.py``
+"""
+
+from repro import ConflictSeekingAdversary, RobustColoring, run_adversarial_game
+from repro.baselines import SketchSwitchingQuadraticColoring
+
+
+def measure(algo, label, n, delta, seed):
+    rounds = (n * delta) // 3
+    result = run_adversarial_game(
+        algo, ConflictSeekingAdversary(seed=seed), n=n, delta=delta,
+        rounds=rounds, query_every=max(1, rounds // 12),
+    )
+    assert result.clean, f"{label} erred!"
+    return result.max_colors_used, result.peak_space_bits
+
+
+def main() -> None:
+    n, delta = 384, 16
+    print(f"workload: n={n}, Delta={delta}, adaptive conflict-seeking "
+          "adversary\n")
+    points = []
+    for beta in (0.0, 0.25, 1 / 3, 0.5, 0.75):
+        algo = RobustColoring(n, delta, seed=int(beta * 100) + 1, beta=beta)
+        colors, space = measure(algo, f"beta={beta}", n, delta, seed=77)
+        claim = delta ** ((5 - 3 * beta) / 2)
+        points.append((f"Alg 2, beta={beta:.2f}", colors, space, claim))
+    cgs = SketchSwitchingQuadraticColoring(n, delta, seed=42)
+    colors, space = measure(cgs, "CGS22-style", n, delta, seed=78)
+    points.append(("CGS22-style O(D^2)", colors, space, float(delta**2)))
+
+    max_space = max(p[2] for p in points)
+    print(f"{'configuration':<22} {'colors':>7} {'claim':>7} "
+          f"{'space(kB)':>10}  space bar")
+    for label, colors, space, claim in points:
+        bar = "#" * max(1, round(30 * space / max_space))
+        print(f"{label:<22} {colors:>7} {round(claim):>7} "
+              f"{space / 8000:>10.1f}  {bar}")
+
+    print(
+        "\nReading the frontier: moving down the beta column spends space "
+        "(longer bars) to buy\ncolors, exactly as Corollary 4.7's "
+        "O(Delta^{(5-3b)/2}) @ O(n Delta^b) predicts.  The\npaper's "
+        "headline: beta=1/3 already matches CGS22's O(Delta^2) color class "
+        "with less\nspace, and beta=1/2 beats its colors at the same "
+        "space class."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools lacks PEP 660
+editable-wheel support (e.g. offline boxes without the ``wheel`` package,
+via ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro: reproduction of "Coloring in Graph Streams via Deterministic and
+Adversarially Robust Algorithms" (Assadi, Chakrabarti, Ghosh, Stoeckl,
+PODS 2023; arXiv:2212.10641).
+
+Public API highlights
+---------------------
+- :class:`repro.core.DeterministicColoring` — Theorem 1's deterministic
+  multipass semi-streaming ``(Delta+1)``-coloring.
+- :class:`repro.core.DeterministicListColoring` — Theorem 2's
+  ``(deg+1)``-list-coloring.
+- :class:`repro.core.RobustColoring` — Theorem 3's adversarially robust
+  ``O(Delta^{5/2})``-coloring (``beta`` gives the Corollary 4.7 tradeoff).
+- :class:`repro.core.LowRandomnessRobustColoring` — Theorem 4's
+  ``O(Delta^3)``-coloring within semi-streaming space including randomness.
+- :mod:`repro.adversaries` — the adaptive insert/query game.
+- :mod:`repro.baselines` — [ACS22]/[ACK19]-style comparison points.
+- :mod:`repro.analysis.experiments` — the T1-T10/A1-A3 experiment suite.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.adversaries import (
+    ConflictSeekingAdversary,
+    LevelAwareAdversary,
+    RandomAdversary,
+    run_adversarial_game,
+)
+from repro.core import (
+    DeterministicColoring,
+    DeterministicListColoring,
+    LowRandomnessRobustColoring,
+    RobustColoring,
+    two_party_coloring_protocol,
+)
+from repro.graph import Graph
+from repro.streaming import TokenStream
+from repro.streaming.stream import stream_from_graph, stream_with_lists
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConflictSeekingAdversary",
+    "DeterministicColoring",
+    "DeterministicListColoring",
+    "Graph",
+    "LevelAwareAdversary",
+    "LowRandomnessRobustColoring",
+    "RandomAdversary",
+    "RobustColoring",
+    "TokenStream",
+    "__version__",
+    "run_adversarial_game",
+    "stream_from_graph",
+    "stream_with_lists",
+    "two_party_coloring_protocol",
+]

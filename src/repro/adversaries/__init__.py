@@ -1,0 +1,27 @@
+"""Adaptive adversaries and the insert/query game loop (paper Section 2).
+
+An adversary produces the next edge insertion as a function of the full
+transcript (all previous insertions and all of the algorithm's outputs).
+The :func:`run_adversarial_game` loop enforces the rules (simple graph,
+degree cap ``Delta``), validates every output against the current graph,
+and records what the experiments need: failures, colors used, and space.
+"""
+
+from repro.adversaries.game import GameResult, run_adversarial_game
+from repro.adversaries.strategies import (
+    Adversary,
+    ConflictSeekingAdversary,
+    LevelAwareAdversary,
+    RandomAdversary,
+    StaticStreamAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "ConflictSeekingAdversary",
+    "GameResult",
+    "LevelAwareAdversary",
+    "RandomAdversary",
+    "StaticStreamAdversary",
+    "run_adversarial_game",
+]

@@ -1,0 +1,169 @@
+"""Concrete adaptive adversary strategies.
+
+The paper's adversary is an arbitrary adaptive process; an
+information-theoretically optimal one is not computable, so the experiment
+suite uses concrete strategies strong enough to (a) break the non-robust
+randomized baseline and (b) exercise every code path of the robust
+algorithms (DESIGN.md, note 5):
+
+- :class:`RandomAdversary` — output-oblivious; a sanity baseline.
+- :class:`ConflictSeekingAdversary` — inserts an edge between two
+  *currently same-colored* vertices whenever possible.  Against a
+  non-robust algorithm whose palette assignment is fixed up front, every
+  such insertion creates a monochromatic edge the algorithm must repair
+  from bounded memory; flooding them forces an error.
+- :class:`LevelAwareAdversary` — conflict-seeking, but prefers endpoints
+  with the highest current degree, driving vertices across Algorithm 2's
+  level boundaries and into the fast zone as quickly as possible.
+- :class:`StaticStreamAdversary` — replays a fixed edge list (turns any
+  graph into an "adversary" for harness uniformity).
+"""
+
+import abc
+
+from repro.common.rng import SeededRng
+from repro.graph.graph import Graph
+
+
+class Adversary(abc.ABC):
+    """Interface: propose the next edge given the current transcript."""
+
+    @abc.abstractmethod
+    def next_edge(self, graph: Graph, coloring: dict[int, int], delta: int):
+        """Return the next edge ``(u, v)`` to insert, or ``None`` to stop.
+
+        ``graph`` is the graph inserted so far; ``coloring`` is the
+        algorithm's most recent output.  The returned edge must be legal:
+        not already present, and keeping both endpoint degrees ``<= delta``.
+        """
+
+
+class StaticStreamAdversary(Adversary):
+    """Replays a fixed edge sequence, ignoring the algorithm's outputs."""
+
+    def __init__(self, edges):
+        self._edges = list(edges)
+        self._next = 0
+
+    def next_edge(self, graph, coloring, delta):
+        while self._next < len(self._edges):
+            u, v = self._edges[self._next]
+            self._next += 1
+            if not graph.has_edge(u, v) and graph.degree(u) < delta and graph.degree(v) < delta:
+                return (u, v)
+        return None
+
+
+class RandomAdversary(Adversary):
+    """Inserts uniformly random legal edges; oblivious to outputs."""
+
+    def __init__(self, seed: int, max_proposals: int = 200):
+        self._rng = SeededRng(seed)
+        self._max_proposals = max_proposals
+
+    def next_edge(self, graph, coloring, delta):
+        n = graph.n
+        for _ in range(self._max_proposals):
+            u = self._rng.randint(0, n - 1)
+            v = self._rng.randint(0, n - 1)
+            if u == v or graph.has_edge(u, v):
+                continue
+            if graph.degree(u) >= delta or graph.degree(v) >= delta:
+                continue
+            return (u, v)
+        return None
+
+
+class ConflictSeekingAdversary(Adversary):
+    """Adaptive: connect two same-colored vertices whenever it can.
+
+    Scans color classes of the algorithm's latest output for legal pairs;
+    falls back to a random legal edge when no monochromatic pair exists
+    (e.g. right after the algorithm recolors).
+
+    The candidate plan is rebuilt only when a *new* coloring object arrives
+    (the game loop hands the same dict between queries), so games with
+    ``query_every > 1`` stay fast without changing behavior.
+    """
+
+    def __init__(self, seed: int):
+        self._rng = SeededRng(seed)
+        self._fallback = RandomAdversary(self._rng.randint(0, 2**31), max_proposals=400)
+        self._plan: list[tuple[int, int]] = []
+        self._plan_key = None
+
+    def _rebuild_plan(self, coloring) -> None:
+        by_color: dict[int, list[int]] = {}
+        for v, c in coloring.items():
+            if c is not None:
+                by_color.setdefault(c, []).append(v)
+        classes = [vs for vs in by_color.values() if len(vs) >= 2]
+        self._rng.shuffle(classes)
+        plan: list[tuple[int, int]] = []
+        for vs in classes:
+            self._rng.shuffle(vs)
+            # Bounded pair scan per class keeps the adversary polynomial.
+            for i in range(len(vs)):
+                for j in range(i + 1, min(i + 12, len(vs))):
+                    plan.append((vs[i], vs[j]))
+        self._plan = plan[::-1]  # pop() from the end = original order
+        self._plan_key = id(coloring)
+
+    def next_edge(self, graph, coloring, delta):
+        if self._plan_key != id(coloring):
+            self._rebuild_plan(coloring)
+        while self._plan:
+            u, w = self._plan.pop()
+            if (
+                not graph.has_edge(u, w)
+                and graph.degree(u) < delta
+                and graph.degree(w) < delta
+            ):
+                return (u, w)
+        return self._fallback.next_edge(graph, coloring, delta)
+
+
+class LevelAwareAdversary(Adversary):
+    """Conflict-seeking with a preference for high-degree endpoints.
+
+    Pushes vertices up Algorithm 2's degree levels and over the fast-zone
+    threshold, stressing the ``g_i``-sketch and buffer logic (Lemmas
+    4.5-4.6).
+    """
+
+    def __init__(self, seed: int):
+        self._rng = SeededRng(seed)
+        self._fallback = RandomAdversary(self._rng.randint(0, 2**31), max_proposals=400)
+        self._plan: list[tuple[int, int]] = []
+        self._plan_key = None
+
+    def _rebuild_plan(self, graph, coloring) -> None:
+        by_color: dict[int, list[int]] = {}
+        for v, c in coloring.items():
+            if c is not None:
+                by_color.setdefault(c, []).append(v)
+        scored: list[tuple[int, int, int]] = []
+        for vs in by_color.values():
+            if len(vs) < 2:
+                continue
+            vs.sort(key=graph.degree, reverse=True)
+            for i in range(min(6, len(vs))):
+                for j in range(i + 1, min(i + 8, len(vs))):
+                    u, w = vs[i], vs[j]
+                    scored.append((graph.degree(u) + graph.degree(w), u, w))
+        scored.sort()  # ascending; pop() takes the highest-degree pair first
+        self._plan = [(u, w) for _, u, w in scored]
+        self._plan_key = id(coloring)
+
+    def next_edge(self, graph, coloring, delta):
+        if self._plan_key != id(coloring):
+            self._rebuild_plan(graph, coloring)
+        while self._plan:
+            u, w = self._plan.pop()
+            if (
+                not graph.has_edge(u, w)
+                and graph.degree(u) < delta
+                and graph.degree(w) < delta
+            ):
+                return (u, w)
+        return self._fallback.next_edge(graph, coloring, delta)

@@ -1,0 +1,11 @@
+"""Experiment harness: runners, power-law fitting, and table formatting.
+
+One runner per experiment in the DESIGN.md index (T1-T10, A1-A3).  The
+``benchmarks/`` suite and the EXPERIMENTS.md generator both consume these,
+so the printed rows are reproducible from a single code path.
+"""
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.tables import format_table
+
+__all__ = ["fit_power_law", "format_table"]

@@ -1,0 +1,595 @@
+"""Experiment runners: one function per DESIGN.md experiment id.
+
+Every runner returns ``(headers, rows)`` ready for
+:func:`repro.analysis.tables.format_table`; the benchmark suite times them
+and prints the tables, and EXPERIMENTS.md records representative output.
+Sizes are parameterized so tests can use tiny instances and benchmarks
+larger ones.
+"""
+
+import math
+
+from repro.adversaries import (
+    ConflictSeekingAdversary,
+    LevelAwareAdversary,
+    RandomAdversary,
+    run_adversarial_game,
+)
+from repro.baselines import (
+    ColorReductionColoring,
+    OneShotRandomColoring,
+    PaletteSparsificationColoring,
+    SketchSwitchingQuadraticColoring,
+    TwoPassQuadraticColoring,
+)
+from repro.common.integer_math import ceil_log2
+from repro.common.rng import derive_seed
+from repro.core import (
+    DeterministicColoring,
+    DeterministicListColoring,
+    LowRandomnessRobustColoring,
+    RobustColoring,
+    two_party_coloring_protocol,
+)
+from repro.graph.coloring import num_colors_used, validate_coloring
+from repro.graph.generators import (
+    gnp_random_graph,
+    random_list_assignment,
+    random_max_degree_graph,
+)
+from repro.graph.independent_set import turan_bound, turan_independent_set
+from repro.streaming.stream import stream_from_graph, stream_with_lists
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(2.0, x))
+
+
+def _pass_bound(delta: int) -> float:
+    """The Theorem 1 pass budget shape ``log Delta * log log Delta``."""
+    ld = _log2(delta + 1)
+    return ld * _log2(ld)
+
+
+# ----------------------------------------------------------------------
+# T1: passes vs Delta for the deterministic algorithm (Theorem 1)
+# ----------------------------------------------------------------------
+def run_t1_passes_vs_delta(deltas, n: int, seed: int = 0, selection="hash_family",
+                           prime_policy="paper"):
+    headers = [
+        "delta", "n", "passes", "epochs", "colors", "palette",
+        "passes/(lgD*lglgD)", "proper",
+    ]
+    rows = []
+    for delta in deltas:
+        graph = random_max_degree_graph(n, delta, seed=derive_seed(seed, f"t1/{delta}"))
+        stream = stream_from_graph(graph)
+        algo = DeterministicColoring(
+            n, delta, selection=selection, prime_policy=prime_policy
+        )
+        coloring = algo.run(stream)
+        validate_coloring(graph, coloring, palette_size=delta + 1)
+        rows.append([
+            delta, n, stream.passes_used, algo.stats.epochs,
+            num_colors_used(coloring), delta + 1,
+            stream.passes_used / _pass_bound(delta), True,
+        ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# T2: space vs n for the deterministic algorithm (Theorem 1)
+# ----------------------------------------------------------------------
+def run_t2_space_vs_n(ns, delta: int, seed: int = 0, selection="hash_family",
+                      prime_policy="paper"):
+    headers = ["n", "delta", "peak_bits", "n*log2(n)^2", "ratio", "passes"]
+    rows = []
+    for n in ns:
+        graph = random_max_degree_graph(n, delta, seed=derive_seed(seed, f"t2/{n}"))
+        stream = stream_from_graph(graph)
+        algo = DeterministicColoring(
+            n, delta, selection=selection, prime_policy=prime_policy
+        )
+        coloring = algo.run(stream)
+        validate_coloring(graph, coloring, palette_size=delta + 1)
+        budget = n * _log2(n) ** 2
+        rows.append([
+            n, delta, algo.peak_space_bits, round(budget),
+            algo.peak_space_bits / budget, stream.passes_used,
+        ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# F1: potential trajectory within epochs (Lemma 3.5)
+# ----------------------------------------------------------------------
+def run_f1_potential_trace(n: int, delta: int, seed: int = 0,
+                           prime_policy="paper"):
+    headers = [
+        "epoch", "stage", "k", "|U|", "phi_before", "phi_after",
+        "phi_after<=2|U|",
+    ]
+    graph = random_max_degree_graph(n, delta, seed=derive_seed(seed, "f1"))
+    stream = stream_from_graph(graph)
+    algo = DeterministicColoring(
+        n, delta, selection="hash_family", prime_policy=prime_policy,
+        instrument=True,
+    )
+    coloring = algo.run(stream)
+    validate_coloring(graph, coloring, palette_size=delta + 1)
+    rows = []
+    for s in algo.stats.stage_stats:
+        rows.append([
+            s.epoch, s.stage, s.k, s.uncolored,
+            round(s.potential_before, 3), round(s.potential_after, 3),
+            s.potential_after <= 2 * s.uncolored + 1e-9,
+        ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# F2: |U| decay and |F| <= |U| per epoch (Lemmas 3.7, 3.8)
+# ----------------------------------------------------------------------
+def run_f2_shrinkage_trace(n: int, delta: int, seed: int = 0,
+                           prime_policy="paper"):
+    headers = ["epoch", "|U| before", "|U| after", "|F|", "|F|<=|U|", "shrink"]
+    graph = random_max_degree_graph(n, delta, seed=derive_seed(seed, "f2"))
+    stream = stream_from_graph(graph)
+    algo = DeterministicColoring(
+        n, delta, selection="hash_family", prime_policy=prime_policy,
+        instrument=True,
+    )
+    coloring = algo.run(stream)
+    validate_coloring(graph, coloring, palette_size=delta + 1)
+    rows = []
+    for e in algo.stats.epoch_stats:
+        rows.append([
+            e.epoch, e.uncolored_before, e.uncolored_after, e.conflict_edges,
+            e.conflict_edges <= e.uncolored_before,
+            e.uncolored_after / max(1, e.uncolored_before),
+        ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# T3: (deg+1)-list-coloring (Theorem 2)
+# ----------------------------------------------------------------------
+def run_t3_list_coloring(cases, seed: int = 0, selection="hash_family",
+                         prime_policy="paper"):
+    """``cases`` is a list of ``(n, delta, universe)`` triples."""
+    headers = [
+        "n", "delta", "|C|", "passes", "epochs", "proper+on-list",
+        "passes/(lgD*lglgD)",
+    ]
+    rows = []
+    for n, delta, universe in cases:
+        graph = random_max_degree_graph(
+            n, delta, seed=derive_seed(seed, f"t3/{n}/{delta}")
+        )
+        lists = random_list_assignment(
+            graph, palette_size=universe, seed=derive_seed(seed, f"t3l/{n}"),
+        )
+        stream = stream_with_lists(graph, lists, seed=derive_seed(seed, f"t3s/{n}"))
+        algo = DeterministicListColoring(
+            n, delta, universe, selection=selection, prime_policy=prime_policy
+        )
+        coloring = algo.run(stream)
+        validate_coloring(graph, coloring, lists=lists)
+        rows.append([
+            n, delta, universe, stream.passes_used, algo.stats.epochs, True,
+            stream.passes_used / _pass_bound(delta),
+        ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# F3: the Lemma 3.10 list-mass decay inside an epoch (Theorem 2)
+# ----------------------------------------------------------------------
+def run_f3_list_mass_decay(n: int, delta: int, universe: int, seed: int = 0,
+                           prime_policy="paper"):
+    """Per-stage trace of ``sum_x (|P_x ∩ L_x| - 1)``; Lemma 3.10 drives it
+    down by ``~2^{-k/2}`` per partition stage until it is ``<= |U|``."""
+    headers = ["epoch", "stage", "mass", "decay vs prev", "target |U|"]
+    graph = random_max_degree_graph(n, delta, seed=derive_seed(seed, "f3"))
+    lists = random_list_assignment(
+        graph, palette_size=universe, seed=derive_seed(seed, "f3l")
+    )
+    stream = stream_with_lists(graph, lists, seed=derive_seed(seed, "f3s"))
+    algo = DeterministicListColoring(
+        n, delta, universe, prime_policy=prime_policy, instrument=True
+    )
+    coloring = algo.run(stream)
+    validate_coloring(graph, coloring, lists=lists)
+    rows = []
+    prev = {}
+    stage_in_epoch = {}
+    for epoch, mass in algo.stats.list_mass_per_stage:
+        stage_in_epoch[epoch] = stage_in_epoch.get(epoch, 0) + 1
+        decay = mass / prev[epoch] if prev.get(epoch) else float("nan")
+        rows.append([epoch, stage_in_epoch[epoch], mass, decay, n])
+        prev[epoch] = mass
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# T4: robust colors vs Delta (Theorem 3) against the Delta^3 baseline
+# ----------------------------------------------------------------------
+def run_t4_robust_colors(deltas, n_of_delta, seed: int = 0, query_every=None,
+                         adversary="conflict"):
+    """``n_of_delta(delta) -> n``; colors must be populated, so n should
+    grow like ``Delta^{5/2}`` (see DESIGN.md T4)."""
+    headers = [
+        "delta", "n", "colors_2.5", "colors_3", "D^2.5", "D^3",
+        "ratio_2.5", "ratio_3", "errors",
+    ]
+    rows = []
+    for delta in deltas:
+        n = n_of_delta(delta)
+        rounds = (n * delta) // 3
+        qe = query_every or max(1, rounds // 24)
+        result_a = run_adversarial_game(
+            RobustColoring(n, delta, seed=derive_seed(seed, f"t4a/{delta}")),
+            _make_adversary(adversary, derive_seed(seed, f"t4adv/{delta}")),
+            n=n, delta=delta, rounds=rounds, query_every=qe,
+        )
+        result_b = run_adversarial_game(
+            LowRandomnessRobustColoring(
+                n, delta, seed=derive_seed(seed, f"t4b/{delta}")
+            ),
+            _make_adversary(adversary, derive_seed(seed, f"t4adv2/{delta}")),
+            n=n, delta=delta, rounds=rounds, query_every=qe,
+        )
+        rows.append([
+            delta, n, result_a.max_colors_used, result_b.max_colors_used,
+            round(delta**2.5), round(delta**3),
+            result_a.max_colors_used / delta**2.5,
+            result_b.max_colors_used / delta**3,
+            result_a.errors + result_b.errors,
+        ])
+    return headers, rows
+
+
+def _make_adversary(kind: str, seed: int):
+    if kind == "conflict":
+        return ConflictSeekingAdversary(seed)
+    if kind == "level":
+        return LevelAwareAdversary(seed)
+    if kind == "random":
+        return RandomAdversary(seed)
+    raise ValueError(f"unknown adversary kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# T5: the Corollary 4.7 colors/space tradeoff
+# ----------------------------------------------------------------------
+def run_t5_tradeoff(betas, delta: int, n: int, seed: int = 0, rounds=None,
+                    query_every=None, include_cgs22: bool = False):
+    """Sweep the Cor 4.7 beta parameter; optionally append the [CGS22]-style
+    O(Delta^2) @ n*sqrt(Delta) comparison row (headline improvement (i))."""
+    headers = [
+        "algorithm", "beta", "colors", "colors_claim", "colors_ratio",
+        "space_bits", "space_claim [edges*bits]", "space_ratio", "errors",
+    ]
+    rows = []
+    edge_bits = 2 * ceil_log2(max(2, n))
+    rounds_ = rounds or (n * delta) // 3
+    qe = query_every or max(1, rounds_ // 16)
+    for beta in betas:
+        algo = RobustColoring(n, delta, seed=derive_seed(seed, f"t5/{beta}"),
+                              beta=beta)
+        result = run_adversarial_game(
+            algo,
+            ConflictSeekingAdversary(derive_seed(seed, f"t5adv/{beta}")),
+            n=n, delta=delta, rounds=rounds_, query_every=qe,
+        )
+        colors_claim = delta ** ((5 - 3 * beta) / 2)
+        space_claim = n * delta**beta * edge_bits
+        rows.append([
+            "Alg 2 (Cor 4.7)", beta, result.max_colors_used,
+            round(colors_claim),
+            result.max_colors_used / colors_claim,
+            result.peak_space_bits, round(space_claim),
+            result.peak_space_bits / space_claim, result.errors,
+        ])
+    if include_cgs22:
+        algo = SketchSwitchingQuadraticColoring(
+            n, delta, seed=derive_seed(seed, "t5/cgs22")
+        )
+        result = run_adversarial_game(
+            algo,
+            ConflictSeekingAdversary(derive_seed(seed, "t5adv/cgs22")),
+            n=n, delta=delta, rounds=rounds_, query_every=qe,
+        )
+        colors_claim = float(delta**2)
+        space_claim = n * delta**0.5 * edge_bits
+        rows.append([
+            "CGS22-style O(D^2)", 0.5, result.max_colors_used,
+            round(colors_claim),
+            result.max_colors_used / colors_claim,
+            result.peak_space_bits, round(space_claim),
+            result.peak_space_bits / space_claim,
+            result.errors + result.failures,
+        ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# T6: the robustness game — who survives an adaptive adversary?
+# ----------------------------------------------------------------------
+def run_t6_robustness_game(n: int, delta: int, rounds: int, seed: int = 0,
+                           trials: int = 3):
+    headers = [
+        "algorithm", "adversary", "trials", "rounds", "error_trials",
+        "total_errors",
+    ]
+    algorithms = {
+        "one-shot random (non-robust)": lambda s: OneShotRandomColoring(n, delta, seed=s),
+        "robust D^2.5 (Alg 2)": lambda s: RobustColoring(n, delta, seed=s),
+        "robust D^3 (Alg 3)": lambda s: LowRandomnessRobustColoring(n, delta, seed=s),
+    }
+    adversaries = {
+        "adaptive (conflict)": lambda s: ConflictSeekingAdversary(s),
+        "oblivious (random)": lambda s: RandomAdversary(s),
+    }
+    rows = []
+    for algo_name, make_algo in algorithms.items():
+        for adv_name, make_adv in adversaries.items():
+            bad_trials = 0
+            total_errors = 0
+            for t in range(trials):
+                s1 = derive_seed(seed, f"t6/{algo_name}/{adv_name}/a{t}")
+                s2 = derive_seed(seed, f"t6/{algo_name}/{adv_name}/b{t}")
+                result = run_adversarial_game(
+                    make_algo(s1), make_adv(s2), n=n, delta=delta, rounds=rounds
+                )
+                total_errors += result.errors + result.failures
+                if not result.clean:
+                    bad_trials += 1
+            rows.append([
+                algo_name, adv_name, trials, rounds, bad_trials, total_errors,
+            ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# T7: the randomness-efficient algorithm (Theorem 4)
+# ----------------------------------------------------------------------
+def run_t7_lowrandom(deltas, n_of_delta, seed: int = 0):
+    headers = [
+        "delta", "n", "palette", "(D+1)l^2", "colors", "work_bits",
+        "random_bits", "total/n*lg^2n", "surviving D_j", "errors",
+    ]
+    rows = []
+    for delta in deltas:
+        n = n_of_delta(delta)
+        algo = LowRandomnessRobustColoring(n, delta, seed=derive_seed(seed, f"t7/{delta}"))
+        rounds = (n * delta) // 3
+        result = run_adversarial_game(
+            algo,
+            ConflictSeekingAdversary(derive_seed(seed, f"t7adv/{delta}")),
+            n=n, delta=delta, rounds=rounds,
+            query_every=max(1, rounds // 16),
+        )
+        total = algo.meter.peak_bits_with_randomness
+        budget = n * _log2(n) ** 2
+        rows.append([
+            delta, n, algo.palette_size, (delta + 1) * algo.ell**2,
+            result.max_colors_used, result.peak_space_bits,
+            result.random_bits, total / budget,
+            algo.surviving_sketches(), result.errors + result.failures,
+        ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# T8: the two-party communication protocol (Corollary 3.11)
+# ----------------------------------------------------------------------
+def run_t8_communication(ns, delta: int, seed: int = 0, selection="hash_family",
+                         prime_policy="paper"):
+    headers = [
+        "n", "delta", "rounds", "total_bits", "n*log2(n)^4", "ratio", "proper",
+    ]
+    rows = []
+    for n in ns:
+        graph = random_max_degree_graph(n, delta, seed=derive_seed(seed, f"t8/{n}"))
+        tokens = stream_from_graph(graph).tokens
+        half = len(tokens) // 2
+        algo = DeterministicColoring(
+            n, delta, selection=selection, prime_policy=prime_policy
+        )
+        result = two_party_coloring_protocol(algo, tokens[:half], tokens[half:], n)
+        validate_coloring(graph, result.coloring, palette_size=delta + 1)
+        budget = n * _log2(n) ** 4
+        rows.append([
+            n, delta, result.rounds, result.total_bits, round(budget),
+            result.total_bits / budget, True,
+        ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# T9: deterministic landscape — colors vs passes across algorithms
+# ----------------------------------------------------------------------
+def run_t9_deterministic_landscape(n: int, delta: int, seed: int = 0,
+                                   prime_policy="paper"):
+    headers = ["algorithm", "colors", "palette_bound", "passes", "peak_bits"]
+    graph = random_max_degree_graph(n, delta, seed=derive_seed(seed, "t9"))
+    rows = []
+
+    stream = stream_from_graph(graph)
+    ours = DeterministicColoring(n, delta, prime_policy=prime_policy)
+    coloring = ours.run(stream)
+    validate_coloring(graph, coloring, palette_size=delta + 1)
+    rows.append([
+        "ours: (D+1), O(lgD lglgD) passes", num_colors_used(coloring),
+        delta + 1, stream.passes_used, ours.peak_space_bits,
+    ])
+
+    stream = stream_from_graph(graph)
+    quad = TwoPassQuadraticColoring(n, delta)
+    coloring = quad.run(stream)
+    validate_coloring(graph, coloring, palette_size=quad.palette_size)
+    rows.append([
+        "ACS22-style O(D^2), O(1) passes", num_colors_used(coloring),
+        quad.palette_size, stream.passes_used, quad.peak_space_bits,
+    ])
+
+    stream = stream_from_graph(graph)
+    reduction = ColorReductionColoring(n, delta)
+    coloring = reduction.run(stream)
+    validate_coloring(graph, coloring)
+    rows.append([
+        "ACS22-style O(D), O(lgD) rounds", num_colors_used(coloring),
+        reduction.final_palette_bound, stream.passes_used,
+        reduction.peak_space_bits,
+    ])
+
+    stream = stream_from_graph(graph)
+    sparsify = PaletteSparsificationColoring(n, delta, seed=derive_seed(seed, "t9ps"))
+    coloring = sparsify.run(stream)
+    validate_coloring(graph, coloring, palette_size=delta + 1)
+    rows.append([
+        "ACK19 randomized (D+1), 1 pass", num_colors_used(coloring),
+        delta + 1, stream.passes_used, sparsify.peak_space_bits,
+    ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# T10: the constructive Turán bound (Lemma 2.1)
+# ----------------------------------------------------------------------
+def run_t10_turan(cases, seed: int = 0):
+    """``cases``: list of ``(n, p_edge)`` G(n, p) parameters."""
+    headers = ["n", "m", "|I|", "bound n^2/(2m+n)", "|I|>=bound"]
+    rows = []
+    for i, (n, p_edge) in enumerate(cases):
+        graph = gnp_random_graph(n, p_edge, seed=derive_seed(seed, f"t10/{i}"))
+        ind = turan_independent_set(graph)
+        bound = turan_bound(graph.n, graph.m)
+        rows.append([n, graph.m, len(ind), float(bound), len(ind) >= bound])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# A4: ablation — paper prime vs scaled prime in the family search
+# ----------------------------------------------------------------------
+def run_a4_prime_ablation(n: int, delta: int, seed: int = 0):
+    """Lemma 3.2 sizes the Carter-Wegman prime at Theta(n log n); the
+    ``scaled`` policy uses Theta(n) instead, trading the rounding epsilon
+    for speed (DESIGN.md note 1).  Measure the potential drift and cost."""
+    import time
+
+    headers = [
+        "prime_policy", "prime p", "passes", "epochs",
+        "max phi_after/|U|", "runtime_s", "proper",
+    ]
+    graph = random_max_degree_graph(n, delta, seed=derive_seed(seed, "a4"))
+    rows = []
+    for policy in ("paper", "scaled"):
+        stream = stream_from_graph(graph)
+        algo = DeterministicColoring(
+            n, delta, selection="hash_family", prime_policy=policy,
+            instrument=True,
+        )
+        start = time.perf_counter()
+        coloring = algo.run(stream)
+        elapsed = time.perf_counter() - start
+        validate_coloring(graph, coloring, palette_size=delta + 1)
+        worst = 0.0
+        for s in algo.stats.stage_stats:
+            if s.uncolored:
+                worst = max(worst, s.potential_after / s.uncolored)
+        from repro.core.deterministic import choose_family_prime
+
+        rows.append([
+            policy, choose_family_prime(n, policy), stream.passes_used,
+            algo.stats.epochs, round(worst, 3), round(elapsed, 3), True,
+        ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# A1: ablation — family-search selection vs greedy-slack heuristic
+# ----------------------------------------------------------------------
+def run_a1_selection_ablation(n: int, delta: int, seed: int = 0,
+                              prime_policy="paper"):
+    headers = [
+        "selection", "passes", "epochs", "stages", "passes/stage",
+        "max phi_after/|U|", "colors", "proper",
+    ]
+    graph = random_max_degree_graph(n, delta, seed=derive_seed(seed, "a1"))
+    rows = []
+    for selection in ("hash_family", "greedy_slack"):
+        stream = stream_from_graph(graph)
+        algo = DeterministicColoring(
+            n, delta, selection=selection, prime_policy=prime_policy,
+            instrument=True,
+        )
+        coloring = algo.run(stream)
+        validate_coloring(graph, coloring, palette_size=delta + 1)
+        worst = 0.0
+        for s in algo.stats.stage_stats:
+            if s.uncolored:
+                worst = max(worst, s.potential_after / s.uncolored)
+        stages = len(algo.stats.stage_stats)
+        rows.append([
+            selection, stream.passes_used, algo.stats.epochs, stages,
+            stream.passes_used / max(1, stages),
+            round(worst, 3), num_colors_used(coloring), True,
+        ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# A2: ablation — Algorithm 2 sketch concentration (Lemmas 4.2/4.3)
+# ----------------------------------------------------------------------
+def run_a2_sketch_concentration(n: int, delta: int, seed: int = 0,
+                                trials: int = 3):
+    headers = [
+        "trial", "edges", "sketch_edges", "per-vertex max A+C deg",
+        "bound 5*lg n", "within",
+    ]
+    rows = []
+    bound = 5 * _log2(n)
+    for t in range(trials):
+        algo = RobustColoring(n, delta, seed=derive_seed(seed, f"a2/{t}"))
+        adv = LevelAwareAdversary(derive_seed(seed, f"a2adv/{t}"))
+        rounds = (n * delta) // 3
+        run_adversarial_game(algo, adv, n=n, delta=delta, rounds=rounds,
+                             query_every=max(1, rounds // 8))
+        per_vertex = [0] * n
+        for sets in (algo._a_sets, algo._c_sets):
+            for edge_set in sets:
+                for u, v in edge_set:
+                    per_vertex[u] += 1
+                    per_vertex[v] += 1
+        worst = max(per_vertex)
+        rows.append([
+            t, rounds, algo.sketch_edge_count, worst, round(bound, 1),
+            worst <= 4 * bound,  # generous constant; shape is what matters
+        ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# A3: ablation — sketch overflow survival in Algorithm 3 (Lemma 4.8)
+# ----------------------------------------------------------------------
+def run_a3_overflow_survival(n: int, delta: int, seed: int = 0, trials: int = 3):
+    headers = [
+        "trial", "repetitions P", "surviving D_{curr,j}", "survived>=1",
+        "failures",
+    ]
+    rows = []
+    for t in range(trials):
+        algo = LowRandomnessRobustColoring(n, delta, seed=derive_seed(seed, f"a3/{t}"))
+        adv = ConflictSeekingAdversary(derive_seed(seed, f"a3adv/{t}"))
+        rounds = (n * delta) // 3
+        result = run_adversarial_game(
+            algo, adv, n=n, delta=delta, rounds=rounds,
+            query_every=max(1, rounds // 8),
+        )
+        surviving = algo.surviving_sketches()
+        rows.append([
+            t, algo.repetitions, surviving, surviving >= 1, result.failures,
+        ])
+    return headers, rows

@@ -1,0 +1,121 @@
+"""Trivial endpoints and the adversary-breakable one-pass baseline.
+
+- :class:`TrivialColoring` — ``n`` colors, zero passes; the
+  "color the graph trivially with n colors" endpoint of [ACS22]'s lower
+  bound discussion (Section 1.2).
+- :class:`StoreEverythingColoring` — store the graph, color offline; the
+  other trivial endpoint (``Theta(n Delta)`` space).
+- :class:`OneShotRandomColoring` — the natural randomized one-pass
+  algorithm: commit to a uniformly random base coloring up front, store the
+  monochromatic edges (capacity-bounded), and repair their endpoints at
+  query time.  On *oblivious* streams each edge is monochromatic with
+  probability ``1/range``, so the store stays small and every query is
+  proper w.h.p.  An *adaptive* adversary, however, sees the base colors in
+  the outputs and floods monochromatic pairs until the store overflows;
+  dropped edges are improperly colored and the algorithm errs — exactly the
+  non-robustness the paper's Section 4 is about (experiment T6).
+"""
+
+from repro.common.exceptions import ReproError
+from repro.common.integer_math import ceil_div, ceil_log2
+from repro.common.rng import SeededRng
+from repro.graph.coloring import greedy_coloring
+from repro.graph.graph import Graph
+from repro.streaming.model import MultipassStreamingAlgorithm, OnePassAlgorithm
+from repro.streaming.stream import TokenStream
+from repro.streaming.tokens import EdgeToken
+
+
+class TrivialColoring(MultipassStreamingAlgorithm):
+    """``n`` distinct colors without reading the stream."""
+
+    def __init__(self, n: int):
+        super().__init__()
+        self.n = n
+
+    def run(self, stream: TokenStream) -> dict[int, int]:
+        return {v: v + 1 for v in range(self.n)}
+
+
+class StoreEverythingColoring(MultipassStreamingAlgorithm):
+    """Store the whole graph in one pass, then color it greedily offline."""
+
+    def __init__(self, n: int):
+        super().__init__()
+        self.n = n
+
+    def run(self, stream: TokenStream) -> dict[int, int]:
+        graph = Graph(self.n)
+        for token in stream.new_pass():
+            if isinstance(token, EdgeToken):
+                graph.add_edge(token.u, token.v)
+        self.meter.set_gauge(
+            "whole graph", graph.m * 2 * ceil_log2(max(2, self.n))
+        )
+        return greedy_coloring(graph)
+
+
+class OneShotRandomColoring(OnePassAlgorithm):
+    """Random O(Delta^2)-palette coloring + bounded conflict store (non-robust).
+
+    Maintains a current coloring ``chi`` over a fixed palette of
+    ``Delta^2`` colors (exactly the boundary of the [CGS22] robust
+    lower bound), stores (up to ``capacity``) edges that arrive
+    monochromatic under the current ``chi``, and repairs stored conflicts
+    at query time by first-fit within the *same* palette (it only knows
+    its stored edges, so it cannot do better).
+
+    On oblivious streams a fresh edge is monochromatic with probability
+    ``~1/Delta^2``, so the store stays nearly empty and queries are
+    proper w.h.p.  An adaptive adversary, however, reads ``chi`` off the
+    outputs: first-fit repairs concentrate on low color indices, creating
+    monochromatic pairs faster than the bounded store can absorb them;
+    once it overflows, dropped conflicts go unrepaired and the output is
+    improper — the separation the paper's Omega(Delta^2)-colors robust
+    lower bound formalizes.
+    """
+
+    def __init__(self, n: int, delta: int, seed: int, range_multiplier: int = 1,
+                 capacity=None):
+        super().__init__()
+        if delta < 1:
+            raise ReproError("delta must be >= 1")
+        self.n = n
+        self.delta = delta
+        self.range_size = range_multiplier * delta * delta
+        self._rng = SeededRng(seed)
+        self._chi = [self._rng.randint(0, self.range_size - 1) for _ in range(n)]
+        self.meter.charge_random_bits(n * ceil_log2(self.range_size + 1))
+        # Capacity sized for the oblivious regime: expected conflicts are
+        # ~ m / range <= n/(8 Delta); leave generous slack.
+        self.capacity = capacity if capacity is not None else max(4, ceil_div(n, delta))
+        self._stored: list[tuple[int, int]] = []
+        self._stored_adj: dict[int, set[int]] = {}
+        self.dropped_edges = 0
+        self._edge_bits = 2 * ceil_log2(max(2, n))
+
+    def process(self, u: int, v: int) -> None:
+        if self._chi[u] == self._chi[v]:
+            if len(self._stored) < self.capacity:
+                self._stored.append((u, v))
+                self._stored_adj.setdefault(u, set()).add(v)
+                self._stored_adj.setdefault(v, set()).add(u)
+                self.meter.set_gauge(
+                    "conflict store", len(self._stored) * self._edge_bits
+                )
+            else:
+                self.dropped_edges += 1  # silently improper from here on
+
+    def query(self) -> dict[int, int]:
+        # Repair stored conflicts in place: a random palette color avoiding
+        # *stored* neighbors (all the algorithm remembers).  Random rather
+        # than first-fit so that oblivious streams stay near-uniform; the
+        # adaptive adversary still wins because it can always see the
+        # current collisions, which a Delta^2 palette cannot avoid.
+        for u, v in self._stored:
+            if self._chi[u] == self._chi[v]:
+                used = {self._chi[w] for w in self._stored_adj.get(v, ())}
+                free = [c for c in range(self.range_size) if c not in used]
+                if free:
+                    self._chi[v] = self._rng.choice(free)
+        return {v: self._chi[v] + 1 for v in range(self.n)}

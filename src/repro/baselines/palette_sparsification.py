@@ -1,0 +1,92 @@
+"""Palette sparsification [ACK19]: randomized non-robust (Delta+1)-coloring.
+
+Each vertex samples a list of ``Theta(log n)`` colors from ``[Delta+1]``
+before the stream; one pass stores only the *conflicting* edges (endpoints
+with intersecting lists).  [ACK19] prove that w.h.p. only ``~O(n)`` edges
+survive and a proper list-coloring from the sampled lists exists.  This is
+the algorithm whose success the paper's trichotomy contrasts with the
+robust setting: against an *adaptive* adversary its guarantee evaporates
+(the adversary can learn colors and flood conflicting edges), which
+experiment T6 demonstrates via :class:`repro.baselines.naive.
+OneShotRandomColoring`; here we keep the classical static-stream version
+as a :class:`MultipassStreamingAlgorithm`.
+
+Completion uses greedy list-coloring over several random orders (the
+paper's existence proof is non-constructive; [ACK19] give a poly-time
+completion, and greedy-with-retries is the standard practical stand-in).
+"""
+
+from repro.common.exceptions import AlgorithmFailure, ReproError
+from repro.common.integer_math import ceil_log2
+from repro.common.rng import SeededRng
+from repro.graph.graph import Graph
+from repro.streaming.model import MultipassStreamingAlgorithm
+from repro.streaming.stream import TokenStream
+from repro.streaming.tokens import EdgeToken
+
+
+class PaletteSparsificationColoring(MultipassStreamingAlgorithm):
+    """Single-pass randomized ``(Delta+1)``-coloring for oblivious streams."""
+
+    def __init__(
+        self,
+        n: int,
+        delta: int,
+        seed: int,
+        list_size_factor: int = 8,
+        completion_attempts: int = 50,
+    ):
+        super().__init__()
+        if delta < 1:
+            raise ReproError("delta must be >= 1")
+        self.n = n
+        self.delta = delta
+        self._rng = SeededRng(seed)
+        palette = list(range(1, delta + 2))
+        size = min(delta + 1, max(2, list_size_factor * ceil_log2(max(2, n))))
+        self.lists = {
+            v: frozenset(self._rng.sample(palette, size)) for v in range(n)
+        }
+        self.meter.charge_random_bits(n * size * ceil_log2(delta + 2))
+        self.completion_attempts = completion_attempts
+        self.conflict_edge_count = 0
+
+    def run(self, stream: TokenStream) -> dict[int, int]:
+        n = self.n
+        conflict = Graph(n)
+        for token in stream.new_pass():
+            if not isinstance(token, EdgeToken):
+                continue
+            u, v = token.u, token.v
+            if self.lists[u] & self.lists[v]:
+                conflict.add_edge(u, v)
+        self.conflict_edge_count = conflict.m
+        self.meter.set_gauge(
+            "conflict edges", conflict.m * 2 * ceil_log2(max(2, n))
+        )
+        # Complete: greedy list coloring of the conflict graph, retrying
+        # with fresh random orders (and most-constrained-first as a last
+        # attempt) until one succeeds.
+        order = list(range(n))
+        for attempt in range(self.completion_attempts):
+            if attempt == self.completion_attempts - 1:
+                order.sort(key=lambda v: len(self.lists[v]))
+            else:
+                self._rng.shuffle(order)
+            coloring = self._try_complete(conflict, order)
+            if coloring is not None:
+                return coloring
+        raise AlgorithmFailure(
+            "palette sparsification could not complete a list coloring "
+            f"after {self.completion_attempts} attempts"
+        )
+
+    def _try_complete(self, conflict: Graph, order):
+        coloring: dict[int, int] = {}
+        for v in order:
+            used = {coloring[w] for w in conflict.neighbors(v) if w in coloring}
+            free = sorted(self.lists[v] - used)
+            if not free:
+                return None
+            coloring[v] = free[0]
+        return coloring

@@ -1,0 +1,174 @@
+"""Command-line interface: run experiments and assemble reports.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro list
+    python -m repro run t1 --n 128 --deltas 2,4,8,16
+    python -m repro run t6 --n 96 --delta 10 --rounds 320
+    python -m repro report [--results benchmarks/results] [-o report.md]
+
+Each experiment id maps to a runner in :mod:`repro.analysis.experiments`;
+the CLI prints the same table the benchmark suite archives.
+"""
+
+import argparse
+import sys
+
+from repro.analysis import experiments as exp
+from repro.analysis.report import build_report
+from repro.analysis.tables import format_table
+
+
+def _ints(text: str) -> list[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def _floats(text: str) -> list[float]:
+    return [float(x) for x in text.split(",") if x]
+
+
+EXPERIMENTS = {
+    "t1": "deterministic passes vs Delta (Theorem 1)",
+    "t2": "deterministic space vs n (Theorem 1)",
+    "f1": "potential trace (Lemma 3.5)",
+    "f2": "epoch shrinkage (Lemmas 3.7/3.8)",
+    "f3": "list-mass decay (Lemma 3.10)",
+    "t3": "(deg+1)-list-coloring (Theorem 2)",
+    "t4": "robust colors vs Delta (Theorem 3)",
+    "t5": "colors/space tradeoff (Corollary 4.7)",
+    "t6": "robustness game (adaptive vs oblivious)",
+    "t7": "randomness-efficient robust (Theorem 4)",
+    "t8": "communication protocol (Corollary 3.11)",
+    "t9": "deterministic landscape",
+    "t10": "constructive Turan bound (Lemma 2.1)",
+    "a1": "ablation: selection strategy",
+    "a2": "ablation: sketch concentration",
+    "a3": "ablation: overflow survival",
+    "a4": "ablation: family-search prime policy",
+}
+
+
+def _dispatch(args) -> tuple[list, list]:
+    eid = args.experiment
+    if eid == "t1":
+        return exp.run_t1_passes_vs_delta(
+            _ints(args.deltas), n=args.n, seed=args.seed
+        )
+    if eid == "t2":
+        return exp.run_t2_space_vs_n(_ints(args.ns), delta=args.delta,
+                                     seed=args.seed)
+    if eid == "f1":
+        return exp.run_f1_potential_trace(n=args.n, delta=args.delta,
+                                          seed=args.seed)
+    if eid == "f2":
+        return exp.run_f2_shrinkage_trace(n=args.n, delta=args.delta,
+                                          seed=args.seed)
+    if eid == "f3":
+        return exp.run_f3_list_mass_decay(
+            n=args.n, delta=args.delta, universe=args.universe, seed=args.seed
+        )
+    if eid == "t3":
+        cases = [(args.n, args.delta, args.universe)]
+        return exp.run_t3_list_coloring(cases, seed=args.seed)
+    if eid == "t4":
+        scale = args.n_scale
+        return exp.run_t4_robust_colors(
+            _ints(args.deltas),
+            n_of_delta=lambda d: max(48, min(4096, round(scale * d**2.5))),
+            seed=args.seed,
+        )
+    if eid == "t5":
+        return exp.run_t5_tradeoff(
+            _floats(args.betas), delta=args.delta, n=args.n, seed=args.seed,
+            include_cgs22=True,
+        )
+    if eid == "t6":
+        return exp.run_t6_robustness_game(
+            n=args.n, delta=args.delta, rounds=args.rounds, seed=args.seed,
+            trials=args.trials,
+        )
+    if eid == "t7":
+        return exp.run_t7_lowrandom(
+            _ints(args.deltas), n_of_delta=lambda d: 40 * d, seed=args.seed
+        )
+    if eid == "t8":
+        return exp.run_t8_communication(_ints(args.ns), delta=args.delta,
+                                        seed=args.seed)
+    if eid == "t9":
+        return exp.run_t9_deterministic_landscape(n=args.n, delta=args.delta,
+                                                  seed=args.seed)
+    if eid == "t10":
+        return exp.run_t10_turan([(args.n, 0.1), (args.n, 0.3)],
+                                 seed=args.seed)
+    if eid == "a1":
+        return exp.run_a1_selection_ablation(n=args.n, delta=args.delta,
+                                             seed=args.seed)
+    if eid == "a2":
+        return exp.run_a2_sketch_concentration(n=args.n, delta=args.delta,
+                                               seed=args.seed,
+                                               trials=args.trials)
+    if eid == "a3":
+        return exp.run_a3_overflow_survival(n=args.n, delta=args.delta,
+                                            seed=args.seed,
+                                            trials=args.trials)
+    if eid == "a4":
+        return exp.run_a4_prime_ablation(n=args.n, delta=args.delta,
+                                         seed=args.seed)
+    raise SystemExit(f"unknown experiment {eid!r}; try 'list'")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Coloring in Graph Streams via "
+        "Deterministic and Adversarially Robust Algorithms' (PODS 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--n", type=int, default=96)
+    run.add_argument("--delta", type=int, default=8)
+    run.add_argument("--deltas", default="2,4,8,16")
+    run.add_argument("--ns", default="32,64,128")
+    run.add_argument("--betas", default="0,0.3333,0.5")
+    run.add_argument("--universe", type=int, default=48)
+    run.add_argument("--rounds", type=int, default=256)
+    run.add_argument("--trials", type=int, default=3)
+    run.add_argument("--n-scale", type=float, default=2.0)
+    run.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser("report", help="assemble markdown from archived tables")
+    report.add_argument("--results", default="benchmarks/results")
+    report.add_argument("-o", "--output", default=None,
+                        help="write to file instead of stdout")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for eid in sorted(EXPERIMENTS):
+            print(f"  {eid:4} {EXPERIMENTS[eid]}")
+        return 0
+    if args.command == "run":
+        headers, rows = _dispatch(args)
+        print(format_table(headers, rows,
+                           title=f"{args.experiment}: {EXPERIMENTS[args.experiment]}"))
+        return 0
+    if args.command == "report":
+        text = build_report(args.results)
+        if args.output:
+            with open(args.output, "w") as f:
+                f.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Shared utilities: exceptions, integer math, seeded randomness, space accounting.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.common.exceptions import (
+    AdversaryError,
+    AlgorithmFailure,
+    ImproperColoringError,
+    ListViolationError,
+    PaletteExceededError,
+    ReproError,
+    StreamProtocolError,
+)
+from repro.common.integer_math import (
+    ceil_div,
+    ceil_log2,
+    ceil_sqrt,
+    floor_log2,
+    is_prime,
+    next_prime,
+    prime_in_range,
+)
+from repro.common.rng import SeededRng, derive_seed
+from repro.common.space import SpaceMeter
+
+__all__ = [
+    "AdversaryError",
+    "AlgorithmFailure",
+    "ImproperColoringError",
+    "ListViolationError",
+    "PaletteExceededError",
+    "ReproError",
+    "SeededRng",
+    "SpaceMeter",
+    "StreamProtocolError",
+    "ceil_div",
+    "ceil_log2",
+    "ceil_sqrt",
+    "derive_seed",
+    "floor_log2",
+    "is_prime",
+    "next_prime",
+    "prime_in_range",
+]

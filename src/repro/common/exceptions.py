@@ -1,0 +1,61 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ImproperColoringError(ReproError):
+    """A produced coloring assigns equal colors to two adjacent vertices."""
+
+    def __init__(self, u, v, color):
+        self.u = u
+        self.v = v
+        self.color = color
+        super().__init__(
+            f"improper coloring: adjacent vertices {u} and {v} share color {color}"
+        )
+
+
+class PaletteExceededError(ReproError):
+    """A coloring uses a color outside the allowed palette."""
+
+    def __init__(self, vertex, color, palette_size):
+        self.vertex = vertex
+        self.color = color
+        self.palette_size = palette_size
+        super().__init__(
+            f"vertex {vertex} received color {color} outside palette of size "
+            f"{palette_size}"
+        )
+
+
+class ListViolationError(ReproError):
+    """A list-coloring assigned a vertex a color not on its list."""
+
+    def __init__(self, vertex, color):
+        self.vertex = vertex
+        self.color = color
+        super().__init__(f"vertex {vertex} received color {color} not on its list")
+
+
+class StreamProtocolError(ReproError):
+    """The streaming contract was violated (bad token, pass misuse, ...)."""
+
+
+class AlgorithmFailure(ReproError):
+    """A randomized algorithm hit its (small-probability) failure event.
+
+    For example, Algorithm 3's query fails when all of its ``D_{curr,j}``
+    sketch buffers were invalidated (paper, Line 15).  The failure is part of
+    the algorithm's ``delta`` error budget, so it is reported as a distinct
+    exception rather than a generic error.
+    """
+
+
+class AdversaryError(ReproError):
+    """An adversary violated the game's rules (duplicate edge, degree cap...)."""

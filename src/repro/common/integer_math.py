@@ -1,0 +1,93 @@
+"""Exact integer helpers: logarithms, square roots, and primality.
+
+The paper's algorithms size their data structures with quantities such as
+``ceil(log2(delta + 1))`` bits per color (Algorithm 1) or a prime in
+``[8 n log n, 16 n log n]`` (Lemma 3.2).  Floating-point logarithms are not
+safe near powers of two, so everything here is computed with integer
+arithmetic only.
+"""
+
+import math
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+# Deterministic Miller-Rabin witness set, valid for all n < 3.3 * 10^24
+# (far above anything this library needs).
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for integers with ``b > 0``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b}")
+    return -(-a // b)
+
+
+def floor_log2(x: int) -> int:
+    """Return ``floor(log2(x))`` for ``x >= 1``."""
+    if x < 1:
+        raise ValueError(f"floor_log2 requires x >= 1, got {x}")
+    return x.bit_length() - 1
+
+
+def ceil_log2(x: int) -> int:
+    """Return ``ceil(log2(x))`` for ``x >= 1`` (``ceil_log2(1) == 0``)."""
+    if x < 1:
+        raise ValueError(f"ceil_log2 requires x >= 1, got {x}")
+    return (x - 1).bit_length()
+
+
+def ceil_sqrt(x: int) -> int:
+    """Return ``ceil(sqrt(x))`` for ``x >= 0``."""
+    if x < 0:
+        raise ValueError(f"ceil_sqrt requires x >= 0, got {x}")
+    r = math.isqrt(x)
+    return r if r * r == x else r + 1
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test (exact for n < 3.3e24)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime ``>= n``."""
+    candidate = max(2, n)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def prime_in_range(lo: int, hi: int) -> int:
+    """Return a prime in ``[lo, hi]``; raise ``ValueError`` if none exists.
+
+    Used for the paper's choice of ``p in [8 n log n, 16 n log n]``
+    (Algorithm 1, line 16).  By Bertrand's postulate the paper's range always
+    contains a prime, but we validate anyway to catch caller bugs.
+    """
+    p = next_prime(lo)
+    if p > hi:
+        raise ValueError(f"no prime in range [{lo}, {hi}]")
+    return p

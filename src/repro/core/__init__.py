@@ -1,0 +1,31 @@
+"""The paper's contributions.
+
+- :class:`DeterministicColoring` — Theorem 1 / Algorithm 1: deterministic
+  semi-streaming ``(Delta+1)``-coloring in ``O(log Delta log log Delta)``
+  passes.
+- :class:`DeterministicListColoring` — Theorem 2: deterministic
+  ``(deg+1)``-list-coloring, same pass/space bounds.
+- :class:`RobustColoring` — Theorem 3 / Algorithm 2: adversarially robust
+  ``O(Delta^{5/2})``-coloring; the ``beta`` parameter realizes the
+  Corollary 4.7 colors/space tradeoff.
+- :class:`LowRandomnessRobustColoring` — Theorem 4 / Algorithm 3:
+  robust ``O(Delta^3)``-coloring whose space bound *includes* random bits.
+- :func:`two_party_coloring_protocol` — Corollary 3.11: the communication
+  protocol obtained from Algorithm 1.
+"""
+
+from repro.core.communication import ProtocolResult, two_party_coloring_protocol
+from repro.core.deterministic import DeterministicColoring
+from repro.core.list_coloring import DeterministicListColoring
+from repro.core.robust import RobustColoring, RobustParameters
+from repro.core.robust_lowrandom import LowRandomnessRobustColoring
+
+__all__ = [
+    "DeterministicColoring",
+    "DeterministicListColoring",
+    "LowRandomnessRobustColoring",
+    "ProtocolResult",
+    "RobustColoring",
+    "RobustParameters",
+    "two_party_coloring_protocol",
+]

@@ -1,0 +1,364 @@
+"""Algorithm 1: deterministic multipass semi-streaming (Delta+1)-coloring.
+
+Theorem 1: ``O(n log^2 n)`` bits of space, ``O(log Delta * log log Delta)``
+passes, palette exactly ``[Delta + 1]``.
+
+Structure (Section 3.1-3.3):
+
+- **Epochs** (``COLORING-EPOCH``): start from the current proper partial
+  coloring ``(U, chi)`` with the trivial PCC ``P_x = {0,1}^b``; each epoch
+  colors at least a third of ``U`` (Lemma 3.8) and epochs stop once
+  ``|U| <= n / Delta``.
+- **Stages** within an epoch: fix the next ``k = 1 + floor(log(n/|U|))``
+  bits of every ``P_x``, choosing each vertex's bit pattern via the
+  slack-weighted, hash-family-derandomized selection of
+  :mod:`repro.core.selector` (3 streaming passes per stage: slack counters,
+  part sums, member sums).
+- **End of epoch**: each ``P_x`` is a singleton proposal; one pass collects
+  the would-be-monochromatic edges ``F`` (Lemma 3.7: ``|F| <= |U|``), and
+  the constructive Turán lemma commits the proposals on an independent set
+  of ``(U, F)``.
+- **Final pass** (line 6): once ``|U| <= n/Delta``, store every edge
+  incident to ``U`` (at most ``|U| * Delta <= n``) and finish greedily.
+
+``selection="greedy_slack"`` swaps the family search for the max-slack
+heuristic (1 pass per stage, no Lemma 3.5 guarantee) — see DESIGN.md,
+faithfulness note 1.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import ReproError
+from repro.common.integer_math import (
+    ceil_log2,
+    floor_log2,
+    next_prime,
+    prime_in_range,
+)
+from repro.core.selector import SlackWeightedSelector
+from repro.core.subcube import Subcube
+from repro.graph.graph import Graph
+from repro.graph.independent_set import turan_independent_set
+from repro.streaming.model import MultipassStreamingAlgorithm
+from repro.streaming.stream import TokenStream
+from repro.streaming.tokens import EdgeToken
+
+
+@dataclass
+class StageStats:
+    """Instrumentation for one stage (used by experiments F1/A1)."""
+
+    epoch: int
+    stage: int
+    k: int
+    potential_before: float
+    potential_after: float
+    uncolored: int
+
+
+@dataclass
+class EpochStats:
+    """Instrumentation for one epoch (experiment F2)."""
+
+    epoch: int
+    uncolored_before: int
+    uncolored_after: int
+    conflict_edges: int
+    stages: int
+
+
+@dataclass
+class RunStats:
+    """Aggregate run diagnostics."""
+
+    passes: int = 0
+    epochs: int = 0
+    stage_stats: list[StageStats] = field(default_factory=list)
+    epoch_stats: list[EpochStats] = field(default_factory=list)
+
+
+def choose_family_prime(n: int, policy: str, override=None) -> int:
+    """The Carter-Wegman prime for the stage selector.
+
+    ``policy="paper"`` takes a prime in ``[8 n log n, 16 n log n]``
+    (Algorithm 1, line 16); ``policy="scaled"`` takes the first prime
+    ``>= max(2n+1, 17)``, trading the Lemma 3.2 approximation constant for
+    speed on larger inputs (DESIGN.md, note 1).
+    """
+    if override is not None:
+        return next_prime(override)
+    log_n = max(1, ceil_log2(max(2, n)))
+    if policy == "paper":
+        return prime_in_range(8 * n * log_n, 16 * n * log_n)
+    if policy == "scaled":
+        return next_prime(max(2 * n + 1, 17))
+    raise ReproError(f"unknown prime policy {policy!r}")
+
+
+class DeterministicColoring(MultipassStreamingAlgorithm):
+    """Deterministic multipass ``(Delta+1)``-coloring (Theorem 1)."""
+
+    def __init__(
+        self,
+        n: int,
+        delta: int,
+        selection: str = "hash_family",
+        prime_policy: str = "paper",
+        prime=None,
+        instrument: bool = False,
+        max_epochs=None,
+    ):
+        super().__init__()
+        if selection not in ("hash_family", "greedy_slack"):
+            raise ReproError(f"unknown selection mode {selection!r}")
+        self.n = n
+        self.delta = delta
+        self.selection = selection
+        self.prime_policy = prime_policy
+        self.prime_override = prime
+        self.instrument = instrument
+        # Guard against non-convergence in heuristic mode; the paper bound
+        # is ceil(log_{3/2} Delta) epochs (Lemma 3.8).
+        if max_epochs is None:
+            max_epochs = 4 * max(1, ceil_log2(max(2, delta))) + 8
+        self.max_epochs = max_epochs
+        self.stats = RunStats()
+        self.palette_size = delta + 1
+
+    # ------------------------------------------------------------------
+    def run(self, stream: TokenStream) -> dict[int, int]:
+        n, delta = self.n, self.delta
+        chi: dict[int, int] = {v: None for v in range(n)}
+        if delta == 0:
+            for v in range(n):
+                chi[v] = 1
+            return chi
+        uncolored = set(range(n))
+        self.meter.set_gauge("partial coloring", n * (ceil_log2(delta + 2) + 1))
+        epoch = 0
+        while len(uncolored) * delta > n:
+            epoch += 1
+            if epoch > self.max_epochs:
+                break  # heuristic mode may stall; the final pass still finishes
+            self._run_epoch(stream, chi, uncolored, epoch)
+        self._final_pass(stream, chi, uncolored)
+        self.stats.passes = stream.passes_used
+        self.stats.epochs = epoch
+        return chi
+
+    # ------------------------------------------------------------------
+    # epoch logic (Algorithm 1, COLORING-EPOCH)
+    # ------------------------------------------------------------------
+    def _run_epoch(self, stream, chi, uncolored, epoch) -> None:
+        n, delta = self.n, self.delta
+        b = ceil_log2(delta + 1)
+        k = 1 + floor_log2(max(1, n // len(uncolored)))
+        cubes = {x: Subcube.full(b) for x in uncolored}
+        self.meter.set_gauge("pcc", len(uncolored) * (b + ceil_log2(max(2, b)) + 1))
+        u_before = len(uncolored)
+        fixed = 0
+        stage_index = 0
+        while fixed < b:
+            stage_index += 1
+            kk = min(k, b - fixed)
+            self._run_stage(stream, chi, uncolored, cubes, kk, epoch, stage_index)
+            fixed += kk
+        # --- end-of-epoch pass: collect F (line 29) ---
+        proposals = {x: cubes[x].sole_color for x in uncolored}
+        conflict_edges = []
+        seen = set()
+        for token in stream.new_pass():
+            if not isinstance(token, EdgeToken):
+                continue
+            u, v = token.u, token.v
+            if u in uncolored and v in uncolored and proposals[u] == proposals[v]:
+                key = (min(u, v), max(u, v))
+                if key not in seen:
+                    seen.add(key)
+                    conflict_edges.append(key)
+        self.meter.set_gauge(
+            "epoch conflict edges F",
+            len(conflict_edges) * 2 * ceil_log2(max(2, n)),
+        )
+        # --- commit on a Turán independent set (lines 30-33) ---
+        members = sorted(uncolored)
+        index = {x: i for i, x in enumerate(members)}
+        conflict_graph = Graph(len(members))
+        for u, v in conflict_edges:
+            conflict_graph.add_edge(index[u], index[v])
+        independent = turan_independent_set(conflict_graph)
+        for i in independent:
+            x = members[i]
+            chi[x] = proposals[x]
+            uncolored.discard(x)
+        self.meter.clear_gauge("epoch conflict edges F")
+        self.meter.clear_gauge("pcc")
+        if self.instrument:
+            self.stats.epoch_stats.append(
+                EpochStats(
+                    epoch=epoch,
+                    uncolored_before=u_before,
+                    uncolored_after=len(uncolored),
+                    conflict_edges=len(conflict_edges),
+                    stages=stage_index,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # stage logic (Algorithm 1, lines 12-27)
+    # ------------------------------------------------------------------
+    def _run_stage(self, stream, chi, uncolored, cubes, kk, epoch, stage_index) -> None:
+        n, delta = self.n, self.delta
+        s = 1 << kk
+        members = sorted(uncolored)
+        # --- pass 1: slack counters (line 14) ---
+        used = {x: np.zeros(s, dtype=np.int64) for x in members}
+        self.meter.set_gauge(
+            "stage counters", len(members) * s * ceil_log2(max(2, delta + 2))
+        )
+        for token in stream.new_pass():
+            if not isinstance(token, EdgeToken):
+                continue
+            for x, y in ((token.u, token.v), (token.v, token.u)):
+                if x in uncolored:
+                    color = chi.get(y)
+                    if color is not None and cubes[x].contains(color):
+                        used[x][cubes[x].pattern_of(color, kk)] += 1
+        slacks = {}
+        for x in members:
+            base = np.array(
+                [cubes[x].subpattern_count(delta + 1, j, kk) for j in range(s)],
+                dtype=np.int64,
+            )
+            slacks[x] = np.maximum(0, base - used[x])
+        potential_before = None
+        if self.instrument:
+            potential_before = self._measure_potential(stream, chi, uncolored, cubes, slacks=None)
+        # --- selection ---
+        if self.selection == "greedy_slack":
+            proposals = {
+                x: int(np.argmax(slacks[x])) for x in members
+            }
+        else:
+            p = choose_family_prime(n, self.prime_policy, self.prime_override)
+            selector = SlackWeightedSelector(p, n, cid_space=s)
+            for x in members:
+                selector.register_vertex(x, np.arange(s), slacks[x])
+            self.meter.set_gauge("part accumulators", selector.accumulator_bits())
+            # --- pass 2: part sums over the sqrt(|H|) parts (lines 20-23) ---
+            conflict_edges = self._collect_conflict_edges(stream, uncolored, cubes)
+            part = selector.part_sums(conflict_edges)
+            a_star = int(np.argmin(part)) if conflict_edges else 0
+            # --- pass 3: members of the best part (lines 24-26) ---
+            conflict_edges = self._collect_conflict_edges(stream, uncolored, cubes)
+            member = selector.member_sums(a_star, conflict_edges)
+            b_star = int(np.argmin(member)) if conflict_edges else 0
+            proposals = {
+                x: selector.proposal_for(x, a_star, b_star) for x in members
+            }
+            self.meter.clear_gauge("part accumulators")
+        # --- tighten the PCC (line 27) ---
+        for x in members:
+            j = proposals[x]
+            if slacks[x][j] <= 0:
+                raise ReproError(
+                    f"stage selected a zero-slack pattern for vertex {x}; "
+                    "Lemma 3.6 invariant violated"
+                )
+            cubes[x] = cubes[x].restrict(j, kk)
+        self.meter.clear_gauge("stage counters")
+        if self.instrument:
+            potential_after = self._measure_potential(
+                stream, chi, uncolored, cubes, slacks=None
+            )
+            self.stats.stage_stats.append(
+                StageStats(
+                    epoch=epoch,
+                    stage=stage_index,
+                    k=kk,
+                    potential_before=potential_before,
+                    potential_after=potential_after,
+                    uncolored=len(uncolored),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _collect_conflict_edges(self, stream, uncolored, cubes):
+        """One streaming pass listing edges inside U with equal subcubes.
+
+        These are exactly the edges contributing to the potential (eq. (2));
+        the selector consumes them to evaluate its accumulators.  The pass
+        itself only feeds accumulators of ``O(sqrt(|H|) log n)`` bits in the
+        paper's accounting; the edge list here is a computational shortcut
+        with identical results (module docstring of selector.py).
+        """
+        edges = []
+        seen = set()
+        for token in stream.new_pass():
+            if not isinstance(token, EdgeToken):
+                continue
+            u, v = token.u, token.v
+            if u in uncolored and v in uncolored and cubes[u] == cubes[v]:
+                key = (min(u, v), max(u, v))
+                if key not in seen:
+                    seen.add(key)
+                    edges.append(key)
+        return edges
+
+    # ------------------------------------------------------------------
+    def _final_pass(self, stream, chi, uncolored) -> None:
+        """Line 6-7: collect all edges incident to U, then finish greedily."""
+        n = self.n
+        adjacency: dict[int, set[int]] = {x: set() for x in uncolored}
+        stored = 0
+        for token in stream.new_pass():
+            if not isinstance(token, EdgeToken):
+                continue
+            for x, y in ((token.u, token.v), (token.v, token.u)):
+                if x in uncolored and y not in adjacency.get(x, ()):
+                    adjacency[x].add(y)
+                    stored += 1
+        self.meter.set_gauge("final edges", stored * 2 * ceil_log2(max(2, n)))
+        palette = set(range(1, self.delta + 2))
+        for x in sorted(uncolored):
+            used_colors = {chi[y] for y in adjacency[x] if chi.get(y) is not None}
+            free = sorted(palette - used_colors)
+            if not free:
+                raise ReproError(f"final pass found no free color for vertex {x}")
+            chi[x] = free[0]
+        uncolored.clear()
+        self.meter.clear_gauge("final edges")
+
+    # ------------------------------------------------------------------
+    def _measure_potential(self, stream, chi, uncolored, cubes, slacks) -> float:
+        """Out-of-band diagnostic: Phi via Lemma 3.3 (sum of dconf(x)/s_x).
+
+        Reads ``stream.tokens`` directly (not ``new_pass``) so that
+        instrumentation does not distort the pass count.
+        """
+        dconf = {x: 0 for x in uncolored}
+        used_total = {x: 0 for x in uncolored}
+        for token in stream.tokens:
+            if not isinstance(token, EdgeToken):
+                continue
+            u, v = token.u, token.v
+            if u in uncolored and v in uncolored:
+                if cubes[u] == cubes[v]:
+                    dconf[u] += 1
+                    dconf[v] += 1
+            else:
+                for x, y in ((u, v), (v, u)):
+                    if x in uncolored:
+                        color = chi.get(y)
+                        if color is not None and cubes[x].contains(color):
+                            used_total[x] += 1
+        phi = 0.0
+        for x in uncolored:
+            s_x = max(0, cubes[x].count_in_range(self.delta + 1) - used_total[x])
+            if dconf[x] > 0:
+                if s_x == 0:
+                    return float("inf")
+                phi += dconf[x] / s_x
+        return phi

@@ -1,0 +1,245 @@
+"""Derandomized proposal selection: the g_w map and the hash-family search.
+
+This module implements the heart of Algorithm 1's stage (lines 13-27):
+
+1. Each uncolored vertex ``x`` has *candidate proposals* (for Algorithm 1,
+   the ``2^k`` bit patterns of eq. (6); for the list-coloring extension,
+   classes of a Lemma 3.10 partition, or individual colors in the final
+   stage).  Each candidate carries a nonnegative integer *slack* value; the
+   target sampling distribution is ``w_{x,j} = slack_j / sum_i slack_i``
+   (eq. (4)).
+
+2. The ``g_w`` rounding map of Lemma 3.2 converts a uniform value in
+   ``[p]`` into a draw from (approximately) ``w_{x, .}``: candidate ``j``
+   owns a contiguous block of ``floor(p * w_{x,j} * (1 + 1/(8 log n)))``
+   slots.  Implementation note (DESIGN.md section 3): every positive-weight
+   candidate is guaranteed at least one slot and leftover slots go to the
+   last positive candidate, so the map is total even when the caller uses a
+   smaller-than-paper prime; this preserves the crucial invariant that only
+   positive-slack candidates can be selected (Lemma 3.6).
+
+3. The Carter-Wegman family ``H = {x -> ax+b mod p}`` is searched for a
+   member ``h*`` whose induced proposal assignment has (near-)minimal
+   potential contribution ``sum_edges 1{cid_u = cid_v} (1/slack_u +
+   1/slack_v)`` (eq. (2) restricted to conflict edges).  The search follows
+   the paper's two-level scheme: split ``H`` into ``sqrt(|H|) = p`` parts
+   keyed by the coefficient ``a`` (pass 2: per-part sums), then scan the
+   best part over ``b`` (pass 3: per-member sums).  The per-part sums are
+   computed *exactly* in closed form using the affine structure: within
+   part ``a``, ``h(v) - h(u) = a(v-u) mod p`` is constant, so the sum over
+   ``b`` reduces to cyclic-interval overlaps of the g_w blocks (see
+   :func:`_cyclic_overlap_profile`).  Exact computation is a sub-case of
+   the paper's ``(1 + 1/(8 log n))``-approximate accumulators; the space
+   charge is the same ``O(sqrt(|H|) log n)`` bits.
+
+Candidates are identified by *canonical ids* (cids) shared across vertices,
+so that ``cid_u == cid_v`` means "the two proposals land in the same color
+class" — for subcube stages the cid is the bit pattern ``j``; for the final
+list-coloring stage it is the color itself.
+"""
+
+import numpy as np
+
+from repro.common.exceptions import ReproError
+from repro.common.integer_math import ceil_log2
+
+
+class VertexBlocks:
+    """The g_w map for one vertex: cids, slacks, and slot-block boundaries."""
+
+    __slots__ = ("cids", "slacks", "sizes", "cum", "garr")
+
+    def __init__(self, cids: np.ndarray, slacks: np.ndarray, sizes: np.ndarray):
+        self.cids = cids
+        self.slacks = slacks
+        self.sizes = sizes
+        self.cum = np.concatenate(([0], np.cumsum(sizes)))
+        self.garr = None  # lazily materialized length-p cid array
+
+    def cid_of_slot(self, t: int) -> int:
+        """The candidate owning slot ``t`` (g_w(x, t))."""
+        idx = int(np.searchsorted(self.cum, t, side="right")) - 1
+        idx = min(idx, len(self.cids) - 1)
+        return int(self.cids[idx])
+
+    def materialize(self) -> np.ndarray:
+        """Length-p array mapping slot -> cid (cached)."""
+        if self.garr is None:
+            self.garr = np.repeat(self.cids, self.sizes)
+        return self.garr
+
+
+class SlackWeightedSelector:
+    """g_w construction + deterministic Carter-Wegman family search."""
+
+    def __init__(self, p: int, n: int, cid_space: int):
+        """``p``: family prime; ``n``: vertex count (sets the rounding eps);
+        ``cid_space``: exclusive upper bound on canonical ids."""
+        self.p = p
+        self.n = n
+        self.cid_space = cid_space
+        # Lemma 3.2's slack factor 1 + 1/(8 log n).
+        self.eps = 1.0 / (8.0 * max(1.0, np.log2(max(2, n))))
+        self._blocks: dict[int, VertexBlocks] = {}
+
+    # ------------------------------------------------------------------
+    # g_w construction (Lemma 3.2)
+    # ------------------------------------------------------------------
+    def register_vertex(self, x: int, cids, slacks) -> None:
+        """Install vertex ``x``'s candidates and slacks; build its blocks.
+
+        Only candidates with slack > 0 receive slots, so the selected
+        proposal always has positive slack (the Lemma 3.6 invariant).
+        """
+        cids = np.asarray(cids, dtype=np.int64)
+        slacks = np.asarray(slacks, dtype=np.int64)
+        if len(cids) != len(slacks):
+            raise ReproError("cids and slacks must align")
+        positive = slacks > 0
+        if not positive.any():
+            raise ReproError(
+                f"vertex {x} has no positive-slack candidate; "
+                "the s_x >= 1 invariant (Lemma 3.6) was violated upstream"
+            )
+        cids = cids[positive]
+        slacks = slacks[positive]
+        total = float(slacks.sum())
+        w = slacks / total
+        sizes = np.floor(self.p * w * (1.0 + self.eps)).astype(np.int64)
+        # Every positive-weight candidate keeps >= 1 slot (see module doc).
+        sizes = np.maximum(sizes, 1)
+        # Truncate to exactly p slots, then hand leftovers (if the floor
+        # lost mass, possible for sub-paper primes) to the last candidate.
+        cum = np.cumsum(sizes)
+        over = int(np.searchsorted(cum, self.p, side="left"))
+        if over < len(sizes):
+            sizes = sizes[: over + 1].copy()
+            cids = cids[: over + 1]
+            slacks = slacks[: over + 1]
+            sizes[over] = self.p - (cum[over - 1] if over > 0 else 0)
+        else:
+            sizes = sizes.copy()
+            sizes[-1] += self.p - int(cum[-1])
+        if int(sizes.sum()) != self.p or (sizes <= 0).any():
+            raise ReproError(f"g_w block construction failed for vertex {x}")
+        self._blocks[x] = VertexBlocks(cids, slacks, sizes)
+
+    def blocks(self, x: int) -> VertexBlocks:
+        """The registered block structure of vertex ``x``."""
+        return self._blocks[x]
+
+    # ------------------------------------------------------------------
+    # family search
+    # ------------------------------------------------------------------
+    def edge_weight_array(self, u: int, v: int) -> np.ndarray:
+        """Dense cid-indexed weights ``1/slack_u[c] + 1/slack_v[c]``.
+
+        Zero at cids not positive for both endpoints (those can never be
+        co-selected, since g_w only emits positive-slack candidates... for
+        the sum they simply contribute nothing).
+        """
+        bu = self._blocks[u]
+        bv = self._blocks[v]
+        wu = np.zeros(self.cid_space)
+        wu[bu.cids] = 1.0 / bu.slacks
+        wv = np.zeros(self.cid_space)
+        wv[bv.cids] = 1.0 / bv.slacks
+        both = (wu > 0) & (wv > 0)
+        out = np.zeros(self.cid_space)
+        out[both] = wu[both] + wv[both]
+        return out
+
+    def _edge_shift_profile(self, u: int, v: int) -> np.ndarray:
+        """``S[d] = sum over shared cids of wt(cid) * |A_cid ∩ (B_cid - d)|``.
+
+        ``A_cid``/``B_cid`` are the slot blocks of ``u``/``v``; the overlap
+        is on the cyclic group Z_p.  ``S[d]`` is exactly the sum over
+        ``b in F_p`` of the edge's potential contribution under
+        ``h_{a,b}`` for any part ``a`` with ``a(v-u) = d mod p``.
+        """
+        bu = self._blocks[u]
+        bv = self._blocks[v]
+        p = self.p
+        wt = self.edge_weight_array(u, v)
+        s = np.zeros(p)
+        cid_to_v_index = {int(c): i for i, c in enumerate(bv.cids)}
+        d = np.arange(p)
+        for i, cid in enumerate(bu.cids):
+            weight = wt[cid]
+            if weight == 0.0:
+                continue
+            j = cid_to_v_index.get(int(cid))
+            if j is None:
+                continue
+            a0, a1 = int(bu.cum[i]), int(bu.cum[i + 1])
+            b0, b1 = int(bv.cum[j]), int(bv.cum[j + 1])
+            length2 = b1 - b0
+            t0 = (b0 - d) % p
+            end = t0 + length2
+            # Piece 1: [t0, min(end, p)) against [a0, a1).
+            hi1 = np.minimum(end, p)
+            ov = np.maximum(0, np.minimum(a1, hi1) - np.maximum(a0, t0))
+            # Piece 2 (wraparound): [0, end - p) against [a0, a1).
+            hi2 = np.maximum(0, end - p)
+            ov += np.maximum(0, np.minimum(a1, hi2) - a0)
+            s += weight * ov
+        return s
+
+    def part_sums(self, conflict_edges) -> np.ndarray:
+        """Pass 2: ``sum_b Phi-contribution`` for every part ``a`` (exactly)."""
+        p = self.p
+        parts = np.zeros(p)
+        a = np.arange(p)
+        for u, v in conflict_edges:
+            s = self._edge_shift_profile(u, v)
+            d_of_a = (a * ((v - u) % p)) % p
+            parts += s[d_of_a]
+        return parts
+
+    def member_sums(self, a: int, conflict_edges) -> np.ndarray:
+        """Pass 3: exact potential of every member ``h_{a, b}`` of part ``a``."""
+        p = self.p
+        phi = np.zeros(p)
+        b = np.arange(p)
+        for u, v in conflict_edges:
+            gu = self._blocks[u].materialize()
+            gv = self._blocks[v].materialize()
+            cu = gu[(a * u + b) % p]
+            cv = gv[(a * v + b) % p]
+            wt = self.edge_weight_array(u, v)
+            phi += np.where(cu == cv, wt[cu], 0.0)
+        return phi
+
+    def choose(self, conflict_edges) -> tuple[int, int]:
+        """Run the two-level search and return the selected ``(a*, b*)``."""
+        if not conflict_edges:
+            return (0, 0)  # any member works; nothing to optimize
+        parts = self.part_sums(conflict_edges)
+        a_star = int(np.argmin(parts))
+        members = self.member_sums(a_star, conflict_edges)
+        b_star = int(np.argmin(members))
+        return (a_star, b_star)
+
+    def proposal_for(self, x: int, a: int, b: int) -> int:
+        """The cid vertex ``x`` adopts under ``h_{a,b}``: ``g_w(x, h(x))``."""
+        t = (a * x + b) % self.p
+        return self._blocks[x].cid_of_slot(t)
+
+    def greedy_proposals(self) -> dict[int, int]:
+        """Fast heuristic mode: every vertex takes its max-slack candidate.
+
+        Deterministic and preserves the positive-slack invariant, but
+        without the averaging guarantee of Lemma 3.5 (used by the A1
+        ablation and large-n smoke runs; see DESIGN.md section 3).
+        """
+        out = {}
+        for x, blk in self._blocks.items():
+            out[x] = int(blk.cids[int(np.argmax(blk.slacks))])
+        return out
+
+    # ------------------------------------------------------------------
+    # space accounting helpers
+    # ------------------------------------------------------------------
+    def accumulator_bits(self) -> int:
+        """Paper accounting: sqrt(|H|) = p accumulators of O(log n) bits."""
+        return self.p * 2 * max(1, ceil_log2(max(2, self.n)))

@@ -1,0 +1,106 @@
+"""Subcube representation of proposed color sets (paper Section 3.2).
+
+Algorithm 1 views each color ``c`` in ``[2^b]`` as the ``b``-bit vector of
+``c - 1`` (the paper's canonical map ``a -> 1 + sum a_i 2^{i-1}``).  A
+proposed color set ``P_x`` is a subcube of ``{0,1}^b`` in which the first
+(lowest-indexed) ``f`` bits are fixed; each stage fixes the next ``k`` free
+bits to one of ``2^k`` patterns (eq. (6)'s partition ``Q^{(i)}``).
+
+A subcube is therefore ``(b, fixed, value)``: colors ``c`` with
+``(c-1) mod 2^fixed == value``.  All set operations Algorithm 1 needs
+(membership, restriction, counting within ``[1, hi]``) are O(1) arithmetic,
+which is what makes the paper's ``O(b)``-bit encoding of ``P_x`` possible.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class Subcube:
+    """Colors ``c in [1, 2^b]`` with the low ``fixed`` bits of ``c-1`` equal to ``value``."""
+
+    b: int
+    fixed: int
+    value: int
+
+    def __post_init__(self):
+        if not 0 <= self.fixed <= self.b:
+            raise ReproError(f"fixed={self.fixed} out of range [0, {self.b}]")
+        if not 0 <= self.value < (1 << self.fixed):
+            raise ReproError(f"value={self.value} needs exactly {self.fixed} bits")
+
+    @classmethod
+    def full(cls, b: int) -> "Subcube":
+        """The trivial subcube ``{0,1}^b`` (all of ``[2^b]``)."""
+        return cls(b, 0, 0)
+
+    @property
+    def free_bits(self) -> int:
+        """Number of not-yet-fixed bits."""
+        return self.b - self.fixed
+
+    @property
+    def size(self) -> int:
+        """``2^{free_bits}`` colors."""
+        return 1 << self.free_bits
+
+    @property
+    def is_singleton(self) -> bool:
+        """True once every bit is fixed."""
+        return self.fixed == self.b
+
+    @property
+    def sole_color(self) -> int:
+        """The unique color of a singleton subcube."""
+        if not self.is_singleton:
+            raise ReproError("subcube is not a singleton")
+        return self.value + 1
+
+    def contains(self, color: int) -> bool:
+        """Whether ``color`` (1-based) lies in the subcube."""
+        if not 1 <= color <= (1 << self.b):
+            return False
+        return (color - 1) & ((1 << self.fixed) - 1) == self.value
+
+    def pattern_of(self, color: int, k: int) -> int:
+        """The next-``k``-bit pattern of a member color (bits fixed..fixed+k-1)."""
+        if not self.contains(color):
+            raise ReproError(f"color {color} not in subcube")
+        return ((color - 1) >> self.fixed) & ((1 << k) - 1)
+
+    def restrict(self, pattern: int, k: int) -> "Subcube":
+        """Fix the next ``k`` free bits to ``pattern`` (a stage's tightening)."""
+        if k < 0 or k > self.free_bits:
+            raise ReproError(f"cannot fix {k} bits; only {self.free_bits} free")
+        if not 0 <= pattern < (1 << k):
+            raise ReproError(f"pattern {pattern} needs exactly {k} bits")
+        return Subcube(self.b, self.fixed + k, self.value | (pattern << self.fixed))
+
+    def count_in_range(self, hi: int) -> int:
+        """``|subcube ∩ [1, hi]|`` — members with color value at most ``hi``.
+
+        Used to evaluate ``|P_x ∩ L_x|`` arithmetically when
+        ``L_x = [Delta+1]`` (footnote 4: ``P_x`` may contain colors outside
+        ``L_x`` when ``Delta+1`` is not a power of two; they simply never
+        count as available).
+        """
+        if hi <= 0:
+            return 0
+        hi = min(hi, 1 << self.b)
+        # Count x in [0, hi) with x mod 2^fixed == value.
+        step = 1 << self.fixed
+        if self.value >= hi:
+            return 0
+        return (hi - 1 - self.value) // step + 1
+
+    def members(self):
+        """Iterate member colors in increasing order (use only when small)."""
+        step = 1 << self.fixed
+        for x in range(self.value, 1 << self.b, step):
+            yield x + 1
+
+    def subpattern_count(self, hi: int, pattern: int, k: int) -> int:
+        """``|restrict(pattern, k) ∩ [1, hi]|`` without building the child."""
+        return self.restrict(pattern, k).count_in_range(hi)

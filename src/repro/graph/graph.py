@@ -1,0 +1,142 @@
+"""A minimal, fast simple-undirected-graph data structure.
+
+Vertices are the integers ``0 .. n-1``.  Edges are unordered pairs of
+distinct vertices; parallel edges and self-loops are rejected.  The class is
+used both for offline subroutines and as the "ground truth" graph that
+adversarial games accumulate.
+"""
+
+from repro.common.exceptions import ReproError
+
+
+class Graph:
+    """Simple undirected graph on vertex set ``{0, ..., n-1}``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to insert.
+    """
+
+    def __init__(self, n: int, edges=None):
+        if n < 0:
+            raise ReproError(f"graph needs n >= 0, got {n}")
+        self.n = n
+        self._adj: list[set[int]] = [set() for _ in range(n)]
+        self._m = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert edge ``{u, v}``; return ``False`` if it already existed."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ReproError(f"self-loop at vertex {u} is not allowed")
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``{u, v}``; raise if absent."""
+        if v not in self._adj[u]:
+            raise ReproError(f"edge ({u}, {v}) not present")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return whether ``{u, v}`` is an edge."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adj[u]
+
+    def neighbors(self, v: int) -> set[int]:
+        """The (live) adjacency set of ``v``.  Do not mutate."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        """Maximum degree Delta of the graph (0 for edgeless graphs)."""
+        if self.n == 0:
+            return 0
+        return max(len(a) for a in self._adj)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def edges(self):
+        """Iterate over edges as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_list(self) -> list[tuple[int, int]]:
+        """All edges as a list of ``(u, v)`` with ``u < v``."""
+        return list(self.edges())
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Deep copy."""
+        g = Graph(self.n)
+        for u, v in self.edges():
+            g.add_edge(u, v)
+        return g
+
+    def induced_subgraph(self, vertices) -> tuple["Graph", dict[int, int]]:
+        """Subgraph induced by ``vertices``.
+
+        Returns the subgraph (relabelled to ``0..k-1``) and the mapping from
+        original vertex id to the new id.
+        """
+        vs = sorted(set(vertices))
+        index = {v: i for i, v in enumerate(vs)}
+        sub = Graph(len(vs))
+        for v in vs:
+            for w in self._adj[v]:
+                if w > v and w in index:
+                    sub.add_edge(index[v], index[w])
+        return sub, index
+
+    def subgraph_on_edges(self, vertices, edge_set) -> tuple["Graph", dict[int, int]]:
+        """Subgraph induced by ``vertices`` restricted to ``edge_set``.
+
+        ``edge_set`` is an iterable of ``(u, v)`` pairs (any orientation).
+        This is the operation Algorithm 2 performs at query time: "the
+        subgraph induced by the vertex set ... on the edge set ``C_l | B``".
+        """
+        vs = sorted(set(vertices))
+        index = {v: i for i, v in enumerate(vs)}
+        sub = Graph(len(vs))
+        for u, v in edge_set:
+            if u in index and v in index and not sub.has_edge(index[u], index[v]):
+                sub.add_edge(index[u], index[v])
+        return sub, index
+
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise ReproError(f"vertex {v} out of range [0, {self.n})")
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self._m})"

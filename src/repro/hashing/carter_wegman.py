@@ -1,0 +1,65 @@
+"""The Carter-Wegman affine hash family over a prime field.
+
+``H = { x -> (a x + b) mod p : a, b in F_p }`` is a 2-independent family of
+functions ``[p] -> [p]`` of size ``p^2``.  Algorithm 1 (line 16) picks
+``p`` prime in ``[8 n log n, 16 n log n]`` and searches this family for a
+function whose induced tightening of the partially committed coloring has
+near-average potential.
+
+The family's key structural property, exploited by the stage implementation
+(``repro.core.stage``): for a fixed coefficient ``a`` and a fixed pair of
+distinct points ``u, v``, as ``b`` ranges over ``F_p`` the value
+``t = h(u)`` ranges over all of ``F_p`` exactly once, and ``h(v) = t + a(v-u)
+mod p`` is a fixed cyclic shift of it.  This lets a streaming pass evaluate
+the *sum over a whole part* ``{h_{a, b} : b in F_p}`` of any per-edge
+statistic in closed form, which is how the ``sqrt(|H|)``-way part search of
+lines 20-26 is realized.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.integer_math import is_prime
+
+
+@dataclass(frozen=True)
+class AffineFunction:
+    """A single member ``x -> (a x + b) mod p`` of the family."""
+
+    a: int
+    b: int
+    p: int
+
+    def __call__(self, x: int) -> int:
+        return (self.a * x + self.b) % self.p
+
+
+class CarterWegmanFamily:
+    """The full affine family over ``F_p``; 2-independent on ``[p] -> [p]``."""
+
+    def __init__(self, p: int):
+        if not is_prime(p):
+            raise ValueError(f"Carter-Wegman modulus must be prime, got {p}")
+        self.p = p
+
+    @property
+    def size(self) -> int:
+        """``|H| = p^2``."""
+        return self.p * self.p
+
+    def function(self, a: int, b: int) -> AffineFunction:
+        """The member with coefficients ``(a, b)``."""
+        if not (0 <= a < self.p and 0 <= b < self.p):
+            raise ValueError(f"coefficients ({a}, {b}) out of F_{self.p}")
+        return AffineFunction(a, b, self.p)
+
+    def sample(self, rng) -> AffineFunction:
+        """Uniformly random member (used only by randomized baselines)."""
+        return AffineFunction(rng.randint(0, self.p - 1), rng.randint(0, self.p - 1), self.p)
+
+    def parts(self):
+        """The canonical split of H into ``p`` parts of size ``p``, keyed by ``a``.
+
+        This realizes line 21 of Algorithm 1 ("split H into sqrt(|H|)
+        parts"): part ``a`` is ``{h_{a,b} : b in F_p}``.
+        """
+        return range(self.p)

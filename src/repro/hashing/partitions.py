@@ -1,0 +1,59 @@
+"""The Lemma 3.10 family of partitions of a color set.
+
+Lemma 3.10: for any integer ``s >= 1`` and color set ``C`` there is a family
+``F`` of ``O(|C|^2)`` partitions of ``C`` into ``s`` classes such that for
+every collection of subsets ``L_1..L_t`` of ``C``::
+
+    (1/|F|) * sum_{R in F} sum_i max_{S in R} (|L_i ^ S| - 1)
+        <= (1/sqrt(s)) * sum_i (|L_i| - 1)
+
+The constructive family, straight from the proof: index partitions by the
+members of a 2-universal family ``h : C -> [s]`` and let class ``j`` of
+partition ``R_h`` be ``{c in C : h(c) = j}``.  The (deg+1)-list-coloring
+algorithm (Theorem 2) adaptively picks a sub-average partition from this
+family at each stage instead of the oblivious bit-block subcubes of
+Algorithm 1.
+
+Colors here are the integers ``1..|C|`` (the library canonicalizes color
+universes before streaming).
+"""
+
+from repro.common.integer_math import next_prime
+from repro.hashing.universal import TwoUniversalFamily
+
+
+class PartitionFamily:
+    """Partitions of ``{1..universe_size}`` into ``s`` classes, via 2-universal hashing."""
+
+    def __init__(self, universe_size: int, s: int):
+        if universe_size < 1:
+            raise ValueError("universe must be non-empty")
+        if s < 1:
+            raise ValueError("partition class count must be >= 1")
+        self.universe_size = universe_size
+        self.s = s
+        self.p = next_prime(max(universe_size, s, 2))
+        self._family = TwoUniversalFamily(self.p, s)
+
+    @property
+    def size(self) -> int:
+        """``|F| = (p-1) p = O(|C|^2)``."""
+        return self._family.size
+
+    def class_of(self, a: int, b: int, color: int) -> int:
+        """Class index (0-based) of ``color`` under partition ``(a, b)``."""
+        return self._family.function(a, b)(color)
+
+    def members(self):
+        """Iterate over all partition keys ``(a, b)``."""
+        for a in range(1, self.p):
+            for b in range(self.p):
+                yield (a, b)
+
+    def partition(self, a: int, b: int) -> list[set[int]]:
+        """Materialize partition ``(a, b)`` as a list of ``s`` color classes."""
+        h = self._family.function(a, b)
+        classes: list[set[int]] = [set() for _ in range(self.s)]
+        for color in range(1, self.universe_size + 1):
+            classes[h(color)].add(color)
+        return classes

@@ -1,0 +1,57 @@
+"""Truly uniform random functions, materialized lazily from a seed.
+
+Theorem 3's algorithm assumes "oracle access to O(n Delta) bits of
+randomness": the coloring functions ``h_1..h_Delta : V -> [Delta^2]`` and
+``g_1..g_sqrt(Delta) : V -> [Delta^{3/2}]`` are uniformly random.  The
+oracle here materializes each function as a numpy table on first use and
+reports the bits it hands out, so the robust algorithm's space/randomness
+accounting can mirror the paper's (randomness reported separately from
+working memory).
+"""
+
+import numpy as np
+
+from repro.common.integer_math import ceil_log2
+from repro.common.rng import SeededRng, derive_seed
+
+
+class OracleFunction:
+    """A materialized uniform function ``[domain] -> [range_size]`` (0-based)."""
+
+    def __init__(self, table: np.ndarray, range_size: int):
+        self._table = table
+        self.range_size = range_size
+
+    def __call__(self, x: int) -> int:
+        return int(self._table[x])
+
+    def table(self) -> np.ndarray:
+        """The underlying value table (do not mutate)."""
+        return self._table
+
+
+class RandomOracle:
+    """Named uniform random functions backed by one master seed.
+
+    Each distinct ``name`` yields an independent function.  ``bits_served``
+    counts ``domain * ceil(log2 range)`` bits per materialized function,
+    which is the paper's accounting for the randomness oracle.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._functions: dict[str, OracleFunction] = {}
+        self.bits_served = 0
+
+    def function(self, name: str, domain: int, range_size: int) -> OracleFunction:
+        """Get (materializing on first use) the uniform function for ``name``."""
+        if range_size < 1:
+            raise ValueError(f"range size must be >= 1, got {range_size}")
+        fn = self._functions.get(name)
+        if fn is None:
+            rng = SeededRng(derive_seed(self.seed, name))
+            table = rng.np.integers(0, range_size, size=domain, dtype=np.int64)
+            fn = OracleFunction(table, range_size)
+            self._functions[name] = fn
+            self.bits_served += domain * max(1, ceil_log2(max(2, range_size)))
+        return fn

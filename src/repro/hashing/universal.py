@@ -1,0 +1,58 @@
+"""2-universal hashing into a small range: ``((a x + b) mod p) mod s``.
+
+For ``a != 0`` this is the classical Carter-Wegman 2-universal family
+[CW79]: any two distinct keys collide with probability at most ``1/s``.
+Lemma 3.10 builds its partition family from exactly this construction, and
+the deterministic O(Delta^2) baseline searches it for a low-conflict
+coloring function.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.integer_math import is_prime
+
+
+@dataclass(frozen=True)
+class ModFunction:
+    """A member ``x -> ((a x + b) mod p) mod s``."""
+
+    a: int
+    b: int
+    p: int
+    s: int
+
+    def __call__(self, x: int) -> int:
+        return ((self.a * x + self.b) % self.p) % self.s
+
+
+class TwoUniversalFamily:
+    """``{((ax+b) mod p) mod s : a in F_p \\ {0}, b in F_p}``."""
+
+    def __init__(self, p: int, s: int):
+        if not is_prime(p):
+            raise ValueError(f"modulus must be prime, got {p}")
+        if not 1 <= s:
+            raise ValueError(f"range size must be >= 1, got {s}")
+        self.p = p
+        self.s = s
+
+    @property
+    def size(self) -> int:
+        """``|H| = (p - 1) * p`` (a ranges over nonzero field elements)."""
+        return (self.p - 1) * self.p
+
+    def function(self, a: int, b: int) -> ModFunction:
+        """The member with coefficients ``(a, b)``, ``a != 0``."""
+        if not (1 <= a < self.p and 0 <= b < self.p):
+            raise ValueError(f"coefficients ({a}, {b}) invalid for F_{self.p}")
+        return ModFunction(a, b, self.p, self.s)
+
+    def members(self):
+        """Iterate over every member (use only for small p)."""
+        for a in range(1, self.p):
+            for b in range(self.p):
+                yield self.function(a, b)
+
+    def sample(self, rng) -> ModFunction:
+        """Uniformly random member."""
+        return self.function(rng.randint(1, self.p - 1), rng.randint(0, self.p - 1))

@@ -1,0 +1,24 @@
+"""Streaming model: tokens, multipass streams, and algorithm interfaces.
+
+The paper's two settings are represented directly:
+
+- **Static multipass** (Section 3): a :class:`TokenStream` fixed in advance;
+  a :class:`MultipassStreamingAlgorithm` reads it with ``stream.new_pass()``
+  as many times as it needs, and the stream counts the passes.
+- **Adversarial single-pass** (Section 4): a :class:`OnePassAlgorithm`
+  exposes ``process(u, v)`` / ``query()``, and the game loop in
+  :mod:`repro.adversaries` drives it against an adaptive adversary.
+"""
+
+from repro.streaming.model import MultipassStreamingAlgorithm, OnePassAlgorithm
+from repro.streaming.stream import TokenStream
+from repro.streaming.tokens import EdgeToken, ListToken, edge_tokens
+
+__all__ = [
+    "EdgeToken",
+    "ListToken",
+    "MultipassStreamingAlgorithm",
+    "OnePassAlgorithm",
+    "TokenStream",
+    "edge_tokens",
+]

@@ -1,0 +1,61 @@
+"""Abstract interfaces for the two streaming settings.
+
+These are intentionally thin: concrete algorithms do the real work, and the
+interfaces exist so the experiment harness, the adversarial game loop, and
+the communication-protocol reduction can treat algorithms uniformly.
+"""
+
+import abc
+
+from repro.common.space import SpaceMeter
+from repro.streaming.stream import TokenStream
+
+
+class MultipassStreamingAlgorithm(abc.ABC):
+    """A (possibly multipass) algorithm over a fixed :class:`TokenStream`.
+
+    Subclasses implement :meth:`run`, reading the stream only via
+    ``stream.new_pass()`` and charging ``self.meter`` for state.
+    """
+
+    def __init__(self):
+        self.meter = SpaceMeter()
+
+    @abc.abstractmethod
+    def run(self, stream: TokenStream) -> dict[int, int]:
+        """Process the stream and return a total coloring ``vertex -> color``."""
+
+    @property
+    def peak_space_bits(self) -> int:
+        """Peak working-state bits charged to the meter."""
+        return self.meter.peak_bits
+
+
+class OnePassAlgorithm(abc.ABC):
+    """A single-pass algorithm playing the adversarial game of Section 2.
+
+    The adversary (or a static driver) calls :meth:`process` for each edge
+    insertion and may call :meth:`query` at any time; ``query`` must return
+    a proper coloring of all edges processed so far.
+    """
+
+    def __init__(self):
+        self.meter = SpaceMeter()
+
+    @abc.abstractmethod
+    def process(self, u: int, v: int) -> None:
+        """Consume the next edge insertion ``{u, v}``."""
+
+    @abc.abstractmethod
+    def query(self) -> dict[int, int]:
+        """Return a coloring of every vertex, proper for the edges so far."""
+
+    @property
+    def peak_space_bits(self) -> int:
+        """Peak working-state bits charged to the meter."""
+        return self.meter.peak_bits
+
+    @property
+    def random_bits_used(self) -> int:
+        """Random bits consumed so far (oracle + seeds)."""
+        return self.meter.random_bits

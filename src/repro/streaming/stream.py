@@ -1,0 +1,101 @@
+"""A replayable token stream that counts passes.
+
+Multipass algorithms consume the stream only through ``new_pass()``; the
+stream records how many passes were taken, which is the statistic
+Theorem 1's ``O(log Delta * log log Delta)`` bound constrains.  An optional
+per-token observer supports the communication-protocol simulation
+(Corollary 3.11), which needs to know when the read position crosses the
+Alice/Bob boundary.
+"""
+
+from repro.common.exceptions import StreamProtocolError
+from repro.streaming.tokens import EdgeToken, ListToken
+
+__all__ = ["TokenStream", "stream_from_graph", "stream_with_lists"]
+
+
+class TokenStream:
+    """An in-memory stream of :class:`EdgeToken` / :class:`ListToken`.
+
+    Parameters
+    ----------
+    tokens:
+        The fixed token sequence (adversarial order is just a permuted list).
+    n:
+        Number of vertices of the underlying graph.
+    """
+
+    def __init__(self, tokens, n: int):
+        self.tokens = list(tokens)
+        self.n = n
+        self.passes_used = 0
+        self._observer = None
+        for t in self.tokens:
+            if not isinstance(t, (EdgeToken, ListToken)):
+                raise StreamProtocolError(f"bad token {t!r}")
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def set_observer(self, callback) -> None:
+        """Install ``callback(pass_index, token_index)`` fired before each token."""
+        self._observer = callback
+
+    def new_pass(self):
+        """Begin a pass; yields every token in order and counts the pass."""
+        self.passes_used += 1
+        pass_index = self.passes_used
+        if self._observer is None:
+            yield from self.tokens
+        else:
+            for i, token in enumerate(self.tokens):
+                self._observer(pass_index, i)
+                yield token
+
+    def edge_count(self) -> int:
+        """Number of edge tokens in the stream."""
+        return sum(1 for t in self.tokens if isinstance(t, EdgeToken))
+
+    def max_degree(self) -> int:
+        """Max degree of the streamed graph (a full scan; used by harnesses)."""
+        deg = [0] * self.n
+        for t in self.tokens:
+            if isinstance(t, EdgeToken):
+                deg[t.u] += 1
+                deg[t.v] += 1
+        return max(deg, default=0)
+
+
+def stream_from_graph(graph, seed=None, order="insertion") -> TokenStream:
+    """Build an edge stream from a graph.
+
+    ``order`` is one of ``"insertion"`` (sorted edge list), ``"random"``
+    (shuffled with ``seed``), or ``"reverse"``.
+    """
+    edges = graph.edge_list()
+    if order == "random":
+        if seed is None:
+            raise StreamProtocolError("random order requires a seed")
+        from repro.common.rng import SeededRng
+
+        SeededRng(seed).shuffle(edges)
+    elif order == "reverse":
+        edges = edges[::-1]
+    elif order != "insertion":
+        raise StreamProtocolError(f"unknown order {order!r}")
+    return TokenStream([EdgeToken(u, v) for u, v in edges], graph.n)
+
+
+def stream_with_lists(graph, lists, seed=None) -> TokenStream:
+    """Build the Theorem 2 input: edges and ``(x, L_x)`` tokens, interleaved.
+
+    With a ``seed`` the tokens are shuffled into an arbitrary interleaving
+    (the theorem allows any order); otherwise lists come first.
+    """
+    tokens: list = [ListToken(x, frozenset(colors)) for x, colors in lists.items()]
+    tokens.extend(EdgeToken(u, v) for u, v in graph.edge_list())
+    if seed is not None:
+        from repro.common.rng import SeededRng
+
+        SeededRng(seed).shuffle(tokens)
+    return TokenStream(tokens, graph.n)

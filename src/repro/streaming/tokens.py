@@ -1,0 +1,33 @@
+"""Stream tokens: edges and (vertex, color-list) pairs.
+
+Theorem 2's input is "a stream consisting of, in any order, the edges of G
+and (x, L_x) pairs specifying the list of allowed colors for a vertex x";
+the two token types below model exactly that.  Plain edge streams use only
+:class:`EdgeToken`.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EdgeToken:
+    """An edge ``{u, v}`` arriving in the stream."""
+
+    u: int
+    v: int
+
+    def endpoints(self) -> tuple[int, int]:
+        return (self.u, self.v)
+
+
+@dataclass(frozen=True)
+class ListToken:
+    """A ``(x, L_x)`` token carrying vertex x's allowed colors."""
+
+    x: int
+    colors: frozenset[int]
+
+
+def edge_tokens(edges) -> list[EdgeToken]:
+    """Wrap an iterable of ``(u, v)`` pairs as edge tokens."""
+    return [EdgeToken(u, v) for u, v in edges]

@@ -1,0 +1,81 @@
+"""Tests for the CLI and the report assembler."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import build_report
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in EXPERIMENTS:
+            assert eid in out
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "zzz"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRun:
+    def test_run_t1_small(self, capsys):
+        assert main(["run", "t1", "--n", "20", "--deltas", "2,3"]) == 0
+        out = capsys.readouterr().out
+        assert "passes" in out
+        assert "t1:" in out
+
+    def test_run_t10(self, capsys):
+        assert main(["run", "t10", "--n", "24"]) == 0
+        assert "bound" in capsys.readouterr().out
+
+    def test_run_t6_small(self, capsys):
+        assert main([
+            "run", "t6", "--n", "30", "--delta", "5", "--rounds", "40",
+            "--trials", "1",
+        ]) == 0
+        assert "adversary" in capsys.readouterr().out
+
+    def test_run_a4_small(self, capsys):
+        assert main(["run", "a4", "--n", "20", "--delta", "4"]) == 0
+        assert "prime" in capsys.readouterr().out
+
+    def test_run_f3_small(self, capsys):
+        assert main([
+            "run", "f3", "--n", "16", "--delta", "3", "--universe", "12",
+        ]) == 0
+        assert "mass" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_from_dir(self, tmp_path, capsys):
+        (tmp_path / "t1_passes_vs_delta.txt").write_text("T1 table\nrow\n")
+        (tmp_path / "zz_custom.txt").write_text("custom\n")
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "t1_passes_vs_delta" in out
+        assert "zz_custom" in out
+        assert out.index("t1_passes_vs_delta") < out.index("zz_custom")
+
+    def test_report_to_file(self, tmp_path, capsys):
+        (tmp_path / "t2_space_vs_n.txt").write_text("table\n")
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--results", str(tmp_path),
+                     "-o", str(out_file)]) == 0
+        assert "table" in out_file.read_text()
+
+    def test_report_empty_dir(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "no archived tables" in text
+
+    def test_build_report_orders_known_first(self, tmp_path):
+        (tmp_path / "a1_selection_ablation.txt").write_text("a1\n")
+        (tmp_path / "t4_robust_colors.txt").write_text("t4\n")
+        text = build_report(tmp_path)
+        assert text.index("t4_robust_colors") < text.index("a1_selection_ablation")

@@ -1,0 +1,85 @@
+"""Tests for the Corollary 3.11 two-party protocol simulation."""
+
+import math
+
+from repro.core.communication import two_party_coloring_protocol
+from repro.core.deterministic import DeterministicColoring
+from repro.graph.coloring import validate_coloring
+from repro.graph.generators import random_max_degree_graph
+from repro.streaming.stream import stream_from_graph
+
+
+def split_tokens(graph, fraction=0.5):
+    tokens = stream_from_graph(graph).tokens
+    cut = int(len(tokens) * fraction)
+    return tokens[:cut], tokens[cut:]
+
+
+class TestProtocol:
+    def test_produces_valid_coloring(self):
+        n, delta = 40, 6
+        g = random_max_degree_graph(n, delta, seed=91)
+        alice, bob = split_tokens(g)
+        algo = DeterministicColoring(n, delta)
+        result = two_party_coloring_protocol(algo, alice, bob, n)
+        validate_coloring(g, result.coloring, palette_size=delta + 1)
+
+    def test_rounds_track_passes(self):
+        n, delta = 30, 4
+        g = random_max_degree_graph(n, delta, seed=92)
+        alice, bob = split_tokens(g)
+        algo = DeterministicColoring(n, delta)
+        result = two_party_coloring_protocol(algo, alice, bob, n)
+        # Two messages per pass (one extra final), so rounds ~ 2 * passes.
+        assert result.passes <= result.rounds <= 2 * result.passes + 1
+
+    def test_total_bits_within_corollary_budget(self):
+        n, delta = 48, 6
+        g = random_max_degree_graph(n, delta, seed=93)
+        alice, bob = split_tokens(g)
+        algo = DeterministicColoring(n, delta)
+        result = two_party_coloring_protocol(algo, alice, bob, n)
+        budget = 40 * n * math.log2(n) ** 4
+        assert 0 < result.total_bits <= budget
+
+    def test_uneven_split(self):
+        n, delta = 30, 4
+        g = random_max_degree_graph(n, delta, seed=94)
+        alice, bob = split_tokens(g, fraction=0.1)
+        algo = DeterministicColoring(n, delta)
+        result = two_party_coloring_protocol(algo, alice, bob, n)
+        validate_coloring(g, result.coloring, palette_size=delta + 1)
+
+    def test_degenerate_split_single_message(self):
+        n, delta = 20, 3
+        g = random_max_degree_graph(n, delta, seed=95)
+        tokens = stream_from_graph(g).tokens
+        algo = DeterministicColoring(n, delta)
+        result = two_party_coloring_protocol(algo, tokens, [], n)
+        validate_coloring(g, result.coloring, palette_size=delta + 1)
+        assert result.rounds == 1
+
+    def test_list_coloring_over_protocol(self):
+        """Theorem 2's algorithm runs through the same reduction."""
+        from repro.core.list_coloring import DeterministicListColoring
+        from repro.graph.generators import random_list_assignment
+        from repro.streaming.stream import stream_with_lists
+
+        n, delta, universe = 20, 3, 12
+        g = random_max_degree_graph(n, delta, seed=97)
+        lists = random_list_assignment(g, palette_size=universe, seed=98)
+        tokens = stream_with_lists(g, lists).tokens
+        cut = len(tokens) // 2
+        algo = DeterministicListColoring(n, delta, universe)
+        result = two_party_coloring_protocol(algo, tokens[:cut], tokens[cut:], n)
+        validate_coloring(g, result.coloring, lists=lists)
+        assert result.total_bits > 0
+
+    def test_message_bits_recorded(self):
+        n, delta = 24, 3
+        g = random_max_degree_graph(n, delta, seed=96)
+        alice, bob = split_tokens(g)
+        algo = DeterministicColoring(n, delta)
+        result = two_party_coloring_protocol(algo, alice, bob, n)
+        assert len(result.message_bits) == result.rounds
+        assert sum(result.message_bits) == result.total_bits

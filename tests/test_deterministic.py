@@ -1,0 +1,192 @@
+"""Integration tests for Algorithm 1 (Theorem 1).
+
+Every test validates the three claims: exact (Delta+1) palette, proper
+coloring, and pass/space behavior; the instrumented tests check the
+internal lemmas (potential bound, |F| <= |U|, epoch shrinkage).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ReproError
+from repro.core.deterministic import DeterministicColoring, choose_family_prime
+from repro.graph.coloring import num_colors_used, validate_coloring
+from repro.graph.generators import (
+    clique_blowup_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    random_bipartite_graph,
+    random_max_degree_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.streaming.stream import stream_from_graph
+
+
+def run_and_validate(graph, delta, **kwargs):
+    stream = stream_from_graph(graph)
+    algo = DeterministicColoring(graph.n, delta, **kwargs)
+    coloring = algo.run(stream)
+    validate_coloring(graph, coloring, palette_size=delta + 1)
+    return algo, stream, coloring
+
+
+class TestPrimeChoice:
+    def test_paper_policy_in_range(self):
+        n = 50
+        p = choose_family_prime(n, "paper")
+        lg = math.ceil(math.log2(n))
+        assert 8 * n * lg <= p <= 16 * n * lg
+
+    def test_scaled_policy(self):
+        assert choose_family_prime(100, "scaled") >= 201
+
+    def test_override(self):
+        assert choose_family_prime(100, "paper", override=1000) == 1009
+
+    def test_unknown_policy(self):
+        with pytest.raises(ReproError):
+            choose_family_prime(10, "wat")
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        g = Graph(7)
+        algo, stream, coloring = run_and_validate(g, 0)
+        assert set(coloring.values()) == {1}
+        assert stream.passes_used == 0
+
+    def test_single_edge(self):
+        g = Graph(2, edges=[(0, 1)])
+        _, _, coloring = run_and_validate(g, 1)
+        assert coloring[0] != coloring[1]
+
+    def test_star(self):
+        g = star_graph(17)
+        _, _, coloring = run_and_validate(g, 16)
+        assert all(coloring[v] != coloring[0] for v in range(1, 17))
+
+    def test_complete_graph_needs_full_palette(self):
+        g = complete_graph(8)
+        _, _, coloring = run_and_validate(g, 7)
+        assert num_colors_used(coloring) == 8
+
+    def test_odd_cycle(self):
+        g = cycle_graph(9)
+        _, _, coloring = run_and_validate(g, 2)
+        assert num_colors_used(coloring) <= 3
+
+    def test_delta_not_power_of_two_minus_one(self):
+        # Exercises footnote 4: P_x may contain colors outside [Delta+1].
+        g = random_max_degree_graph(30, 5, seed=4)
+        run_and_validate(g, 5)
+
+    def test_delta_exactly_power_of_two(self):
+        g = random_max_degree_graph(34, 4, seed=4)
+        run_and_validate(g, 4)
+
+    def test_overestimated_delta_still_proper(self):
+        g = cycle_graph(8)
+        _, _, coloring = run_and_validate(g, 5)  # true Delta is 2
+        assert num_colors_used(coloring) <= 6
+
+    def test_clique_blowup(self):
+        g = clique_blowup_graph(24, 6)
+        run_and_validate(g, 5)
+
+    def test_bipartite(self):
+        g = random_bipartite_graph(32, 6, seed=5)
+        run_and_validate(g, 6)
+
+
+class TestSelectionModes:
+    @pytest.mark.parametrize("selection", ["hash_family", "greedy_slack"])
+    def test_random_graph(self, selection):
+        g = random_max_degree_graph(48, 8, seed=6)
+        algo, stream, coloring = run_and_validate(g, 8, selection=selection)
+        assert num_colors_used(coloring) <= 9
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ReproError):
+            DeterministicColoring(10, 3, selection="magic")
+
+    def test_determinism(self):
+        """Identical inputs -> identical colorings (the point of Theorem 1)."""
+        g = random_max_degree_graph(40, 7, seed=8)
+        colorings = []
+        for _ in range(2):
+            _, _, coloring = run_and_validate(g, 7)
+            colorings.append(coloring)
+        assert colorings[0] == colorings[1]
+
+    def test_scaled_prime_policy(self):
+        g = random_max_degree_graph(40, 7, seed=9)
+        run_and_validate(g, 7, prime_policy="scaled")
+
+
+class TestTheoremBounds:
+    def test_pass_bound_shape(self):
+        """Passes stay within a small constant of log D * (log log D + 1)."""
+        n = 96
+        for delta in (3, 7, 15):
+            g = random_max_degree_graph(n, delta, seed=delta)
+            _, stream, _ = run_and_validate(g, delta)
+            lg = math.log2(delta + 1)
+            budget = 10 * (lg * (math.log2(max(2, lg)) + 2) + 2)
+            assert stream.passes_used <= budget
+
+    def test_space_bound_shape(self):
+        n = 80
+        g = random_max_degree_graph(n, 9, seed=3)
+        algo, _, _ = run_and_validate(g, 9)
+        assert algo.peak_space_bits <= 60 * n * math.log2(n) ** 2
+
+    def test_potential_bound_lemma_3_5(self):
+        """Phi_l <= 2|U| at the end of every stage (instrumented run)."""
+        g = random_max_degree_graph(56, 10, seed=11)
+        algo, _, _ = run_and_validate(g, 10, instrument=True)
+        assert algo.stats.stage_stats, "instrumentation captured no stages"
+        for s in algo.stats.stage_stats:
+            assert s.potential_after <= 2 * s.uncolored + 1e-9
+
+    def test_conflict_bound_lemma_3_7(self):
+        """|F| <= |U| at every epoch end."""
+        g = random_max_degree_graph(56, 10, seed=12)
+        algo, _, _ = run_and_validate(g, 10, instrument=True)
+        for e in algo.stats.epoch_stats:
+            assert e.conflict_edges <= e.uncolored_before
+
+    def test_epoch_shrinkage_lemma_3_8(self):
+        """|U'| <= (2/3)|U| each epoch."""
+        g = random_max_degree_graph(56, 10, seed=13)
+        algo, _, _ = run_and_validate(g, 10, instrument=True)
+        for e in algo.stats.epoch_stats:
+            assert e.uncolored_after <= (2 / 3) * e.uncolored_before + 1e-9
+
+    @given(st.integers(0, 10**6), st.integers(2, 9))
+    @settings(max_examples=10, deadline=None)
+    def test_property_random_graphs(self, seed, delta):
+        g = random_max_degree_graph(36, delta, seed=seed)
+        run_and_validate(g, delta)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_property_gnp(self, seed):
+        g = gnp_random_graph(30, 0.15, seed=seed)
+        delta = max(1, g.max_degree())
+        run_and_validate(g, delta)
+
+
+class TestStreamOrders:
+    @pytest.mark.parametrize("order", ["insertion", "reverse", "random"])
+    def test_order_independence_of_correctness(self, order):
+        g = random_max_degree_graph(40, 6, seed=14)
+        kwargs = {"seed": 1} if order == "random" else {}
+        stream = stream_from_graph(g, order=order, **kwargs)
+        algo = DeterministicColoring(g.n, 6)
+        coloring = algo.run(stream)
+        validate_coloring(g, coloring, palette_size=7)

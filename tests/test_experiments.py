@@ -1,0 +1,169 @@
+"""Smoke tests for the experiment runners (tiny instances).
+
+Each runner must produce well-formed rows with the shape properties the
+paper claims; the benchmarks rerun these at larger sizes.
+"""
+
+from repro.analysis.experiments import (
+    run_a1_selection_ablation,
+    run_a2_sketch_concentration,
+    run_a3_overflow_survival,
+    run_a4_prime_ablation,
+    run_f1_potential_trace,
+    run_f2_shrinkage_trace,
+    run_t1_passes_vs_delta,
+    run_t2_space_vs_n,
+    run_t3_list_coloring,
+    run_t4_robust_colors,
+    run_t5_tradeoff,
+    run_t6_robustness_game,
+    run_t7_lowrandom,
+    run_t8_communication,
+    run_t9_deterministic_landscape,
+    run_t10_turan,
+)
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.tables import format_table
+
+
+def check_table(headers, rows):
+    assert rows, "runner produced no rows"
+    for row in rows:
+        assert len(row) == len(headers)
+    text = format_table(headers, rows, title="t")
+    assert headers[0] in text
+    return rows
+
+
+class TestDeterministicExperiments:
+    def test_t1(self):
+        headers, rows = run_t1_passes_vs_delta([2, 4], n=24)
+        rows = check_table(headers, rows)
+        for row in rows:
+            assert row[-1] is True  # proper
+
+    def test_t2(self):
+        headers, rows = run_t2_space_vs_n([16, 24], delta=3)
+        rows = check_table(headers, rows)
+        for row in rows:
+            assert row[2] > 0  # some space charged
+
+    def test_f1_potential_bound(self):
+        headers, rows = run_f1_potential_trace(n=32, delta=6)
+        rows = check_table(headers, rows)
+        for row in rows:
+            assert row[-1] is True  # phi_after <= 2|U|
+
+    def test_f2_shrinkage(self):
+        headers, rows = run_f2_shrinkage_trace(n=32, delta=6)
+        rows = check_table(headers, rows)
+        for row in rows:
+            assert row[4] is True  # |F| <= |U|
+            assert row[5] <= 2 / 3 + 1e-9
+
+    def test_t3(self):
+        headers, rows = run_t3_list_coloring([(16, 3, 12)])
+        rows = check_table(headers, rows)
+        assert rows[0][5] is True
+
+    def test_t9(self):
+        headers, rows = run_t9_deterministic_landscape(n=30, delta=4)
+        rows = check_table(headers, rows)
+        ours = rows[0]
+        quad = rows[1]
+        assert ours[1] <= ours[2] == 5  # (Delta+1) palette respected
+        assert quad[3] < ours[3]  # quadratic baseline uses fewer passes
+
+    def test_t10(self):
+        headers, rows = run_t10_turan([(20, 0.2), (15, 0.5)])
+        rows = check_table(headers, rows)
+        for row in rows:
+            assert row[-1] is True
+
+
+class TestRobustExperiments:
+    def test_t4(self):
+        headers, rows = run_t4_robust_colors([3, 4], n_of_delta=lambda d: 8 * d)
+        rows = check_table(headers, rows)
+        for row in rows:
+            assert row[-1] == 0  # no robustness errors
+
+    def test_t5(self):
+        headers, rows = run_t5_tradeoff([0.0, 0.5], delta=6, n=24,
+                                        include_cgs22=True)
+        rows = check_table(headers, rows)
+        assert any(r[0].startswith("CGS22") for r in rows)
+        for row in rows:
+            assert row[-1] == 0
+
+    def test_t6_separation(self):
+        headers, rows = run_t6_robustness_game(n=40, delta=6, rounds=80,
+                                               trials=2)
+        rows = check_table(headers, rows)
+        by_key = {(r[0], r[1]): r for r in rows}
+        nonrobust = by_key[("one-shot random (non-robust)", "adaptive (conflict)")]
+        assert nonrobust[4] > 0  # adaptive adversary breaks it
+        for (algo, adv), row in by_key.items():
+            if algo != "one-shot random (non-robust)":
+                assert row[5] == 0, f"{algo} vs {adv} errored"
+
+    def test_t7(self):
+        headers, rows = run_t7_lowrandom([3, 4], n_of_delta=lambda d: 10 * d)
+        rows = check_table(headers, rows)
+        for row in rows:
+            assert row[-1] == 0
+
+    def test_t8(self):
+        headers, rows = run_t8_communication([16, 24], delta=3)
+        rows = check_table(headers, rows)
+        for row in rows:
+            assert row[-1] is True
+
+
+class TestAblations:
+    def test_a1(self):
+        headers, rows = run_a1_selection_ablation(n=32, delta=5)
+        rows = check_table(headers, rows)
+        modes = {r[0] for r in rows}
+        assert modes == {"hash_family", "greedy_slack"}
+        hash_row = next(r for r in rows if r[0] == "hash_family")
+        assert hash_row[5] <= 2.0 + 1e-9  # Lemma 3.5 bound holds
+        greedy_row = next(r for r in rows if r[0] == "greedy_slack")
+        assert greedy_row[4] < hash_row[4]  # fewer passes per stage
+
+    def test_a2(self):
+        headers, rows = run_a2_sketch_concentration(n=40, delta=8, trials=2)
+        check_table(headers, rows)
+
+    def test_a3(self):
+        headers, rows = run_a3_overflow_survival(n=30, delta=5, trials=2)
+        rows = check_table(headers, rows)
+        for row in rows:
+            assert row[3] is True  # at least one sketch survived
+
+    def test_a4(self):
+        headers, rows = run_a4_prime_ablation(n=28, delta=5)
+        rows = check_table(headers, rows)
+        policies = {row[0] for row in rows}
+        assert policies == {"paper", "scaled"}
+        for row in rows:
+            assert row[-1] is True
+
+
+class TestFitting:
+    def test_exact_power_law(self):
+        xs = [2, 4, 8, 16]
+        ys = [x**2.5 for x in xs]
+        e, c = fit_power_law(xs, ys)
+        assert abs(e - 2.5) < 1e-9
+        assert abs(c - 1.0) < 1e-9
+
+    def test_rejects_degenerate(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            fit_power_law([1, 1], [2, 3])
+
+    def test_table_formatting(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [3, 0.001]], title="T")
+        assert "T" in text and "a" in text and "bb" in text

@@ -1,0 +1,102 @@
+"""Unit tests for the Graph data structure."""
+
+import pytest
+
+from repro.common.exceptions import ReproError
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.n == 0
+        assert g.m == 0
+        assert g.max_degree() == 0
+
+    def test_with_edges(self):
+        g = Graph(3, edges=[(0, 1), (1, 2)])
+        assert g.m == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(2, 1)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ReproError):
+            Graph(-1)
+
+
+class TestMutation:
+    def test_add_edge_symmetric(self):
+        g = Graph(4)
+        assert g.add_edge(2, 3)
+        assert g.has_edge(3, 2)
+
+    def test_duplicate_edge_returns_false(self):
+        g = Graph(3)
+        assert g.add_edge(0, 1)
+        assert not g.add_edge(1, 0)
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ReproError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ReproError):
+            g.add_edge(0, 3)
+
+    def test_remove_edge(self):
+        g = Graph(3, edges=[(0, 1)])
+        g.remove_edge(1, 0)
+        assert g.m == 0
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_edge(self):
+        with pytest.raises(ReproError):
+            Graph(3).remove_edge(0, 1)
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = Graph(4, edges=[(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert g.max_degree() == 3
+
+    def test_edges_canonical_orientation(self):
+        g = Graph(4, edges=[(3, 1), (2, 0)])
+        assert sorted(g.edges()) == [(0, 2), (1, 3)]
+
+    def test_edge_list_matches_m(self):
+        g = Graph(5, edges=[(0, 1), (2, 3), (3, 4)])
+        assert len(g.edge_list()) == g.m
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph(3, edges=[(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.m == 1
+        assert h.m == 2
+
+    def test_induced_subgraph(self):
+        g = Graph(5, edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub, index = g.induced_subgraph([1, 2, 3])
+        assert sub.n == 3
+        assert sub.m == 2
+        assert sub.has_edge(index[1], index[2])
+        assert sub.has_edge(index[2], index[3])
+
+    def test_subgraph_on_edges_restricts(self):
+        g = Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        sub, index = g.subgraph_on_edges([1, 2, 3], [(1, 2)])
+        assert sub.m == 1
+        assert sub.has_edge(index[1], index[2])
+        assert not sub.has_edge(index[2], index[3])
+
+    def test_subgraph_on_edges_ignores_outsiders(self):
+        g = Graph(4, edges=[(0, 1)])
+        sub, _ = g.subgraph_on_edges([2, 3], [(0, 1), (2, 3)])
+        assert sub.m == 1  # only (2,3); (0,1) endpoints not in vertex set

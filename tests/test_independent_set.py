@@ -1,0 +1,73 @@
+"""Unit tests for the constructive Turán independent set (Lemma 2.1)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.independent_set import turan_bound, turan_independent_set
+
+
+def assert_independent(graph, vertices):
+    vs = set(vertices)
+    assert len(vs) == len(vertices), "duplicates in independent set"
+    for u in vs:
+        for v in graph.neighbors(u):
+            assert v not in vs, f"edge ({u},{v}) inside 'independent' set"
+
+
+class TestBoundFormula:
+    def test_empty(self):
+        assert turan_bound(0, 0) == 0
+
+    def test_edgeless(self):
+        assert turan_bound(10, 0) == 10
+
+    def test_clique(self):
+        # K_n: n^2/(n(n-1)+n) = 1
+        assert turan_bound(6, 15) == 1
+
+
+class TestConstruction:
+    def test_edgeless_takes_everything(self):
+        g = Graph(8)
+        assert sorted(turan_independent_set(g)) == list(range(8))
+
+    def test_complete_graph_single_vertex(self):
+        g = complete_graph(6)
+        ind = turan_independent_set(g)
+        assert len(ind) == 1
+
+    def test_star_takes_leaves(self):
+        g = star_graph(10)
+        ind = turan_independent_set(g)
+        assert_independent(g, ind)
+        assert len(ind) == 9  # all leaves
+
+    def test_cycle(self):
+        g = cycle_graph(9)
+        ind = turan_independent_set(g)
+        assert_independent(g, ind)
+        assert len(ind) >= turan_bound(9, 9)  # >= 81/27 = 3
+
+    @given(st.integers(1, 35), st.integers(0, 10**6), st.sampled_from([0.1, 0.3, 0.6]))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma_guarantee_random(self, n, seed, p):
+        g = gnp_random_graph(n, p, seed=seed)
+        ind = turan_independent_set(g)
+        assert_independent(g, ind)
+        assert Fraction(len(ind)) >= turan_bound(g.n, g.m)
+
+    def test_beats_psi_bound(self):
+        # The procedure actually guarantees psi(G) = sum 1/(deg+1).
+        g = gnp_random_graph(30, 0.2, seed=11)
+        ind = turan_independent_set(g)
+        psi = sum(Fraction(1, g.degree(v) + 1) for v in range(g.n))
+        assert Fraction(len(ind)) >= psi

@@ -1,0 +1,165 @@
+"""Unit tests for the slack-weighted hash-family selector.
+
+The key correctness property is that the closed-form part sums (pass 2)
+and vectorized member sums (pass 3) agree with brute-force evaluation of
+the potential over the whole Carter-Wegman family.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ReproError
+from repro.core.selector import SlackWeightedSelector
+
+
+def brute_force_phi(selector, conflict_edges, a, b):
+    """Direct evaluation of the potential of h_{a,b}."""
+    p = selector.p
+    total = 0.0
+    for u, v in conflict_edges:
+        cu = selector.proposal_for(u, a, b)
+        cv = selector.proposal_for(v, a, b)
+        if cu == cv:
+            bu = selector.blocks(u)
+            bv = selector.blocks(v)
+            su = dict(zip(bu.cids.tolist(), bu.slacks.tolist()))[cu]
+            sv = dict(zip(bv.cids.tolist(), bv.slacks.tolist()))[cv]
+            total += 1.0 / su + 1.0 / sv
+    return total
+
+
+def make_selector(p, n, cid_space, vertex_slacks):
+    sel = SlackWeightedSelector(p, n, cid_space)
+    for x, slacks in vertex_slacks.items():
+        sel.register_vertex(x, np.arange(len(slacks)), slacks)
+    return sel
+
+
+class TestGwMap:
+    def test_blocks_cover_exactly_p(self):
+        sel = make_selector(31, 10, 4, {0: [3, 1, 0, 2]})
+        blk = sel.blocks(0)
+        assert int(blk.sizes.sum()) == 31
+        assert (blk.sizes > 0).all()
+
+    def test_zero_slack_candidates_excluded(self):
+        sel = make_selector(31, 10, 4, {0: [3, 0, 0, 2]})
+        blk = sel.blocks(0)
+        assert set(blk.cids.tolist()) <= {0, 3}
+
+    def test_all_zero_slack_rejected(self):
+        sel = SlackWeightedSelector(31, 10, 3)
+        with pytest.raises(ReproError):
+            sel.register_vertex(0, [0, 1, 2], [0, 0, 0])
+
+    def test_mismatched_lengths_rejected(self):
+        sel = SlackWeightedSelector(31, 10, 3)
+        with pytest.raises(ReproError):
+            sel.register_vertex(0, [0, 1], [1])
+
+    def test_block_mass_close_to_weights(self):
+        """Lemma 3.2: block fraction <= w * (1 + 1/(8 log n))."""
+        p = 4099  # comfortably large prime
+        slacks = [5, 3, 2]
+        sel = make_selector(p, 100, 3, {0: slacks})
+        blk = sel.blocks(0)
+        total = sum(slacks)
+        for cid, size in zip(blk.cids.tolist(), blk.sizes.tolist()):
+            w = slacks[cid] / total
+            assert size / p <= w * (1 + sel.eps) + 2 / p  # +slots for min-1/leftover
+
+    def test_cid_of_slot_matches_materialized(self):
+        sel = make_selector(101, 20, 5, {0: [1, 4, 0, 2, 3]})
+        blk = sel.blocks(0)
+        arr = blk.materialize()
+        for t in range(101):
+            assert blk.cid_of_slot(t) == arr[t]
+
+    def test_proposal_has_positive_slack(self):
+        sel = make_selector(31, 10, 4, {0: [0, 2, 0, 1]})
+        for a in range(31):
+            for b in range(31):
+                cid = sel.proposal_for(0, a, b)
+                assert cid in (1, 3)
+
+
+class TestFamilySearch:
+    def _two_vertex_setup(self, p=61):
+        return make_selector(
+            p, 10, 4, {3: [2, 1, 3, 1], 7: [1, 1, 1, 4]}
+        )
+
+    def test_part_sums_match_brute_force(self):
+        sel = self._two_vertex_setup()
+        edges = [(3, 7)]
+        parts = sel.part_sums(edges)
+        for a in range(sel.p):
+            expected = sum(brute_force_phi(sel, edges, a, b) for b in range(sel.p))
+            assert parts[a] == pytest.approx(expected, rel=1e-9)
+
+    def test_member_sums_match_brute_force(self):
+        sel = self._two_vertex_setup()
+        edges = [(3, 7)]
+        for a in (0, 1, 17, 60):
+            members = sel.member_sums(a, edges)
+            for b in range(sel.p):
+                assert members[b] == pytest.approx(
+                    brute_force_phi(sel, edges, a, b), rel=1e-9
+                )
+
+    def test_multi_edge_aggregation(self):
+        sel = make_selector(
+            53, 12, 4,
+            {1: [2, 2, 1, 0], 2: [1, 3, 0, 1], 5: [4, 1, 1, 1], 9: [1, 1, 1, 1]},
+        )
+        edges = [(1, 2), (2, 5), (5, 9), (1, 9)]
+        parts = sel.part_sums(edges)
+        a = 13
+        expected = sum(brute_force_phi(sel, edges, a, b) for b in range(sel.p))
+        assert parts[a] == pytest.approx(expected, rel=1e-9)
+        members = sel.member_sums(a, edges)
+        assert members[11] == pytest.approx(
+            brute_force_phi(sel, edges, a, 11), rel=1e-9
+        )
+
+    def test_choose_picks_below_average(self):
+        """The selected h* must have potential <= family average."""
+        sel = self._two_vertex_setup()
+        edges = [(3, 7)]
+        a_star, b_star = sel.choose(edges)
+        chosen = brute_force_phi(sel, edges, a_star, b_star)
+        total = sel.part_sums(edges).sum()
+        average = total / (sel.p * sel.p)
+        assert chosen <= average + 1e-9
+
+    def test_choose_without_conflicts(self):
+        sel = self._two_vertex_setup()
+        assert sel.choose([]) == (0, 0)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_random_instances_below_average(self, seed):
+        rng = np.random.default_rng(seed)
+        p = 47
+        vertices = {x: rng.integers(0, 5, size=4) for x in range(6)}
+        for x in vertices:
+            if vertices[x].sum() == 0:
+                vertices[x][rng.integers(0, 4)] = 1
+        sel = make_selector(p, 12, 4, vertices)
+        edges = [(0, 1), (2, 3), (4, 5), (0, 5)]
+        a_star, b_star = sel.choose(edges)
+        chosen = brute_force_phi(sel, edges, a_star, b_star)
+        average = sel.part_sums(edges).sum() / (p * p)
+        assert chosen <= average + 1e-9
+
+    def test_greedy_proposals(self):
+        sel = self._two_vertex_setup()
+        greedy = sel.greedy_proposals()
+        assert greedy[3] == 2  # argmax slack of [2,1,3,1]
+        assert greedy[7] == 3
+
+    def test_accumulator_bits_positive(self):
+        sel = self._two_vertex_setup()
+        assert sel.accumulator_bits() >= sel.p

@@ -1,0 +1,88 @@
+"""Unit tests for the streaming substrate (tokens, streams, interfaces)."""
+
+import pytest
+
+from repro.common.exceptions import StreamProtocolError
+from repro.graph.generators import cycle_graph, gnp_random_graph
+from repro.streaming.stream import TokenStream, stream_from_graph
+from repro.streaming.tokens import EdgeToken, ListToken, edge_tokens
+
+
+class TestTokens:
+    def test_edge_token(self):
+        t = EdgeToken(3, 5)
+        assert t.endpoints() == (3, 5)
+
+    def test_edge_tokens_helper(self):
+        ts = edge_tokens([(0, 1), (2, 3)])
+        assert ts == [EdgeToken(0, 1), EdgeToken(2, 3)]
+
+    def test_list_token_frozen(self):
+        t = ListToken(2, frozenset({1, 5}))
+        assert t.colors == {1, 5}
+        with pytest.raises(Exception):
+            t.x = 3
+
+
+class TestTokenStream:
+    def test_pass_counting(self):
+        s = TokenStream(edge_tokens([(0, 1)]), n=2)
+        assert s.passes_used == 0
+        list(s.new_pass())
+        list(s.new_pass())
+        assert s.passes_used == 2
+
+    def test_pass_replays_same_order(self):
+        tokens = edge_tokens([(0, 1), (1, 2), (0, 2)])
+        s = TokenStream(tokens, n=3)
+        assert list(s.new_pass()) == tokens
+        assert list(s.new_pass()) == tokens
+
+    def test_rejects_bad_tokens(self):
+        with pytest.raises(StreamProtocolError):
+            TokenStream([(0, 1)], n=2)  # raw tuple, not a token
+
+    def test_edge_count_and_max_degree(self):
+        tokens = edge_tokens([(0, 1), (0, 2), (0, 3)])
+        tokens.append(ListToken(1, frozenset({1})))
+        s = TokenStream(tokens, n=4)
+        assert s.edge_count() == 3
+        assert s.max_degree() == 3
+
+    def test_observer_sees_every_token(self):
+        s = TokenStream(edge_tokens([(0, 1), (1, 2)]), n=3)
+        seen = []
+        s.set_observer(lambda pi, ti: seen.append((pi, ti)))
+        list(s.new_pass())
+        list(s.new_pass())
+        assert seen == [(1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_len(self):
+        assert len(TokenStream(edge_tokens([(0, 1)]), n=2)) == 1
+
+
+class TestStreamFromGraph:
+    def test_insertion_order_is_sorted(self):
+        g = cycle_graph(4)
+        s = stream_from_graph(g)
+        edges = [(t.u, t.v) for t in s.tokens]
+        assert edges == sorted(g.edge_list())
+
+    def test_random_order_is_permutation(self):
+        g = gnp_random_graph(15, 0.4, seed=2)
+        s = stream_from_graph(g, seed=9, order="random")
+        assert sorted((t.u, t.v) for t in s.tokens) == sorted(g.edge_list())
+
+    def test_random_requires_seed(self):
+        with pytest.raises(StreamProtocolError):
+            stream_from_graph(cycle_graph(4), order="random")
+
+    def test_reverse(self):
+        g = cycle_graph(4)
+        fwd = stream_from_graph(g).tokens
+        rev = stream_from_graph(g, order="reverse").tokens
+        assert rev == fwd[::-1]
+
+    def test_unknown_order(self):
+        with pytest.raises(StreamProtocolError):
+            stream_from_graph(cycle_graph(4), order="sideways")

@@ -1,0 +1,121 @@
+"""Unit + property tests for the subcube color-set representation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ReproError
+from repro.core.subcube import Subcube
+
+
+class TestBasics:
+    def test_full_cube(self):
+        c = Subcube.full(3)
+        assert c.size == 8
+        assert not c.is_singleton
+        assert list(c.members()) == list(range(1, 9))
+
+    def test_zero_bits(self):
+        c = Subcube.full(0)
+        assert c.is_singleton
+        assert c.sole_color == 1
+
+    def test_restrict_fixes_low_bits(self):
+        c = Subcube.full(3).restrict(0b01, 2)
+        # colors c with (c-1) mod 4 == 1 -> 2, 6
+        assert list(c.members()) == [2, 6]
+
+    def test_restrict_chain_to_singleton(self):
+        c = Subcube.full(3).restrict(1, 1).restrict(0, 1).restrict(1, 1)
+        assert c.is_singleton
+        # bits fixed low-to-high: value = 1 | 0<<1 | 1<<2 = 5 -> color 6
+        assert c.sole_color == 6
+
+    def test_contains(self):
+        c = Subcube.full(4).restrict(0b10, 2)
+        for color in range(1, 17):
+            assert c.contains(color) == ((color - 1) % 4 == 2)
+
+    def test_contains_out_of_cube(self):
+        c = Subcube.full(3)
+        assert not c.contains(0)
+        assert not c.contains(9)
+
+    def test_pattern_of(self):
+        c = Subcube.full(4).restrict(0b1, 1)
+        # color 4 -> value 3 = 0b0011; after 1 fixed bit, next 2 bits = 0b01
+        assert c.pattern_of(4, 2) == 0b01
+
+    def test_pattern_of_requires_membership(self):
+        c = Subcube.full(3).restrict(0, 1)
+        with pytest.raises(ReproError):
+            c.pattern_of(2, 1)  # color 2 has low bit 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Subcube(3, 4, 0)
+        with pytest.raises(ReproError):
+            Subcube(3, 1, 2)
+        with pytest.raises(ReproError):
+            Subcube.full(3).restrict(0, 4)
+        with pytest.raises(ReproError):
+            Subcube.full(3).restrict(2, 1)
+        with pytest.raises(ReproError):
+            _ = Subcube.full(2).sole_color
+
+
+class TestCounting:
+    def test_count_full_range(self):
+        c = Subcube.full(3)
+        assert c.count_in_range(8) == 8
+        assert c.count_in_range(5) == 5
+        assert c.count_in_range(0) == 0
+
+    def test_count_with_fixed_bits(self):
+        c = Subcube.full(3).restrict(0b11, 2)  # members 4, 8
+        assert c.count_in_range(8) == 2
+        assert c.count_in_range(4) == 1
+        assert c.count_in_range(3) == 0
+
+    def test_count_clamps_above_cube(self):
+        c = Subcube.full(2)
+        assert c.count_in_range(100) == 4
+
+    def test_subpattern_count(self):
+        c = Subcube.full(3)
+        # pattern 0 of 2 bits: colors 1, 5; within [1..5] both
+        assert c.subpattern_count(5, 0, 2) == 2
+        assert c.subpattern_count(4, 0, 2) == 1
+
+    @given(st.integers(0, 8), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_enumeration(self, b, data):
+        fixed = data.draw(st.integers(0, b))
+        value = data.draw(st.integers(0, max(0, (1 << fixed) - 1)))
+        hi = data.draw(st.integers(0, (1 << b) + 3))
+        c = Subcube(b, fixed, value)
+        expected = sum(1 for m in c.members() if m <= hi)
+        assert c.count_in_range(hi) == expected
+
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_restrict_partitions_members(self, b, data):
+        fixed = data.draw(st.integers(0, b - 1))
+        value = data.draw(st.integers(0, (1 << fixed) - 1))
+        k = data.draw(st.integers(1, b - fixed))
+        c = Subcube(b, fixed, value)
+        children = [set(c.restrict(j, k).members()) for j in range(1 << k)]
+        union = set().union(*children)
+        assert union == set(c.members())
+        assert sum(len(ch) for ch in children) == len(union)
+
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_pattern_of_consistent_with_restrict(self, b, data):
+        fixed = data.draw(st.integers(0, b - 1))
+        value = data.draw(st.integers(0, (1 << fixed) - 1))
+        k = data.draw(st.integers(1, b - fixed))
+        c = Subcube(b, fixed, value)
+        for color in c.members():
+            j = c.pattern_of(color, k)
+            assert c.restrict(j, k).contains(color)
