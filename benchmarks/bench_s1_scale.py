@@ -4,40 +4,36 @@ Not a paper claim per se ("repro band: easy to code; slow for large
 stream benchmarks") — this benchmark pins down what the pure-Python
 implementation sustains: the deterministic algorithm in its fast
 ``greedy_slack`` mode at n=1024, and the robust algorithm under adaptive
-pressure at n=2048.
+pressure at n=2048.  Both legs go through the engine's uniform entry
+points (`run` / `run_game`), exercising the same seam a future
+sharded/async backend would plug into.
 """
 
 from conftest import run_once
 
-from repro.adversaries import ConflictSeekingAdversary, run_adversarial_game
-from repro.core.deterministic import DeterministicColoring
-from repro.core.robust import RobustColoring
-from repro.graph.coloring import validate_coloring
-from repro.graph.generators import random_max_degree_graph
-from repro.streaming.stream import stream_from_graph
+from repro.engine import GameSpec, RunSpec, run, run_game
 
 
 def run_scale():
     rows = []
     # Deterministic, heuristic selection (1 pass/stage), n=1024.
     n, delta = 1024, 24
-    graph = random_max_degree_graph(n, delta, seed=401)
-    stream = stream_from_graph(graph)
-    algo = DeterministicColoring(n, delta, selection="greedy_slack")
-    coloring = algo.run(stream)
-    validate_coloring(graph, coloring, palette_size=delta + 1)
-    rows.append(["deterministic greedy_slack", n, delta, graph.m,
-                 stream.passes_used, True])
+    det = run(RunSpec(
+        algorithm="deterministic", n=n, delta=delta, graph_seed=401,
+        config={"selection": "greedy_slack"},
+    ))
+    rows.append(["deterministic greedy_slack", n, delta,
+                 det.extras["stream_edges"], det.passes, det.proper])
     # Robust, adaptive adversary, n=2048.
     n, delta = 2048, 16
     rounds = (n * delta) // 4
-    result = run_adversarial_game(
-        RobustColoring(n, delta, seed=402),
-        ConflictSeekingAdversary(seed=403),
-        n=n, delta=delta, rounds=rounds, query_every=max(1, rounds // 8),
-    )
-    rows.append(["robust Alg 2 (adaptive)", n, delta, result.rounds,
-                 1, result.clean])
+    game = run_game(GameSpec(
+        algorithm="robust", n=n, delta=delta, rounds=rounds, seed=402,
+        adversary="conflict", adversary_seed=403,
+        query_every=max(1, rounds // 8),
+    ))
+    rows.append(["robust Alg 2 (adaptive)", n, delta, game.extras["rounds"],
+                 game.passes, game.proper])
     return (["algorithm", "n", "delta", "edges", "passes", "ok"], rows)
 
 

@@ -1,7 +1,7 @@
 """The adaptive-adversary game, live: why robust algorithms exist.
 
-Plays the Section 2 insert/query game against three single-pass
-algorithms:
+Plays the Section 2 insert/query game — via the engine's ``run_game``
+entry point — against three single-pass algorithms:
 
 - a natural non-robust randomized coloring (Delta^2 palette) — the
   adaptive adversary reads its outputs, floods monochromatic pairs, and
@@ -14,24 +14,19 @@ An oblivious (random) adversary is run alongside as the control group.
 Run: ``python examples/adversarial_robustness_demo.py``
 """
 
-from repro import (
-    ConflictSeekingAdversary,
-    LowRandomnessRobustColoring,
-    RandomAdversary,
-    RobustColoring,
-    run_adversarial_game,
-)
-from repro.baselines import OneShotRandomColoring
+from repro.engine import GameSpec, run_game
 
 
-def play(name, make_algorithm, make_adversary, n, delta, rounds):
-    result = run_adversarial_game(
-        make_algorithm(), make_adversary(), n=n, delta=delta, rounds=rounds
-    )
-    status = "SURVIVED" if result.clean else "BROKEN"
-    first = result.error_rounds[0] if result.error_rounds else "-"
-    print(f"  {name:<38} {status:<9} errors={result.errors:<4} "
-          f"first_error_round={first:<5} colors<={result.max_colors_used}")
+def play(name, algorithm, seed, adversary, adversary_seed, n, delta, rounds):
+    result = run_game(GameSpec(
+        algorithm=algorithm, n=n, delta=delta, rounds=rounds, seed=seed,
+        adversary=adversary, adversary_seed=adversary_seed,
+    ))
+    status = "SURVIVED" if result.proper else "BROKEN"
+    error_rounds = result.extras["error_rounds"]
+    first = error_rounds[0] if error_rounds else "-"
+    print(f"  {name:<38} {status:<9} errors={result.extras['errors']:<4} "
+          f"first_error_round={first:<5} colors<={result.colors_used}")
     return result
 
 
@@ -43,22 +38,17 @@ def main() -> None:
 
     print("vs ADAPTIVE adversary (sees every output):")
     play("non-robust random (Delta^2 colors)",
-         lambda: OneShotRandomColoring(n, delta, seed=1),
-         lambda: ConflictSeekingAdversary(seed=2), n, delta, rounds)
+         "naive", 1, "conflict", 2, n, delta, rounds)
     play("Theorem 3 robust (O(Delta^2.5) colors)",
-         lambda: RobustColoring(n, delta, seed=3),
-         lambda: ConflictSeekingAdversary(seed=4), n, delta, rounds)
+         "robust", 3, "conflict", 4, n, delta, rounds)
     play("Theorem 4 robust (O(Delta^3) colors)",
-         lambda: LowRandomnessRobustColoring(n, delta, seed=5),
-         lambda: ConflictSeekingAdversary(seed=6), n, delta, rounds)
+         "robust_lowrandom", 5, "conflict", 6, n, delta, rounds)
 
     print("\nvs OBLIVIOUS adversary (random edges; the control group):")
     play("non-robust random (Delta^2 colors)",
-         lambda: OneShotRandomColoring(n, delta, seed=7),
-         lambda: RandomAdversary(seed=8), n, delta, rounds)
+         "naive", 7, "random", 8, n, delta, rounds)
     play("Theorem 3 robust (O(Delta^2.5) colors)",
-         lambda: RobustColoring(n, delta, seed=9),
-         lambda: RandomAdversary(seed=10), n, delta, rounds)
+         "robust", 9, "random", 10, n, delta, rounds)
 
     print("\nTakeaway: the non-robust algorithm is fine on oblivious "
           "streams but collapses once the\nstream depends on its outputs — "

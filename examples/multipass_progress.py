@@ -1,7 +1,8 @@
 """Inside Algorithm 1: watching the potential and the uncolored set shrink.
 
-Instruments a deterministic (Delta+1)-coloring run and renders the two
-quantities the analysis revolves around:
+Runs the deterministic (Delta+1)-coloring through the engine with the
+``instrument`` config knob and renders, from the result's ``extras``, the
+two quantities the analysis revolves around:
 
 - per stage: the potential ``Phi`` (Lemma 3.5: stays <= 2|U|);
 - per epoch: ``|U|`` (Lemma 3.8: shrinks by >= 1/3) and the conflict set
@@ -10,9 +11,7 @@ quantities the analysis revolves around:
 Run: ``python examples/multipass_progress.py``
 """
 
-from repro import DeterministicColoring, stream_from_graph
-from repro.graph.coloring import validate_coloring
-from repro.graph.generators import random_max_degree_graph
+from repro.engine import RunSpec, run
 
 
 def bar(value: float, scale: float, width: int = 40) -> str:
@@ -22,29 +21,30 @@ def bar(value: float, scale: float, width: int = 40) -> str:
 
 def main() -> None:
     n, delta = 96, 16
-    graph = random_max_degree_graph(n, delta, seed=5)
-    stream = stream_from_graph(graph)
-    algo = DeterministicColoring(n, delta, instrument=True)
-    coloring = algo.run(stream)
-    validate_coloring(graph, coloring, palette_size=delta + 1)
+    result = run(RunSpec(
+        algorithm="deterministic", n=n, delta=delta, graph_seed=5,
+        config={"instrument": True},
+    ))
 
-    print(f"n={n}, Delta={delta}: colored with {delta + 1}-palette in "
-          f"{stream.passes_used} passes, {algo.stats.epochs} epochs\n")
+    print(f"n={n}, Delta={delta}: colored with {result.palette_bound}-palette "
+          f"in {result.passes} passes, {result.extras['epochs']} epochs\n")
 
     print("potential Phi per stage (bound: 2|U|)")
-    for s in algo.stats.stage_stats:
-        frac = s.potential_after / max(1, 2 * s.uncolored)
-        print(f"  epoch {s.epoch} stage {s.stage} (k={s.k}, |U|={s.uncolored:3d}) "
-              f"Phi={s.potential_after:8.2f}  |{bar(frac, 1.0)}| of bound")
+    for s in result.extras["stage_stats"]:
+        frac = s["potential_after"] / max(1, 2 * s["uncolored"])
+        print(f"  epoch {s['epoch']} stage {s['stage']} "
+              f"(k={s['k']}, |U|={s['uncolored']:3d}) "
+              f"Phi={s['potential_after']:8.2f}  |{bar(frac, 1.0)}| of bound")
 
     print("\nuncolored set per epoch (Lemma 3.8: shrinks to <= 2|U|/3)")
-    for e in algo.stats.epoch_stats:
-        print(f"  epoch {e.epoch}: |U| {e.uncolored_before:3d} -> "
-              f"{e.uncolored_after:3d}   |F|={e.conflict_edges:3d} "
-              f"(<= |U|: {e.conflict_edges <= e.uncolored_before})  "
-              f"|{bar(e.uncolored_after, n)}|")
+    epoch_stats = result.extras["epoch_stats"]
+    for e in epoch_stats:
+        print(f"  epoch {e['epoch']}: |U| {e['uncolored_before']:3d} -> "
+              f"{e['uncolored_after']:3d}   |F|={e['conflict_edges']:3d} "
+              f"(<= |U|: {e['conflict_edges'] <= e['uncolored_before']})  "
+              f"|{bar(e['uncolored_after'], n)}|")
 
-    remaining = algo.stats.epoch_stats[-1].uncolored_after if algo.stats.epoch_stats else 0
+    remaining = epoch_stats[-1]["uncolored_after"] if epoch_stats else 0
     print(f"\nfinal pass finished the last {remaining} vertices greedily "
           f"(threshold n/Delta = {n // delta}).")
 

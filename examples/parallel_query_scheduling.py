@@ -9,18 +9,20 @@ i.e., slots are colors of the contention graph.
 In a modern engine the contention pairs arrive as a *stream* while plans
 are admitted, and the scheduler's memory is much smaller than the full
 contention graph.  This example builds a synthetic multi-query workload,
-streams its contention edges, and uses Theorem 1's deterministic coloring
-to assign execution slots — deterministically, so repeated planner runs
-produce identical schedules (an operational requirement randomized
-schedulers violate).
+streams its contention edges, and hands the stream to
+``repro.engine.run`` with the deterministic Theorem 1 algorithm —
+deterministic, so repeated planner runs produce identical schedules (an
+operational requirement randomized schedulers violate).  It also shows
+the engine's bring-your-own-stream mode: the spec describes the
+algorithm, the caller supplies the tokens.
 
 Run: ``python examples/parallel_query_scheduling.py``
 """
 
-from repro import DeterministicColoring, TokenStream
 from repro.common.rng import SeededRng
-from repro.graph.coloring import validate_coloring
+from repro.engine import RunSpec, run
 from repro.graph.graph import Graph
+from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken
 
 
@@ -30,7 +32,7 @@ def build_contention_workload(num_queries: int, ops_per_query: int,
 
     Operators within a query chain contend with their neighbors
     (pipelining), and any two operators scanning the same table contend
-    globally.  Returns (graph, operator labels, slots upper bound).
+    globally.  Returns (graph, operator labels).
     """
     rng = SeededRng(seed)
     n = num_queries * ops_per_query
@@ -56,6 +58,11 @@ def build_contention_workload(num_queries: int, ops_per_query: int,
     return graph, labels
 
 
+def contention_stream(graph: Graph) -> TokenStream:
+    return TokenStream([EdgeToken(u, v) for u, v in graph.edge_list()],
+                       graph.n)
+
+
 def main() -> None:
     graph, labels = build_contention_workload(
         num_queries=18, ops_per_query=5, num_tables=12, seed=3
@@ -64,17 +71,16 @@ def main() -> None:
     print(f"contention graph: {graph.n} operators, {graph.m} conflicts, "
           f"max contention degree {delta}")
 
-    stream = TokenStream([EdgeToken(u, v) for u, v in graph.edge_list()],
-                         graph.n)
-    scheduler = DeterministicColoring(graph.n, delta)
-    slots = scheduler.run(stream)
-    validate_coloring(graph, slots, palette_size=delta + 1)
+    spec = RunSpec(algorithm="deterministic", n=graph.n, delta=delta,
+                   keep_coloring=True)
+    result = run(spec, stream=contention_stream(graph))
+    slots = result.coloring
 
     num_slots = max(slots.values())
     print(f"schedule uses {num_slots} time slots "
-          f"(optimal-by-degree bound: {delta + 1}); "
-          f"{stream.passes_used} passes over the contention stream, "
-          f"{scheduler.peak_space_bits / 8000:.1f} kB scheduler state\n")
+          f"(optimal-by-degree bound: {result.palette_bound}); "
+          f"{result.passes} passes over the contention stream, "
+          f"{result.peak_space_bits / 8000:.1f} kB scheduler state\n")
 
     by_slot: dict[int, list[str]] = {}
     for op, slot in slots.items():
@@ -87,10 +93,8 @@ def main() -> None:
     print(f"  ... {len(by_slot)} slots total")
 
     # Determinism check: rerunning the scheduler reproduces the schedule.
-    rerun = DeterministicColoring(graph.n, delta).run(
-        TokenStream([EdgeToken(u, v) for u, v in graph.edge_list()], graph.n)
-    )
-    assert rerun == slots
+    rerun = run(spec, stream=contention_stream(graph))
+    assert rerun.coloring == slots
     print("\nrerun produced the identical schedule (deterministic).")
 
 

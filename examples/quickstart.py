@@ -1,7 +1,9 @@
-"""Quickstart: color a streamed graph three ways.
+"""Quickstart: color a streamed graph three ways through the engine.
 
 Runs the paper's three headline algorithms on one random bounded-degree
-graph and prints palette sizes, pass counts, and space usage:
+graph — all through the one `repro.engine.run` entry point — and prints
+palette sizes, pass counts, and space usage from the uniform
+`ColoringResult` records:
 
 1. Theorem 1 — deterministic multipass ``(Delta+1)``-coloring.
 2. Theorem 3 — adversarially robust single-pass ``O(Delta^{5/2})``-coloring.
@@ -11,53 +13,40 @@ graph and prints palette sizes, pass counts, and space usage:
 Run: ``python examples/quickstart.py``
 """
 
-from repro import (
-    DeterministicColoring,
-    LowRandomnessRobustColoring,
-    RobustColoring,
-    stream_from_graph,
-)
-from repro.graph.coloring import num_colors_used, validate_coloring
-from repro.graph.generators import random_max_degree_graph
+from repro.engine import RunSpec, run
 
 
 def main() -> None:
     n, delta = 120, 12
-    graph = random_max_degree_graph(n, delta, seed=7)
-    print(f"workload: n={n} vertices, m={graph.m} edges, Delta={delta}\n")
+    graph_seed = 7
+
+    def spec(algorithm: str, seed: int = 0) -> RunSpec:
+        return RunSpec(algorithm=algorithm, n=n, delta=delta, seed=seed,
+                       graph_seed=graph_seed)
 
     # --- Theorem 1: deterministic (Delta+1)-coloring -------------------
-    stream = stream_from_graph(graph)
-    det = DeterministicColoring(n, delta)
-    coloring = det.run(stream)
-    validate_coloring(graph, coloring, palette_size=delta + 1)
+    det = run(spec("deterministic"))
+    print(f"workload: n={n} vertices, Delta={delta}\n")
     print("Theorem 1  deterministic (Delta+1)-coloring")
-    print(f"  colors used : {num_colors_used(coloring)}  (palette {delta + 1})")
-    print(f"  passes      : {stream.passes_used}")
+    print(f"  colors used : {det.colors_used}  (palette {det.palette_bound})")
+    print(f"  passes      : {det.passes}")
     print(f"  peak space  : {det.peak_space_bits / 8000:.1f} kB\n")
 
     # --- Theorem 3: robust O(Delta^2.5) --------------------------------
-    robust = RobustColoring(n, delta, seed=11)
-    for u, v in graph.edge_list():
-        robust.process(u, v)
-    coloring = robust.query()
-    validate_coloring(graph, coloring)
+    robust = run(spec("robust", seed=11))
     print("Theorem 3  robust O(Delta^2.5)-coloring (single pass)")
-    print(f"  colors used : {num_colors_used(coloring)}  "
+    print(f"  colors used : {robust.colors_used}  "
           f"(bound ~ Delta^2.5 = {delta**2.5:.0f})")
     print(f"  peak space  : {robust.peak_space_bits / 8000:.1f} kB"
-          f"  + oracle randomness {robust.random_bits_used / 8000:.1f} kB\n")
+          f"  + oracle randomness {robust.random_bits / 8000:.1f} kB\n")
 
     # --- Theorem 4: robust O(Delta^3), randomness included -------------
-    lowrand = LowRandomnessRobustColoring(n, delta, seed=13)
-    for u, v in graph.edge_list():
-        lowrand.process(u, v)
-    coloring = lowrand.query()
-    validate_coloring(graph, coloring)
+    lowrand = run(spec("robust_lowrandom", seed=13))
     print("Theorem 4  robust O(Delta^3)-coloring (randomness-efficient)")
-    print(f"  colors used : {num_colors_used(coloring)}  "
-          f"(palette {lowrand.palette_size})")
-    print(f"  total space : {lowrand.meter.peak_bits_with_randomness / 8000:.1f} kB "
+    print(f"  colors used : {lowrand.colors_used}  "
+          f"(palette {lowrand.palette_bound})")
+    total = lowrand.extras["peak_bits_with_randomness"]
+    print(f"  total space : {total / 8000:.1f} kB "
           "(including every random bit)")
 
 

@@ -1,40 +1,53 @@
 """Exploring the Corollary 4.7 colors/space frontier, against [CGS22].
 
-Sweeps the tradeoff parameter beta of the robust algorithm and plots (in
-ASCII) where each configuration lands in the (space, colors) plane,
-alongside the prior-work [CGS22]-style O(Delta^2) @ ~O(n sqrt(Delta))
-point that the paper's headline improvements are measured against.
+Sweeps the tradeoff parameter beta of the robust algorithm — as one
+declarative engine grid in game mode — and plots (in ASCII) where each
+configuration lands in the (space, colors) plane, alongside the
+prior-work [CGS22]-style O(Delta^2) @ ~O(n sqrt(Delta)) point that the
+paper's headline improvements are measured against.
 
 Run: ``python examples/tradeoff_explorer.py``
 """
 
-from repro import ConflictSeekingAdversary, RobustColoring, run_adversarial_game
-from repro.baselines import SketchSwitchingQuadraticColoring
+from repro.engine import GridRunner, GridSpec
+
+N, DELTA = 384, 16
+BETAS = (0.0, 0.25, 1 / 3, 0.5, 0.75)
 
 
-def measure(algo, label, n, delta, seed):
-    rounds = (n * delta) // 3
-    result = run_adversarial_game(
-        algo, ConflictSeekingAdversary(seed=seed), n=n, delta=delta,
-        rounds=rounds, query_every=max(1, rounds // 12),
-    )
-    assert result.clean, f"{label} erred!"
-    return result.max_colors_used, result.peak_space_bits
+def derive(job):
+    if job["_label"] == "cgs22":
+        return {"algorithm": "cgs22", "seed": 42, "adversary_seed": 78}
+    beta = job["_label"]
+    return {"algorithm": "robust", "beta": beta,
+            "seed": int(beta * 100) + 1, "adversary_seed": 77}
 
 
 def main() -> None:
-    n, delta = 384, 16
+    n, delta = N, DELTA
+    rounds = (n * delta) // 3
     print(f"workload: n={n}, Delta={delta}, adaptive conflict-seeking "
           "adversary\n")
+
+    grid = GridSpec(
+        mode="game",
+        axes={"_label": list(BETAS) + ["cgs22"]},
+        constants={"n": n, "delta": delta, "rounds": rounds,
+                   "adversary": "conflict",
+                   "query_every": max(1, rounds // 12)},
+        derive=derive,
+    )
     points = []
-    for beta in (0.0, 0.25, 1 / 3, 0.5, 0.75):
-        algo = RobustColoring(n, delta, seed=int(beta * 100) + 1, beta=beta)
-        colors, space = measure(algo, f"beta={beta}", n, delta, seed=77)
-        claim = delta ** ((5 - 3 * beta) / 2)
-        points.append((f"Alg 2, beta={beta:.2f}", colors, space, claim))
-    cgs = SketchSwitchingQuadraticColoring(n, delta, seed=42)
-    colors, space = measure(cgs, "CGS22-style", n, delta, seed=78)
-    points.append(("CGS22-style O(D^2)", colors, space, float(delta**2)))
+    for result in GridRunner().run(grid):
+        assert result.proper, f"{result.tag('label')} erred!"
+        if result.algorithm == "cgs22":
+            label, claim = "CGS22-style O(D^2)", float(delta**2)
+        else:
+            beta = result.config["beta"]
+            label = f"Alg 2, beta={beta:.2f}"
+            claim = delta ** ((5 - 3 * beta) / 2)
+        points.append((label, result.colors_used, result.peak_space_bits,
+                       claim))
 
     max_space = max(p[2] for p in points)
     print(f"{'configuration':<22} {'colors':>7} {'claim':>7} "

@@ -4,53 +4,93 @@ PODS 2023; arXiv:2212.10641).
 
 Public API highlights
 ---------------------
-- :class:`repro.core.DeterministicColoring` — Theorem 1's deterministic
-  multipass semi-streaming ``(Delta+1)``-coloring.
-- :class:`repro.core.DeterministicListColoring` — Theorem 2's
-  ``(deg+1)``-list-coloring.
-- :class:`repro.core.RobustColoring` — Theorem 3's adversarially robust
-  ``O(Delta^{5/2})``-coloring (``beta`` gives the Corollary 4.7 tradeoff).
-- :class:`repro.core.LowRandomnessRobustColoring` — Theorem 4's
-  ``O(Delta^3)``-coloring within semi-streaming space including randomness.
+- :mod:`repro.engine` — the unified front door: ``run(spec, stream)`` over
+  a string-keyed :class:`~repro.engine.AlgorithmRegistry` covering the four
+  paper algorithms and the four baselines, uniform
+  :class:`~repro.engine.ColoringResult` records, and declarative
+  :class:`~repro.engine.GridSpec` experiment grids.
 - :mod:`repro.adversaries` — the adaptive insert/query game.
 - :mod:`repro.baselines` — [ACS22]/[ACK19]-style comparison points.
-- :mod:`repro.analysis.experiments` — the T1-T10/A1-A3 experiment suite.
+- :mod:`repro.analysis.experiments` — the T1-T10/A1-A4 experiment suite,
+  expressed as engine grids.
+
+Importing the algorithm classes from this top-level package
+(``from repro import DeterministicColoring``) still works but emits a
+:class:`DeprecationWarning`; construct algorithms through
+:func:`repro.engine.run` / :data:`repro.engine.REGISTRY`, or import the
+classes from their home modules (:mod:`repro.core`, :mod:`repro.baselines`,
+:mod:`repro.adversaries`).
 
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
 
-from repro.adversaries import (
-    ConflictSeekingAdversary,
-    LevelAwareAdversary,
-    RandomAdversary,
-    run_adversarial_game,
-)
-from repro.core import (
-    DeterministicColoring,
-    DeterministicListColoring,
-    LowRandomnessRobustColoring,
-    RobustColoring,
-    two_party_coloring_protocol,
+import importlib
+import warnings
+
+from repro.engine import (
+    REGISTRY,
+    AlgorithmRegistry,
+    ColoringResult,
+    GameSpec,
+    GridRunner,
+    GridSpec,
+    RunSpec,
+    StreamingColorer,
+    run,
+    run_game,
 )
 from repro.graph import Graph
 from repro.streaming import TokenStream
 from repro.streaming.stream import stream_from_graph, stream_with_lists
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# Pre-engine top-level names, kept importable through thin deprecation
+# shims: name -> (home module, replacement hint).
+_DEPRECATED = {
+    "DeterministicColoring": ("repro.core", 'run(RunSpec(algorithm="deterministic", ...))'),
+    "DeterministicListColoring": ("repro.core", 'run(RunSpec(algorithm="list_coloring", ...))'),
+    "RobustColoring": ("repro.core", 'run_game(GameSpec(algorithm="robust", ...))'),
+    "LowRandomnessRobustColoring": ("repro.core", 'run_game(GameSpec(algorithm="robust_lowrandom", ...))'),
+    "two_party_coloring_protocol": ("repro.core", "repro.core.two_party_coloring_protocol"),
+    "ConflictSeekingAdversary": ("repro.adversaries", "repro.adversaries.ConflictSeekingAdversary"),
+    "LevelAwareAdversary": ("repro.adversaries", "repro.adversaries.LevelAwareAdversary"),
+    "RandomAdversary": ("repro.adversaries", "repro.adversaries.RandomAdversary"),
+    "run_adversarial_game": ("repro.adversaries", "repro.engine.run_game"),
+}
 
 __all__ = [
-    "ConflictSeekingAdversary",
-    "DeterministicColoring",
-    "DeterministicListColoring",
+    "AlgorithmRegistry",
+    "ColoringResult",
+    "GameSpec",
     "Graph",
-    "LevelAwareAdversary",
-    "LowRandomnessRobustColoring",
-    "RandomAdversary",
-    "RobustColoring",
+    "GridRunner",
+    "GridSpec",
+    "REGISTRY",
+    "RunSpec",
+    "StreamingColorer",
     "TokenStream",
     "__version__",
-    "run_adversarial_game",
+    "run",
+    "run_game",
     "stream_from_graph",
     "stream_with_lists",
-    "two_party_coloring_protocol",
+    *sorted(_DEPRECATED),
 ]
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        module_name, hint = _DEPRECATED[name]
+        warnings.warn(
+            f"importing {name!r} from the top-level 'repro' package is "
+            f"deprecated; use {hint} (home module: {module_name})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED))

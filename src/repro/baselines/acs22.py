@@ -150,6 +150,10 @@ class ColorReductionColoring(MultipassStreamingAlgorithm):
         )
         self.final_palette_bound = 4 * (delta + 1)
 
+    @property
+    def palette_bound(self) -> int:
+        return self.final_palette_bound
+
     def run(self, stream: TokenStream) -> dict[int, int]:
         n, delta = self.n, self.delta
         coloring = self.base.run(stream)

@@ -32,6 +32,7 @@ class TrivialColoring(MultipassStreamingAlgorithm):
     def __init__(self, n: int):
         super().__init__()
         self.n = n
+        self.palette_size = n
 
     def run(self, stream: TokenStream) -> dict[int, int]:
         return {v: v + 1 for v in range(self.n)}
@@ -83,6 +84,7 @@ class OneShotRandomColoring(OnePassAlgorithm):
         self.n = n
         self.delta = delta
         self.range_size = range_multiplier * delta * delta
+        self.palette_size = self.range_size
         self._rng = SeededRng(seed)
         self._chi = [self._rng.randint(0, self.range_size - 1) for _ in range(n)]
         self.meter.charge_random_bits(n * ceil_log2(self.range_size + 1))

@@ -41,6 +41,7 @@ class PaletteSparsificationColoring(MultipassStreamingAlgorithm):
             raise ReproError("delta must be >= 1")
         self.n = n
         self.delta = delta
+        self.palette_size = delta + 1
         self._rng = SeededRng(seed)
         palette = list(range(1, delta + 2))
         size = min(delta + 1, max(2, list_size_factor * ceil_log2(max(2, n))))

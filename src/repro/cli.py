@@ -3,12 +3,18 @@
 Usage (also via ``python -m repro``):
 
     python -m repro list
+    python -m repro algorithms
     python -m repro run t1 --n 128 --deltas 2,4,8,16
     python -m repro run t6 --n 96 --delta 10 --rounds 320
+    python -m repro run t2 --workers 4
     python -m repro report [--results benchmarks/results] [-o report.md]
 
-Each experiment id maps to a runner in :mod:`repro.analysis.experiments`;
-the CLI prints the same table the benchmark suite archives.
+Experiments are one declarative table: each id maps to a description and a
+dispatcher onto the grid-based runners of
+:mod:`repro.analysis.experiments`; ``algorithms`` lists the
+:mod:`repro.engine` registry the experiments run through.  Bad inputs
+(unknown ids, malformed parameter lists, out-of-domain config values)
+exit with status 2 and a one-line message instead of a traceback.
 """
 
 import argparse
@@ -17,104 +23,93 @@ import sys
 from repro.analysis import experiments as exp
 from repro.analysis.report import build_report
 from repro.analysis.tables import format_table
+from repro.common.exceptions import ReproError
+from repro.engine import REGISTRY, set_default_workers
 
 
 def _ints(text: str) -> list[int]:
-    return [int(x) for x in text.split(",") if x]
+    try:
+        return [int(x) for x in text.split(",") if x]
+    except ValueError:
+        raise ReproError(
+            f"expected a comma-separated list of integers, got {text!r}"
+        ) from None
 
 
 def _floats(text: str) -> list[float]:
-    return [float(x) for x in text.split(",") if x]
+    try:
+        return [float(x) for x in text.split(",") if x]
+    except ValueError:
+        raise ReproError(
+            f"expected a comma-separated list of numbers, got {text!r}"
+        ) from None
 
 
-EXPERIMENTS = {
-    "t1": "deterministic passes vs Delta (Theorem 1)",
-    "t2": "deterministic space vs n (Theorem 1)",
-    "f1": "potential trace (Lemma 3.5)",
-    "f2": "epoch shrinkage (Lemmas 3.7/3.8)",
-    "f3": "list-mass decay (Lemma 3.10)",
-    "t3": "(deg+1)-list-coloring (Theorem 2)",
-    "t4": "robust colors vs Delta (Theorem 3)",
-    "t5": "colors/space tradeoff (Corollary 4.7)",
-    "t6": "robustness game (adaptive vs oblivious)",
-    "t7": "randomness-efficient robust (Theorem 4)",
-    "t8": "communication protocol (Corollary 3.11)",
-    "t9": "deterministic landscape",
-    "t10": "constructive Turan bound (Lemma 2.1)",
-    "a1": "ablation: selection strategy",
-    "a2": "ablation: sketch concentration",
-    "a3": "ablation: overflow survival",
-    "a4": "ablation: family-search prime policy",
+def _t4_scale(args):
+    scale = args.n_scale
+    return lambda d: max(48, min(4096, round(scale * d**2.5)))
+
+
+# One row per experiment: description + dispatcher building the runner
+# call from parsed CLI arguments.  Adding an experiment is adding a row.
+EXPERIMENT_TABLE: dict[str, tuple] = {
+    "t1": ("deterministic passes vs Delta (Theorem 1)",
+           lambda a: exp.run_t1_passes_vs_delta(
+               _ints(a.deltas), n=a.n, seed=a.seed)),
+    "t2": ("deterministic space vs n (Theorem 1)",
+           lambda a: exp.run_t2_space_vs_n(_ints(a.ns), delta=a.delta,
+                                           seed=a.seed)),
+    "f1": ("potential trace (Lemma 3.5)",
+           lambda a: exp.run_f1_potential_trace(n=a.n, delta=a.delta,
+                                                seed=a.seed)),
+    "f2": ("epoch shrinkage (Lemmas 3.7/3.8)",
+           lambda a: exp.run_f2_shrinkage_trace(n=a.n, delta=a.delta,
+                                                seed=a.seed)),
+    "f3": ("list-mass decay (Lemma 3.10)",
+           lambda a: exp.run_f3_list_mass_decay(
+               n=a.n, delta=a.delta, universe=a.universe, seed=a.seed)),
+    "t3": ("(deg+1)-list-coloring (Theorem 2)",
+           lambda a: exp.run_t3_list_coloring(
+               [(a.n, a.delta, a.universe)], seed=a.seed)),
+    "t4": ("robust colors vs Delta (Theorem 3)",
+           lambda a: exp.run_t4_robust_colors(
+               _ints(a.deltas), n_of_delta=_t4_scale(a), seed=a.seed)),
+    "t5": ("colors/space tradeoff (Corollary 4.7)",
+           lambda a: exp.run_t5_tradeoff(
+               _floats(a.betas), delta=a.delta, n=a.n, seed=a.seed,
+               include_cgs22=True)),
+    "t6": ("robustness game (adaptive vs oblivious)",
+           lambda a: exp.run_t6_robustness_game(
+               n=a.n, delta=a.delta, rounds=a.rounds, seed=a.seed,
+               trials=a.trials)),
+    "t7": ("randomness-efficient robust (Theorem 4)",
+           lambda a: exp.run_t7_lowrandom(
+               _ints(a.deltas), n_of_delta=lambda d: 40 * d, seed=a.seed)),
+    "t8": ("communication protocol (Corollary 3.11)",
+           lambda a: exp.run_t8_communication(_ints(a.ns), delta=a.delta,
+                                              seed=a.seed)),
+    "t9": ("deterministic landscape",
+           lambda a: exp.run_t9_deterministic_landscape(
+               n=a.n, delta=a.delta, seed=a.seed)),
+    "t10": ("constructive Turan bound (Lemma 2.1)",
+            lambda a: exp.run_t10_turan([(a.n, 0.1), (a.n, 0.3)],
+                                        seed=a.seed)),
+    "a1": ("ablation: selection strategy",
+           lambda a: exp.run_a1_selection_ablation(n=a.n, delta=a.delta,
+                                                   seed=a.seed)),
+    "a2": ("ablation: sketch concentration",
+           lambda a: exp.run_a2_sketch_concentration(
+               n=a.n, delta=a.delta, seed=a.seed, trials=a.trials)),
+    "a3": ("ablation: overflow survival",
+           lambda a: exp.run_a3_overflow_survival(
+               n=a.n, delta=a.delta, seed=a.seed, trials=a.trials)),
+    "a4": ("ablation: family-search prime policy",
+           lambda a: exp.run_a4_prime_ablation(n=a.n, delta=a.delta,
+                                               seed=a.seed)),
 }
 
-
-def _dispatch(args) -> tuple[list, list]:
-    eid = args.experiment
-    if eid == "t1":
-        return exp.run_t1_passes_vs_delta(
-            _ints(args.deltas), n=args.n, seed=args.seed
-        )
-    if eid == "t2":
-        return exp.run_t2_space_vs_n(_ints(args.ns), delta=args.delta,
-                                     seed=args.seed)
-    if eid == "f1":
-        return exp.run_f1_potential_trace(n=args.n, delta=args.delta,
-                                          seed=args.seed)
-    if eid == "f2":
-        return exp.run_f2_shrinkage_trace(n=args.n, delta=args.delta,
-                                          seed=args.seed)
-    if eid == "f3":
-        return exp.run_f3_list_mass_decay(
-            n=args.n, delta=args.delta, universe=args.universe, seed=args.seed
-        )
-    if eid == "t3":
-        cases = [(args.n, args.delta, args.universe)]
-        return exp.run_t3_list_coloring(cases, seed=args.seed)
-    if eid == "t4":
-        scale = args.n_scale
-        return exp.run_t4_robust_colors(
-            _ints(args.deltas),
-            n_of_delta=lambda d: max(48, min(4096, round(scale * d**2.5))),
-            seed=args.seed,
-        )
-    if eid == "t5":
-        return exp.run_t5_tradeoff(
-            _floats(args.betas), delta=args.delta, n=args.n, seed=args.seed,
-            include_cgs22=True,
-        )
-    if eid == "t6":
-        return exp.run_t6_robustness_game(
-            n=args.n, delta=args.delta, rounds=args.rounds, seed=args.seed,
-            trials=args.trials,
-        )
-    if eid == "t7":
-        return exp.run_t7_lowrandom(
-            _ints(args.deltas), n_of_delta=lambda d: 40 * d, seed=args.seed
-        )
-    if eid == "t8":
-        return exp.run_t8_communication(_ints(args.ns), delta=args.delta,
-                                        seed=args.seed)
-    if eid == "t9":
-        return exp.run_t9_deterministic_landscape(n=args.n, delta=args.delta,
-                                                  seed=args.seed)
-    if eid == "t10":
-        return exp.run_t10_turan([(args.n, 0.1), (args.n, 0.3)],
-                                 seed=args.seed)
-    if eid == "a1":
-        return exp.run_a1_selection_ablation(n=args.n, delta=args.delta,
-                                             seed=args.seed)
-    if eid == "a2":
-        return exp.run_a2_sketch_concentration(n=args.n, delta=args.delta,
-                                               seed=args.seed,
-                                               trials=args.trials)
-    if eid == "a3":
-        return exp.run_a3_overflow_survival(n=args.n, delta=args.delta,
-                                            seed=args.seed,
-                                            trials=args.trials)
-    if eid == "a4":
-        return exp.run_a4_prime_ablation(n=args.n, delta=args.delta,
-                                         seed=args.seed)
-    raise SystemExit(f"unknown experiment {eid!r}; try 'list'")
+# Backwards-compatible id -> description mapping.
+EXPERIMENTS = {eid: desc for eid, (desc, _) in EXPERIMENT_TABLE.items()}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,9 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiment ids")
+    sub.add_parser("algorithms",
+                   help="list the engine's registered algorithms")
 
     run = sub.add_parser("run", help="run one experiment and print its table")
-    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("experiment", choices=sorted(EXPERIMENT_TABLE),
+                     metavar="experiment",
+                     help="experiment id (see 'repro list')")
     run.add_argument("--n", type=int, default=96)
     run.add_argument("--delta", type=int, default=8)
     run.add_argument("--deltas", default="2,4,8,16")
@@ -139,6 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trials", type=int, default=3)
     run.add_argument("--n-scale", type=float, default=2.0)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--workers", type=int, default=1,
+                     help="process-pool size for grid execution (default 1)")
 
     report = sub.add_parser("report", help="assemble markdown from archived tables")
     report.add_argument("--results", default="benchmarks/results")
@@ -153,10 +154,26 @@ def main(argv=None) -> int:
         for eid in sorted(EXPERIMENTS):
             print(f"  {eid:4} {EXPERIMENTS[eid]}")
         return 0
-    if args.command == "run":
-        headers, rows = _dispatch(args)
+    if args.command == "algorithms":
+        headers, rows = REGISTRY.describe()
         print(format_table(headers, rows,
-                           title=f"{args.experiment}: {EXPERIMENTS[args.experiment]}"))
+                           title="registered algorithms (repro.engine)"))
+        return 0
+    if args.command == "run":
+        description, dispatch = EXPERIMENT_TABLE[args.experiment]
+        try:
+            if args.workers < 1:
+                raise ReproError(f"--workers must be >= 1, got {args.workers}")
+            set_default_workers(args.workers)
+            headers, rows = dispatch(args)
+        except ReproError as error:
+            print(f"repro run {args.experiment}: error: {error}",
+                  file=sys.stderr)
+            return 2
+        finally:
+            set_default_workers(1)
+        print(format_table(headers, rows,
+                           title=f"{args.experiment}: {description}"))
         return 0
     if args.command == "report":
         text = build_report(args.results)

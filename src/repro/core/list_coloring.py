@@ -103,6 +103,9 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         self.n = n
         self.delta = delta
         self.universe = color_universe_size
+        # Colors are drawn from [1, universe]; per-vertex lists constrain
+        # further, so validation goes through ``lists``, not this bound.
+        self.palette_size = color_universe_size
         self.selection = selection
         self.prime_policy = prime_policy
         self.prime_override = prime

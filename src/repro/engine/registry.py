@@ -1,0 +1,314 @@
+"""The string-keyed algorithm registry.
+
+Every algorithm ships as an :class:`AlgorithmEntry`: a name, a one-line
+summary, its config dataclass, a factory closing over the concrete class,
+and a few capability flags the runner consults (does it need list tokens,
+is its palette bound exact, is it randomized).  The default
+:data:`REGISTRY` holds the paper's four algorithms plus the four baseline
+families; extensions register their own entries (or build a private
+:class:`AlgorithmRegistry`) without touching the runner or the CLI.
+"""
+
+from dataclasses import asdict, dataclass, field
+from typing import Callable
+
+from repro.common.exceptions import ReproError
+from repro.engine.config import (
+    ACS22Config,
+    AlgorithmConfig,
+    CGS22Config,
+    DeterministicConfig,
+    ListColoringConfig,
+    LowRandomConfig,
+    NaiveConfig,
+    PaletteSparsificationConfig,
+    RobustConfig,
+)
+from repro.engine.protocol import StreamingColorer
+
+__all__ = ["AlgorithmEntry", "AlgorithmRegistry", "REGISTRY"]
+
+
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """Registry record for one algorithm family."""
+
+    name: str
+    summary: str
+    kind: str  # "multipass" | "onepass"
+    reference: str  # theorem / citation the implementation reproduces
+    config_cls: type[AlgorithmConfig]
+    factory: Callable[[int, int, int, AlgorithmConfig], StreamingColorer]
+    randomized: bool = False
+    needs_lists: bool = False  # consumes ListTokens (Theorem 2 input)
+    enforce_palette: bool = True  # validate colors against palette_bound
+    collect_extras: Callable[[StreamingColorer], dict] = field(
+        default=lambda algo: {}
+    )
+
+    def make_config(self, options: dict | None) -> AlgorithmConfig:
+        """Build and validate this entry's config from a plain dict."""
+        return self.config_cls.from_dict(dict(options or {}))
+
+    def create(self, n: int, delta: int, seed: int,
+               config: AlgorithmConfig | dict | None = None) -> StreamingColorer:
+        """Instantiate the algorithm for an ``(n, delta)`` instance."""
+        if not isinstance(config, AlgorithmConfig):
+            config = self.make_config(config)
+        return self.factory(n, delta, seed, config)
+
+
+class AlgorithmRegistry:
+    """A mutable, string-keyed collection of :class:`AlgorithmEntry`."""
+
+    def __init__(self, entries=()):
+        self._entries: dict[str, AlgorithmEntry] = {}
+        for entry in entries:
+            self.register(entry)
+
+    def register(self, entry: AlgorithmEntry) -> AlgorithmEntry:
+        if entry.kind not in ("multipass", "onepass"):
+            raise ReproError(f"unknown algorithm kind {entry.kind!r}")
+        if entry.name in self._entries:
+            raise ReproError(f"algorithm {entry.name!r} is already registered")
+        self._entries[entry.name] = entry
+        return entry
+
+    def get(self, name: str) -> AlgorithmEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown algorithm {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def describe(self) -> tuple[list[str], list[list]]:
+        """``(headers, rows)`` describing every entry, for tables/CLI."""
+        headers = ["name", "kind", "randomized", "reference", "options", "summary"]
+        rows = []
+        for name in self.names():
+            e = self._entries[name]
+            options = ",".join(
+                f.name for f in e.config_cls.__dataclass_fields__.values()
+            )
+            rows.append([
+                e.name, e.kind, e.randomized, e.reference, options, e.summary,
+            ])
+        return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Default entries: the four paper algorithms + the four baseline families.
+# Factories are plain module-level functions so registry-built specs stay
+# picklable for the GridRunner's process pool.
+# ----------------------------------------------------------------------
+
+def _make_deterministic(n, delta, seed, cfg):
+    from repro.core import DeterministicColoring
+
+    return DeterministicColoring(
+        n, delta, selection=cfg.selection, prime_policy=cfg.prime_policy,
+        prime=cfg.prime, instrument=cfg.instrument, max_epochs=cfg.max_epochs,
+    )
+
+
+def _make_list_coloring(n, delta, seed, cfg):
+    from repro.core import DeterministicListColoring
+
+    universe = cfg.universe if cfg.universe is not None else 2 * (delta + 1)
+    return DeterministicListColoring(
+        n, delta, universe, selection=cfg.selection,
+        prime_policy=cfg.prime_policy, prime=cfg.prime,
+        partition_levels=cfg.partition_levels, instrument=cfg.instrument,
+        max_epochs=cfg.max_epochs,
+    )
+
+
+def _make_robust(n, delta, seed, cfg):
+    from repro.core import RobustColoring
+
+    return RobustColoring(n, delta, seed=seed, beta=cfg.beta)
+
+
+def _make_lowrandom(n, delta, seed, cfg):
+    from repro.core import LowRandomnessRobustColoring
+
+    return LowRandomnessRobustColoring(
+        n, delta, seed=seed, repetitions=cfg.repetitions
+    )
+
+
+def _make_naive(n, delta, seed, cfg):
+    from repro.baselines import OneShotRandomColoring
+
+    return OneShotRandomColoring(
+        n, delta, seed=seed, range_multiplier=cfg.range_multiplier,
+        capacity=cfg.capacity,
+    )
+
+
+def _make_acs22(n, delta, seed, cfg):
+    from repro.baselines import ColorReductionColoring, TwoPassQuadraticColoring
+
+    if cfg.variant == "color_reduction":
+        return ColorReductionColoring(
+            n, delta, space_budget_edges=cfg.space_budget_edges
+        )
+    return TwoPassQuadraticColoring(n, delta, range_multiplier=cfg.range_multiplier)
+
+
+def _make_cgs22(n, delta, seed, cfg):
+    from repro.baselines import SketchSwitchingQuadraticColoring
+
+    return SketchSwitchingQuadraticColoring(
+        n, delta, seed=seed, repetitions=cfg.repetitions
+    )
+
+
+def _make_palette_sparsification(n, delta, seed, cfg):
+    from repro.baselines import PaletteSparsificationColoring
+
+    return PaletteSparsificationColoring(
+        n, delta, seed=seed, list_size_factor=cfg.list_size_factor,
+        completion_attempts=cfg.completion_attempts,
+    )
+
+
+def _stats_extras(algo) -> dict:
+    """Epoch/stage diagnostics from instrumented multipass runs."""
+    stats = getattr(algo, "stats", None)
+    if stats is None:
+        return {}
+    extras = {"epochs": stats.epochs}
+    if getattr(stats, "stage_stats", None):
+        extras["stage_stats"] = [asdict(s) for s in stats.stage_stats]
+    if getattr(stats, "epoch_stats", None):
+        extras["epoch_stats"] = [asdict(e) for e in stats.epoch_stats]
+    if getattr(stats, "list_mass_per_stage", None):
+        extras["list_mass_per_stage"] = [
+            list(item) for item in stats.list_mass_per_stage
+        ]
+    return extras
+
+
+def _robust_extras(algo) -> dict:
+    per_vertex = [0] * algo.n
+    for sets in (algo._a_sets, algo._c_sets):
+        for edge_set in sets:
+            for u, v in edge_set:
+                per_vertex[u] += 1
+                per_vertex[v] += 1
+    return {
+        "beta": algo.params.beta,
+        "color_claim": algo.params.color_bound,
+        "sketch_edge_count": algo.sketch_edge_count,
+        "sketch_max_vertex_degree": max(per_vertex, default=0),
+    }
+
+
+def _lowrandom_extras(algo) -> dict:
+    return {
+        "palette": algo.palette_size,
+        "ell": algo.ell,
+        "repetitions": algo.repetitions,
+        "surviving_sketches": algo.surviving_sketches(),
+        "peak_bits_with_randomness": algo.meter.peak_bits_with_randomness,
+    }
+
+
+def _naive_extras(algo) -> dict:
+    return {"range_size": algo.range_size, "dropped_edges": algo.dropped_edges}
+
+
+REGISTRY = AlgorithmRegistry([
+    AlgorithmEntry(
+        name="deterministic",
+        summary="deterministic multipass (Delta+1)-coloring",
+        kind="multipass",
+        reference="Theorem 1 / Algorithm 1",
+        config_cls=DeterministicConfig,
+        factory=_make_deterministic,
+        collect_extras=_stats_extras,
+    ),
+    AlgorithmEntry(
+        name="list_coloring",
+        summary="deterministic multipass (deg+1)-list-coloring",
+        kind="multipass",
+        reference="Theorem 2",
+        config_cls=ListColoringConfig,
+        factory=_make_list_coloring,
+        needs_lists=True,
+        enforce_palette=False,  # validated against per-vertex lists instead
+        collect_extras=_stats_extras,
+    ),
+    AlgorithmEntry(
+        name="robust",
+        summary="adversarially robust O(Delta^{5/2})-coloring",
+        kind="onepass",
+        reference="Theorem 3 / Algorithm 2 (beta: Corollary 4.7)",
+        config_cls=RobustConfig,
+        factory=_make_robust,
+        randomized=True,
+        enforce_palette=False,  # guarantee is asymptotic, not an exact bound
+        collect_extras=_robust_extras,
+    ),
+    AlgorithmEntry(
+        name="robust_lowrandom",
+        summary="robust O(Delta^3)-coloring incl. randomness in space",
+        kind="onepass",
+        reference="Theorem 4 / Algorithm 3",
+        config_cls=LowRandomConfig,
+        factory=_make_lowrandom,
+        randomized=True,
+        collect_extras=_lowrandom_extras,
+    ),
+    AlgorithmEntry(
+        name="naive",
+        summary="one-shot random Delta^2-palette coloring (non-robust)",
+        kind="onepass",
+        reference="Section 1.2 / experiment T6 strawman",
+        config_cls=NaiveConfig,
+        factory=_make_naive,
+        randomized=True,
+        enforce_palette=False,  # adaptive adversaries force improper output
+        collect_extras=_naive_extras,
+    ),
+    AlgorithmEntry(
+        name="acs22",
+        summary="[ACS22]-style deterministic O(Delta^2) / O(Delta) coloring",
+        kind="multipass",
+        reference="Assadi-Chen-Sun 2022 (baseline)",
+        config_cls=ACS22Config,
+        factory=_make_acs22,
+    ),
+    AlgorithmEntry(
+        name="cgs22",
+        summary="[CGS22]-style sketch-switching robust O(Delta^2)-coloring",
+        kind="onepass",
+        reference="Chakrabarti-Ghosh-Stoeckl 2022 (baseline)",
+        config_cls=CGS22Config,
+        factory=_make_cgs22,
+        randomized=True,
+    ),
+    AlgorithmEntry(
+        name="palette_sparsification",
+        summary="[ACK19] randomized one-pass (Delta+1)-coloring (non-robust)",
+        kind="multipass",
+        reference="Assadi-Chen-Khanna 2019 (baseline)",
+        config_cls=PaletteSparsificationConfig,
+        factory=_make_palette_sparsification,
+        randomized=True,
+    ),
+])

@@ -1,0 +1,104 @@
+"""The uniform run-result schema.
+
+Every engine entry point — :func:`repro.engine.run` for static streams and
+:func:`repro.engine.run_game` for the adaptive game — returns a
+:class:`ColoringResult`.  The schema is deliberately flat and
+JSON-friendly: one result is one row of a run table, and algorithm- or
+mode-specific diagnostics (epoch counts, game errors, sketch survival)
+live under ``extras`` so the core columns stay stable as algorithms come
+and go.
+"""
+
+from dataclasses import asdict, dataclass, field
+
+from repro.common.exceptions import ReproError
+
+__all__ = ["ColoringResult", "RESULT_SCHEMA", "validate_result_dict"]
+
+
+@dataclass
+class ColoringResult:
+    """Outcome of one algorithm run (one row of a run table)."""
+
+    algorithm: str
+    mode: str  # "stream" | "game"
+    n: int
+    delta: int
+    colors_used: int
+    palette_bound: int | None
+    proper: bool
+    passes: int
+    peak_space_bits: int
+    random_bits: int
+    wall_time_s: float
+    seed: int
+    config: dict = field(default_factory=dict)
+    tags: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+    coloring: dict | None = None  # kept only on keep_coloring=True
+
+    def tag(self, name: str, default=None):
+        """Caller-attached grid label (see ``GridSpec`` underscore axes)."""
+        return self.tags.get(name, default)
+
+    def to_dict(self, include_coloring: bool = False) -> dict:
+        """Plain-dict form; drops the (possibly large) coloring by default."""
+        data = asdict(self)
+        if not include_coloring:
+            data.pop("coloring")
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ColoringResult":
+        """Rebuild from :meth:`to_dict` output (validates first)."""
+        validate_result_dict(data)
+        data = dict(data)
+        data.setdefault("coloring", None)
+        return cls(**data)
+
+
+# field -> (accepted types, required).  ``bool`` is listed before ``int``
+# checks below because bool subclasses int.
+RESULT_SCHEMA: dict[str, tuple[tuple, bool]] = {
+    "algorithm": ((str,), True),
+    "mode": ((str,), True),
+    "n": ((int,), True),
+    "delta": ((int,), True),
+    "colors_used": ((int,), True),
+    "palette_bound": ((int, type(None)), True),
+    "proper": ((bool,), True),
+    "passes": ((int,), True),
+    "peak_space_bits": ((int,), True),
+    "random_bits": ((int,), True),
+    "wall_time_s": ((float, int), True),
+    "seed": ((int,), True),
+    "config": ((dict,), True),
+    "tags": ((dict,), False),
+    "extras": ((dict,), False),
+    "coloring": ((dict, type(None)), False),
+}
+
+
+def validate_result_dict(data: dict) -> None:
+    """Raise :class:`ReproError` unless ``data`` matches the result schema."""
+    if not isinstance(data, dict):
+        raise ReproError(f"result must be a dict, got {type(data).__name__}")
+    unknown = set(data) - set(RESULT_SCHEMA)
+    if unknown:
+        raise ReproError(f"result has unknown field(s) {sorted(unknown)}")
+    for name, (types, required) in RESULT_SCHEMA.items():
+        if name not in data:
+            if required:
+                raise ReproError(f"result is missing field {name!r}")
+            continue
+        value = data[name]
+        if bool not in types and isinstance(value, bool) and int in types:
+            raise ReproError(f"result field {name!r} must not be bool")
+        if not isinstance(value, types):
+            names = "/".join(t.__name__ for t in types)
+            raise ReproError(
+                f"result field {name!r} must be {names}, "
+                f"got {type(value).__name__}"
+            )
+    if data["mode"] not in ("stream", "game"):
+        raise ReproError(f"result mode must be stream|game, got {data['mode']!r}")

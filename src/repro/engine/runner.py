@@ -1,0 +1,255 @@
+"""The single run entry point: ``run(spec, stream) -> ColoringResult``.
+
+A :class:`RunSpec` names an algorithm from the registry, the instance size,
+the seeds, and the algorithm's config options — nothing else.  The runner
+builds (or accepts) the stream, drives the algorithm through the
+:class:`~repro.engine.protocol.StreamingColorer` protocol, validates the
+output coloring against the graph reconstructed from the stream itself,
+and packs everything into the uniform :class:`ColoringResult` schema.
+
+:class:`GameSpec` / :func:`run_game` is the adaptive-adversary twin: the
+same schema, but the algorithm plays the Section 2 insert/query game
+instead of reading a static stream.
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.common.exceptions import ReproError
+from repro.engine.registry import REGISTRY, AlgorithmRegistry
+from repro.engine.result import ColoringResult
+from repro.graph.coloring import (
+    monochromatic_edges,
+    num_colors_used,
+    validate_coloring,
+)
+from repro.graph.graph import Graph
+from repro.streaming.stream import TokenStream
+from repro.streaming.tokens import EdgeToken, ListToken
+
+__all__ = ["GameSpec", "RunSpec", "make_adversary", "run", "run_game"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One static-stream run: algorithm + instance + config, all plain data.
+
+    When :func:`run` is not handed an explicit stream it synthesizes one
+    from ``graph_seed`` (falling back to ``seed``) with
+    :func:`repro.graph.generators.random_max_degree_graph`; algorithms
+    whose registry entry sets ``needs_lists`` additionally get a random
+    list assignment (``list_seed``) interleaved via ``stream_seed``.
+    """
+
+    algorithm: str
+    n: int
+    delta: int
+    seed: int = 0
+    config: dict = field(default_factory=dict)
+    graph_seed: int | None = None
+    graph_fill: float = 0.9
+    stream_order: str = "insertion"
+    stream_seed: int | None = None
+    list_seed: int | None = None
+    validate: bool = True
+    keep_coloring: bool = False
+    tags: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GameSpec:
+    """One adaptive-game run (Section 2 insert/query model)."""
+
+    algorithm: str
+    n: int
+    delta: int
+    rounds: int
+    seed: int = 0
+    adversary: str = "conflict"
+    adversary_seed: int | None = None
+    query_every: int = 1
+    config: dict = field(default_factory=dict)
+    tags: dict = field(default_factory=dict)
+
+
+def make_adversary(kind: str, seed: int):
+    """Instantiate a game adversary by kind: conflict | level | random."""
+    from repro.adversaries import (
+        ConflictSeekingAdversary,
+        LevelAwareAdversary,
+        RandomAdversary,
+    )
+
+    kinds = {
+        "conflict": ConflictSeekingAdversary,
+        "level": LevelAwareAdversary,
+        "random": RandomAdversary,
+    }
+    if kind not in kinds:
+        raise ReproError(
+            f"unknown adversary kind {kind!r}; valid: {sorted(kinds)}"
+        )
+    return kinds[kind](seed)
+
+
+def _build_stream(spec: RunSpec, entry, config) -> TokenStream:
+    from repro.graph.generators import (
+        random_list_assignment,
+        random_max_degree_graph,
+    )
+    from repro.streaming.stream import stream_from_graph, stream_with_lists
+
+    graph_seed = spec.graph_seed if spec.graph_seed is not None else spec.seed
+    graph = random_max_degree_graph(
+        spec.n, spec.delta, seed=graph_seed, fill=spec.graph_fill
+    )
+    if entry.needs_lists:
+        universe = getattr(config, "universe", None) or 2 * (spec.delta + 1)
+        lists = random_list_assignment(
+            graph, palette_size=universe, seed=spec.list_seed or 0
+        )
+        return stream_with_lists(graph, lists, seed=spec.stream_seed)
+    return stream_from_graph(
+        graph, seed=spec.stream_seed, order=spec.stream_order
+    )
+
+
+def _graph_and_lists(stream: TokenStream) -> tuple[Graph, dict | None]:
+    """Reconstruct the validation graph (and lists) from the stream itself."""
+    graph = Graph(stream.n)
+    lists: dict[int, frozenset] = {}
+    for token in stream.tokens:
+        if isinstance(token, EdgeToken):
+            graph.add_edge(token.u, token.v)
+        elif isinstance(token, ListToken):
+            lists[token.x] = token.colors
+    return graph, (lists or None)
+
+
+def run(
+    spec: RunSpec,
+    stream: TokenStream | None = None,
+    registry: AlgorithmRegistry | None = None,
+) -> ColoringResult:
+    """Run one algorithm over one stream and return the uniform result.
+
+    Validation failures raise (:class:`ReproError` subclasses) rather than
+    being recorded, matching the repository's fail-loud experiment style;
+    pass ``validate=False`` in the spec to inspect improper output, in
+    which case the result's ``proper`` field reports measured properness
+    instead of raising.
+    """
+    registry = registry if registry is not None else REGISTRY
+    entry = registry.get(spec.algorithm)
+    config = entry.make_config(spec.config)
+    if stream is None:
+        stream = _build_stream(spec, entry, config)
+    elif stream.n != spec.n:
+        raise ReproError(
+            f"stream is over {stream.n} vertices but the spec says n={spec.n}"
+        )
+    passes_before = stream.passes_used
+
+    algo = entry.create(spec.n, spec.delta, spec.seed, config)
+    start = time.perf_counter()
+    coloring = algo.color_stream(stream)
+    wall_time = time.perf_counter() - start
+
+    palette_bound = algo.palette_bound
+    graph, lists = _graph_and_lists(stream)
+    if spec.validate:
+        validate_coloring(
+            graph,
+            coloring,
+            palette_size=palette_bound if entry.enforce_palette else None,
+            lists=lists if entry.needs_lists else None,
+        )
+        proper = True
+    else:
+        proper = (
+            all(coloring.get(v) is not None for v in range(graph.n))
+            and not monochromatic_edges(graph, coloring)
+        )
+    extras = {"stream_edges": stream.edge_count()}
+    extras.update(entry.collect_extras(algo))
+    return ColoringResult(
+        algorithm=entry.name,
+        mode="stream",
+        n=spec.n,
+        delta=spec.delta,
+        colors_used=num_colors_used(coloring),
+        palette_bound=palette_bound,
+        proper=proper,
+        passes=stream.passes_used - passes_before,
+        peak_space_bits=algo.peak_space_bits,
+        random_bits=algo.random_bits_used,
+        wall_time_s=wall_time,
+        seed=spec.seed,
+        config=config.to_dict(),
+        tags=dict(spec.tags),
+        extras=extras,
+        coloring=coloring if spec.keep_coloring else None,
+    )
+
+
+def run_game(
+    spec: GameSpec,
+    registry: AlgorithmRegistry | None = None,
+) -> ColoringResult:
+    """Play the adaptive insert/query game; same result schema as :func:`run`.
+
+    Unlike :func:`run`, improper intermediate outputs do not raise — the
+    game loop records them, ``proper`` reports whether every answered
+    query was clean, and ``extras`` carries the error/failure counts.
+    """
+    from repro.adversaries import run_adversarial_game
+
+    registry = registry if registry is not None else REGISTRY
+    entry = registry.get(spec.algorithm)
+    if entry.kind != "onepass":
+        raise ReproError(
+            f"algorithm {entry.name!r} is {entry.kind}; the adaptive game "
+            "needs a onepass algorithm (process/query interface)"
+        )
+    config = entry.make_config(spec.config)
+    algo = entry.create(spec.n, spec.delta, spec.seed, config)
+    adversary_seed = (
+        spec.adversary_seed if spec.adversary_seed is not None else spec.seed
+    )
+    adversary = make_adversary(spec.adversary, adversary_seed)
+
+    start = time.perf_counter()
+    outcome = run_adversarial_game(
+        algo, adversary, n=spec.n, delta=spec.delta, rounds=spec.rounds,
+        query_every=spec.query_every,
+    )
+    wall_time = time.perf_counter() - start
+
+    extras = {
+        "rounds": outcome.rounds,
+        "errors": outcome.errors,
+        "failures": outcome.failures,
+        "error_rounds": list(outcome.error_rounds),
+        "final_colors_used": outcome.final_colors_used,
+        "max_colors_used": outcome.max_colors_used,
+        "final_max_degree": outcome.final_max_degree,
+        "adversary": spec.adversary,
+    }
+    extras.update(entry.collect_extras(algo))
+    return ColoringResult(
+        algorithm=entry.name,
+        mode="game",
+        n=spec.n,
+        delta=spec.delta,
+        colors_used=outcome.max_colors_used,
+        palette_bound=algo.palette_bound,
+        proper=outcome.clean,
+        passes=1,
+        peak_space_bits=outcome.peak_space_bits,
+        random_bits=outcome.random_bits,
+        wall_time_s=wall_time,
+        seed=spec.seed,
+        config=config.to_dict(),
+        tags=dict(spec.tags),
+        extras=extras,
+    )

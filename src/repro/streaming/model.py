@@ -3,12 +3,20 @@
 These are intentionally thin: concrete algorithms do the real work, and the
 interfaces exist so the experiment harness, the adversarial game loop, and
 the communication-protocol reduction can treat algorithms uniformly.
+
+Both base classes implement the :class:`repro.engine.StreamingColorer`
+protocol: :meth:`color_stream` consumes a :class:`TokenStream` and returns
+a total coloring, and :attr:`palette_bound` exposes the declared palette
+size (``None`` when the algorithm only guarantees an asymptotic shape).
+The engine's :func:`repro.engine.run` entry point drives algorithms only
+through that protocol.
 """
 
 import abc
 
 from repro.common.space import SpaceMeter
 from repro.streaming.stream import TokenStream
+from repro.streaming.tokens import EdgeToken
 
 
 class MultipassStreamingAlgorithm(abc.ABC):
@@ -25,10 +33,24 @@ class MultipassStreamingAlgorithm(abc.ABC):
     def run(self, stream: TokenStream) -> dict[int, int]:
         """Process the stream and return a total coloring ``vertex -> color``."""
 
+    def color_stream(self, stream: TokenStream) -> dict[int, int]:
+        """Protocol entry point: alias for :meth:`run`."""
+        return self.run(stream)
+
+    @property
+    def palette_bound(self):
+        """Declared palette size, or ``None`` if only asymptotic."""
+        return getattr(self, "palette_size", None)
+
     @property
     def peak_space_bits(self) -> int:
         """Peak working-state bits charged to the meter."""
         return self.meter.peak_bits
+
+    @property
+    def random_bits_used(self) -> int:
+        """Random bits consumed so far (0 for deterministic algorithms)."""
+        return self.meter.random_bits
 
 
 class OnePassAlgorithm(abc.ABC):
@@ -49,6 +71,22 @@ class OnePassAlgorithm(abc.ABC):
     @abc.abstractmethod
     def query(self) -> dict[int, int]:
         """Return a coloring of every vertex, proper for the edges so far."""
+
+    def color_stream(self, stream: TokenStream) -> dict[int, int]:
+        """Protocol entry point: feed every edge token, then query once.
+
+        This is the static-stream (oblivious) driver; the adaptive setting
+        goes through :func:`repro.adversaries.run_adversarial_game` instead.
+        """
+        for token in stream.new_pass():
+            if isinstance(token, EdgeToken):
+                self.process(token.u, token.v)
+        return self.query()
+
+    @property
+    def palette_bound(self):
+        """Declared palette size, or ``None`` if only asymptotic."""
+        return getattr(self, "palette_size", None)
 
     @property
     def peak_space_bits(self) -> int:

@@ -24,6 +24,38 @@ class TestParser:
             build_parser().parse_args([])
 
 
+class TestAlgorithms:
+    def test_lists_registry(self, capsys):
+        from repro.engine import REGISTRY
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY.names():
+            assert name in out
+
+
+class TestErrorHandling:
+    def test_bad_int_list_exits_2_without_traceback(self, capsys):
+        assert main(["run", "t1", "--deltas", "2,x"]) == 2
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bad_float_list_exits_2(self, capsys):
+        assert main(["run", "t5", "--betas", "0,zz"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_bad_workers_exits_2(self, capsys):
+        assert main(["run", "t1", "--n", "16", "--deltas", "2",
+                     "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_unknown_experiment_rejected_by_parser(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "zzz"])
+        assert excinfo.value.code == 2
+
+
 class TestRun:
     def test_run_t1_small(self, capsys):
         assert main(["run", "t1", "--n", "20", "--deltas", "2,3"]) == 0

@@ -1,0 +1,330 @@
+"""Tests for the repro.engine API: registry round-trips, the uniform
+run/result schema, grid execution, and the deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.common.exceptions import ImproperColoringError, ReproError
+from repro.engine import (
+    REGISTRY,
+    AlgorithmEntry,
+    AlgorithmRegistry,
+    ColoringResult,
+    DeterministicConfig,
+    GameSpec,
+    GridRunner,
+    GridSpec,
+    RunSpec,
+    StreamingColorer,
+    results_table,
+    run,
+    run_game,
+    validate_result_dict,
+)
+
+ALL_ALGORITHMS = (
+    "acs22", "cgs22", "deterministic", "list_coloring", "naive",
+    "palette_sparsification", "robust", "robust_lowrandom",
+)
+
+
+def small_spec(algorithm, **overrides):
+    base = dict(algorithm=algorithm, n=24, delta=4, seed=3, graph_seed=11)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestRegistry:
+    def test_covers_core_and_baselines(self):
+        assert tuple(REGISTRY.names()) == ALL_ALGORITHMS
+
+    def test_unknown_algorithm_is_clean_error(self):
+        with pytest.raises(ReproError, match="unknown algorithm"):
+            REGISTRY.get("zzz")
+
+    def test_duplicate_registration_rejected(self):
+        registry = AlgorithmRegistry([REGISTRY.get("deterministic")])
+        with pytest.raises(ReproError, match="already registered"):
+            registry.register(REGISTRY.get("deterministic"))
+
+    def test_describe_lists_every_entry(self):
+        headers, rows = REGISTRY.describe()
+        assert "name" in headers
+        assert {row[0] for row in rows} == set(ALL_ALGORITHMS)
+
+    def test_created_algorithms_satisfy_protocol(self):
+        for name in REGISTRY.names():
+            algo = REGISTRY.get(name).create(16, 3, seed=1)
+            assert isinstance(algo, StreamingColorer), name
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_default_config_round_trips(self, name):
+        cls = REGISTRY.get(name).config_cls
+        cfg = cls()
+        rebuilt = cls.from_dict(cfg.to_dict())
+        assert rebuilt == cfg
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_unknown_option_rejected(self, name):
+        cls = REGISTRY.get(name).config_cls
+        with pytest.raises(ReproError, match="unknown option"):
+            cls.from_dict({"definitely_not_a_field": 1})
+
+    def test_field_values_validated(self):
+        with pytest.raises(ReproError, match="selection"):
+            DeterministicConfig(selection="psychic")
+        with pytest.raises(ReproError, match="beta"):
+            REGISTRY.get("robust").make_config({"beta": 2.0})
+
+
+class TestRun:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_every_algorithm_colors_a_small_graph(self, name):
+        result = run(small_spec(name, keep_coloring=True))
+        assert result.algorithm == name
+        assert result.proper is True
+        assert result.passes >= 1
+        assert result.colors_used >= 1
+        assert result.peak_space_bits >= 0
+        # run() validated totality/properness already; spot-check totality.
+        assert set(result.coloring) == set(range(24))
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_result_schema_round_trips(self, name):
+        result = run(small_spec(name))
+        data = result.to_dict()
+        validate_result_dict(data)
+        rebuilt = ColoringResult.from_dict(data)
+        assert rebuilt.to_dict() == data
+
+    def test_schema_rejects_missing_and_unknown_fields(self):
+        data = run(small_spec("deterministic")).to_dict()
+        with pytest.raises(ReproError, match="unknown field"):
+            validate_result_dict(data | {"bogus": 1})
+        del data["colors_used"]
+        with pytest.raises(ReproError, match="missing field"):
+            validate_result_dict(data)
+
+    def test_deterministic_runs_reproduce(self):
+        a = run(small_spec("deterministic", keep_coloring=True))
+        b = run(small_spec("deterministic", keep_coloring=True))
+        assert a.coloring == b.coloring
+        assert a.passes == b.passes
+
+    def test_bring_your_own_stream(self):
+        from repro.graph.generators import random_max_degree_graph
+        from repro.streaming.stream import stream_from_graph
+
+        graph = random_max_degree_graph(20, 3, seed=5)
+        result = run(
+            RunSpec(algorithm="deterministic", n=20, delta=3),
+            stream=stream_from_graph(graph),
+        )
+        assert result.proper and result.palette_bound == 4
+
+    def test_stream_n_mismatch_is_clean_error(self):
+        from repro.graph.generators import random_max_degree_graph
+        from repro.streaming.stream import stream_from_graph
+
+        graph = random_max_degree_graph(20, 3, seed=5)
+        with pytest.raises(ReproError, match="20 vertices.*n=10"):
+            run(RunSpec(algorithm="deterministic", n=10, delta=3),
+                stream=stream_from_graph(graph))
+
+    def test_validate_false_reports_measured_properness(self):
+        from repro.streaming.stream import TokenStream
+        from repro.streaming.tokens import EdgeToken
+
+        entry = AlgorithmEntry(
+            name="broken", summary="always monochromatic", kind="multipass",
+            reference="-", config_cls=DeterministicConfig,
+            factory=lambda n, d, s, c: _Monochrome(n),
+        )
+        registry = AlgorithmRegistry([entry])
+        stream = TokenStream([EdgeToken(0, 1)], 4)
+        result = run(RunSpec(algorithm="broken", n=4, delta=1,
+                             validate=False),
+                     stream=stream, registry=registry)
+        assert result.proper is False
+
+    def test_validation_catches_improper_output(self):
+        from repro.streaming.stream import TokenStream
+        from repro.streaming.tokens import EdgeToken
+
+        entry = AlgorithmEntry(
+            name="broken", summary="always monochromatic", kind="multipass",
+            reference="-", config_cls=DeterministicConfig,
+            factory=lambda n, d, s, c: _Monochrome(n),
+        )
+        registry = AlgorithmRegistry([entry])
+        stream = TokenStream([EdgeToken(0, 1)], 4)
+        with pytest.raises(ImproperColoringError):
+            run(RunSpec(algorithm="broken", n=4, delta=1), stream=stream,
+                registry=registry)
+
+
+class _Monochrome:
+    """Deliberately improper colorer for the validation test."""
+
+    def __init__(self, n):
+        from repro.common.space import SpaceMeter
+
+        self.n = n
+        self.meter = SpaceMeter()
+
+    def color_stream(self, stream):
+        for _ in stream.new_pass():
+            pass
+        return {v: 1 for v in range(self.n)}
+
+    palette_bound = None
+    peak_space_bits = 0
+    random_bits_used = 0
+
+
+class TestRunGame:
+    def test_robust_survives_adaptive(self):
+        result = run_game(GameSpec(
+            algorithm="robust", n=30, delta=4, rounds=40, seed=5,
+            adversary="conflict",
+        ))
+        assert result.mode == "game"
+        assert result.proper is True
+        assert result.extras["errors"] == 0
+        validate_result_dict(result.to_dict())
+
+    def test_multipass_algorithms_rejected(self):
+        with pytest.raises(ReproError, match="onepass"):
+            run_game(GameSpec(algorithm="deterministic", n=16, delta=3,
+                              rounds=10))
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(ReproError, match="adversary"):
+            run_game(GameSpec(algorithm="robust", n=16, delta=3, rounds=10,
+                              adversary="psychic"))
+
+
+class TestGrid:
+    def test_axes_expand_in_order(self):
+        grid = GridSpec(
+            axes={"delta": [2, 3], "_label": ["x", "y"]},
+            constants={"algorithm": "deterministic", "n": 16, "graph_seed": 1},
+        )
+        jobs = grid.jobs()
+        assert [(j["delta"], j["_label"]) for j in jobs] == [
+            (2, "x"), (2, "y"), (3, "x"), (3, "y"),
+        ]
+
+    def test_underscore_axes_become_tags(self):
+        grid = GridSpec(
+            axes={"_label": ["a", "b"]},
+            constants={"algorithm": "deterministic", "n": 16, "delta": 2,
+                       "graph_seed": 1},
+        )
+        results = GridRunner().run(grid)
+        assert [r.tag("label") for r in results] == ["a", "b"]
+
+    def test_loose_keys_route_to_config(self):
+        grid = GridSpec(
+            axes={"selection": ["hash_family", "greedy_slack"]},
+            constants={"algorithm": "deterministic", "n": 16, "delta": 2,
+                       "graph_seed": 1},
+        )
+        results = GridRunner().run(grid)
+        assert [r.config["selection"] for r in results] == [
+            "hash_family", "greedy_slack",
+        ]
+
+    def test_unknown_spec_field_is_clean_error(self):
+        grid = GridSpec(
+            mode="game",
+            axes={"nonsense_field_xyz": [1]},
+            constants={"algorithm": "robust", "n": 16, "delta": 2, "rounds": 4},
+        )
+        # routed into config, which rejects it by name
+        with pytest.raises(ReproError, match="unknown option"):
+            GridRunner().run(grid)
+
+    def test_derive_computes_per_job_fields(self):
+        grid = GridSpec(
+            axes={"delta": [2, 3]},
+            constants={"algorithm": "deterministic", "n": 16},
+            derive=lambda job: {"graph_seed": 100 + job["delta"]},
+        )
+        specs = grid.specs()
+        assert [s.graph_seed for s in specs] == [102, 103]
+
+    def test_process_pool_matches_serial(self):
+        grid = GridSpec(
+            axes={"delta": [2, 3, 4]},
+            constants={"algorithm": "deterministic", "n": 20, "graph_seed": 1},
+        )
+        strip = lambda r: r.to_dict() | {"wall_time_s": 0.0}  # noqa: E731
+        serial = [strip(r) for r in GridRunner(workers=1).run(grid)]
+        pooled = [strip(r) for r in GridRunner(workers=2).run(grid)]
+        assert serial == pooled
+
+    def test_results_table_derived_columns(self):
+        grid = GridSpec(
+            axes={"delta": [2, 3]},
+            constants={"algorithm": "deterministic", "n": 16, "graph_seed": 1},
+        )
+        headers, rows = results_table(GridRunner().run(grid), [
+            ("delta", "delta"),
+            ("colors", "colors_used"),
+            ("epochs", "epochs"),  # extras key
+            ("ok", lambda r: r.proper),
+        ])
+        assert headers == ["delta", "colors", "epochs", "ok"]
+        assert all(len(row) == 4 for row in rows)
+        assert [row[0] for row in rows] == [2, 3]
+
+    def test_unknown_column_is_clean_error(self):
+        result = run(small_spec("deterministic"))
+        with pytest.raises(ReproError, match="no column"):
+            results_table([result], [("x", "definitely_not_a_column")])
+
+
+class TestDeprecationShims:
+    OLD_NAMES = (
+        "DeterministicColoring", "DeterministicListColoring",
+        "RobustColoring", "LowRandomnessRobustColoring",
+        "ConflictSeekingAdversary", "run_adversarial_game",
+        "two_party_coloring_protocol",
+    )
+
+    @pytest.mark.parametrize("name", OLD_NAMES)
+    def test_old_top_level_names_warn_but_work(self, name):
+        import repro
+
+        with pytest.warns(DeprecationWarning, match=name):
+            obj = getattr(repro, name)
+        assert obj is not None
+
+    def test_shimmed_class_still_runs(self):
+        import repro
+        from repro.graph.generators import random_max_degree_graph
+        from repro.streaming.stream import stream_from_graph
+
+        with pytest.warns(DeprecationWarning):
+            cls = repro.DeterministicColoring
+        graph = random_max_degree_graph(16, 3, seed=2)
+        coloring = cls(16, 3).run(stream_from_graph(graph))
+        assert set(coloring) == set(range(16))
+
+    def test_new_names_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            import repro
+
+            assert repro.run is run
+            assert repro.REGISTRY is REGISTRY
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.definitely_not_an_attribute
