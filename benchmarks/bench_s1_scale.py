@@ -1,21 +1,28 @@
-"""S1 — scalability smoke: the larger-n regimes of both settings.
+"""S1 — scalability: larger-n regimes plus block-data-plane throughput.
 
-Not a paper claim per se ("repro band: easy to code; slow for large
-stream benchmarks") — this benchmark pins down what the pure-Python
-implementation sustains: the deterministic algorithm in its fast
-``greedy_slack`` mode at n=1024, and the robust algorithm under adaptive
-pressure at n=2048.  Both legs go through the engine's uniform entry
-points (`run` / `run_game`), exercising the same seam a future
-sharded/async backend would plug into.
+Two historical legs pin down what the engine sustains end to end (the
+deterministic algorithm at n=1024, the robust algorithm under adaptive
+pressure at n=2048).  The throughput legs added with the array-backed data
+plane run the deterministic ``greedy_slack`` configuration at n=16384 on
+the token path and the block path over the *same* stream, recording
+edges/sec over the streaming passes; the block path must sustain at least
+5x the token baseline, and the two colorings must be identical.  The
+numbers land both in the usual text table and in the machine-readable
+``BENCH_s1_scale.json`` artifact that CI uploads.
 """
 
 from conftest import run_once
 
 from repro.engine import GameSpec, RunSpec, run, run_game
 
+THROUGHPUT_N = 16384
+THROUGHPUT_DELTA = 24
+SPEEDUP_FLOOR = 5.0
+
 
 def run_scale():
     rows = []
+    json_payload = {"legs": []}
     # Deterministic, heuristic selection (1 pass/stage), n=1024.
     n, delta = 1024, 24
     det = run(RunSpec(
@@ -23,7 +30,7 @@ def run_scale():
         config={"selection": "greedy_slack"},
     ))
     rows.append(["deterministic greedy_slack", n, delta,
-                 det.extras["stream_edges"], det.passes, det.proper])
+                 det.extras["stream_edges"], det.passes, "-", det.proper])
     # Robust, adaptive adversary, n=2048.
     n, delta = 2048, 16
     rounds = (n * delta) // 4
@@ -33,11 +40,50 @@ def run_scale():
         query_every=max(1, rounds // 8),
     ))
     rows.append(["robust Alg 2 (adaptive)", n, delta, game.extras["rounds"],
-                 game.passes, game.proper])
-    return (["algorithm", "n", "delta", "edges", "passes", "ok"], rows)
+                 game.passes, "-", game.proper])
+    # Throughput: token path vs block path at n=16384, identical stream.
+    n, delta = THROUGHPUT_N, THROUGHPUT_DELTA
+    per_backend = {}
+    for backend in ("tokens", "materialized"):
+        result = run(RunSpec(
+            algorithm="deterministic", n=n, delta=delta, graph_seed=401,
+            config={"selection": "greedy_slack"}, stream_backend=backend,
+            keep_coloring=True,
+        ))
+        per_backend[backend] = result
+        rows.append([f"deterministic greedy_slack [{backend}]", n, delta,
+                     result.extras["stream_edges"], result.passes,
+                     f"{result.extras['edges_per_sec']:.3e}", result.proper])
+        json_payload["legs"].append({
+            "leg": f"throughput_{backend}",
+            "n": n,
+            "delta": delta,
+            "edges": result.extras["stream_edges"],
+            "passes": result.passes,
+            "edges_per_sec": result.extras["edges_per_sec"],
+            "pass_wall_times": result.extras["pass_wall_times"],
+            "wall_time_s": result.wall_time_s,
+            "proper": result.proper,
+        })
+    token, block = per_backend["tokens"], per_backend["materialized"]
+    speedup = block.extras["edges_per_sec"] / token.extras["edges_per_sec"]
+    identical = token.coloring == block.coloring
+    rows.append(["block-path speedup (scan throughput)", n, delta, "-", "-",
+                 f"{speedup:.1f}x", identical])
+    json_payload["speedup"] = speedup
+    json_payload["colorings_identical"] = identical
+    json_payload["speedup_floor"] = SPEEDUP_FLOOR
+    headers = ["algorithm", "n", "delta", "edges", "passes", "edges/s", "ok"]
+    return (headers, rows), json_payload
 
 
-def test_s1_scale(benchmark, record_table):
-    headers, rows = run_once(benchmark, run_scale)
+def test_s1_scale(benchmark, record_table, record_json):
+    (headers, rows), payload = run_once(benchmark, run_scale)
     record_table("s1_scale", headers, rows, title="S1: scalability smoke")
+    record_json("s1_scale", payload)
     assert all(row[-1] is True for row in rows)
+    assert payload["colorings_identical"]
+    assert payload["speedup"] >= SPEEDUP_FLOOR, (
+        f"block path sustained only {payload['speedup']:.1f}x the token "
+        f"baseline (floor {SPEEDUP_FLOOR}x)"
+    )

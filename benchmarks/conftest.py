@@ -6,11 +6,30 @@ entries can be refreshed from a single ``pytest benchmarks/
 --benchmark-only`` run.
 """
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_json():
+    """Fixture: ``record_json(name, payload)`` -> path.
+
+    Writes ``benchmarks/results/BENCH_<name>.json`` — the machine-readable
+    artifact CI uploads so the BENCH trajectory has comparable numbers
+    across commits.
+    """
+
+    def _record(name, payload):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return _record
 
 
 @pytest.fixture

@@ -26,6 +26,7 @@ heuristic (1 pass per stage, no Lemma 3.5 guarantee) — see DESIGN.md,
 faithfulness note 1.
 """
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,8 +43,15 @@ from repro.core.subcube import Subcube
 from repro.graph.graph import Graph
 from repro.graph.independent_set import turan_independent_set
 from repro.streaming.model import MultipassStreamingAlgorithm
+from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken
+
+
+# Pending-key budget for the block slack pass: flushing the (vertex,
+# pattern) batch into the histogram at this size keeps peak memory bounded
+# by the batch while amortizing the O(n*s) bincount over many blocks.
+_FLUSH_KEYS = 1 << 20
 
 
 @dataclass
@@ -98,7 +106,19 @@ def choose_family_prime(n: int, policy: str, override=None) -> int:
 
 
 class DeterministicColoring(MultipassStreamingAlgorithm):
-    """Deterministic multipass ``(Delta+1)``-coloring (Theorem 1)."""
+    """Deterministic multipass ``(Delta+1)``-coloring (Theorem 1).
+
+    Consumes either data-plane view.  Given a :class:`TokenStream`, every
+    pass is the original token-at-a-time loop; given a
+    :class:`~repro.streaming.source.StreamSource`, the counting passes
+    (slack counters, conflict-edge collection, the end-of-epoch F pass,
+    and the final stored-edges pass) run vectorized over ``(k, 2)`` edge
+    blocks with ``np.bincount``-style updates.  Both paths take the same
+    passes, charge the same :class:`SpaceMeter` gauges, and produce the
+    identical coloring (locked by the block-equivalence test suite).
+    """
+
+    supports_blocks = True
 
     def __init__(
         self,
@@ -130,6 +150,7 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
     # ------------------------------------------------------------------
     def run(self, stream: TokenStream) -> dict[int, int]:
         n, delta = self.n, self.delta
+        use_blocks = isinstance(stream, StreamSource)
         chi: dict[int, int] = {v: None for v in range(n)}
         if delta == 0:
             for v in range(n):
@@ -142,16 +163,34 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
             epoch += 1
             if epoch > self.max_epochs:
                 break  # heuristic mode may stall; the final pass still finishes
-            self._run_epoch(stream, chi, uncolored, epoch)
-        self._final_pass(stream, chi, uncolored)
+            self._run_epoch(stream, chi, uncolored, epoch, use_blocks)
+        self._final_pass(stream, chi, uncolored, use_blocks)
         self.stats.passes = stream.passes_used
         self.stats.epochs = epoch
         return chi
 
     # ------------------------------------------------------------------
+    # block-path state snapshots (derived per pass; O(n) << O(m) scan cost)
+    # ------------------------------------------------------------------
+    def _state_arrays(self, chi, uncolored, cubes=None):
+        from repro.graph.coloring import coloring_array
+
+        n = self.n
+        chi_arr = coloring_array(n, chi)  # 0 encodes "uncolored"
+        unc = np.zeros(n, dtype=bool)
+        if uncolored:
+            unc[list(uncolored)] = True
+        if cubes is None:
+            return chi_arr, unc
+        cube_value = np.full(n, -1, dtype=np.int64)
+        for x, cube in cubes.items():
+            cube_value[x] = cube.value
+        return chi_arr, unc, cube_value
+
+    # ------------------------------------------------------------------
     # epoch logic (Algorithm 1, COLORING-EPOCH)
     # ------------------------------------------------------------------
-    def _run_epoch(self, stream, chi, uncolored, epoch) -> None:
+    def _run_epoch(self, stream, chi, uncolored, epoch, use_blocks) -> None:
         n, delta = self.n, self.delta
         b = ceil_log2(delta + 1)
         k = 1 + floor_log2(max(1, n // len(uncolored)))
@@ -163,21 +202,30 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
         while fixed < b:
             stage_index += 1
             kk = min(k, b - fixed)
-            self._run_stage(stream, chi, uncolored, cubes, kk, epoch, stage_index)
+            self._run_stage(
+                stream, chi, uncolored, cubes, kk, epoch, stage_index, use_blocks
+            )
             fixed += kk
         # --- end-of-epoch pass: collect F (line 29) ---
+        # Cubes are singletons here, so "equal proposals" is exactly "equal
+        # cube values"; the block path reuses the conflict-edge collector.
         proposals = {x: cubes[x].sole_color for x in uncolored}
-        conflict_edges = []
-        seen = set()
-        for token in stream.new_pass():
-            if not isinstance(token, EdgeToken):
-                continue
-            u, v = token.u, token.v
-            if u in uncolored and v in uncolored and proposals[u] == proposals[v]:
-                key = (min(u, v), max(u, v))
-                if key not in seen:
-                    seen.add(key)
-                    conflict_edges.append(key)
+        if use_blocks:
+            conflict_edges = self._collect_conflict_edges_blocks(
+                stream, uncolored, cubes
+            )
+        else:
+            conflict_edges = []
+            seen = set()
+            for token in stream.new_pass():
+                if not isinstance(token, EdgeToken):
+                    continue
+                u, v = token.u, token.v
+                if u in uncolored and v in uncolored and proposals[u] == proposals[v]:
+                    key = (min(u, v), max(u, v))
+                    if key not in seen:
+                        seen.add(key)
+                        conflict_edges.append(key)
         self.meter.set_gauge(
             "epoch conflict edges F",
             len(conflict_edges) * 2 * ceil_log2(max(2, n)),
@@ -209,30 +257,35 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
     # ------------------------------------------------------------------
     # stage logic (Algorithm 1, lines 12-27)
     # ------------------------------------------------------------------
-    def _run_stage(self, stream, chi, uncolored, cubes, kk, epoch, stage_index) -> None:
+    def _run_stage(
+        self, stream, chi, uncolored, cubes, kk, epoch, stage_index, use_blocks
+    ) -> None:
         n, delta = self.n, self.delta
         s = 1 << kk
         members = sorted(uncolored)
         # --- pass 1: slack counters (line 14) ---
-        used = {x: np.zeros(s, dtype=np.int64) for x in members}
         self.meter.set_gauge(
             "stage counters", len(members) * s * ceil_log2(max(2, delta + 2))
         )
-        for token in stream.new_pass():
-            if not isinstance(token, EdgeToken):
-                continue
-            for x, y in ((token.u, token.v), (token.v, token.u)):
-                if x in uncolored:
-                    color = chi.get(y)
-                    if color is not None and cubes[x].contains(color):
-                        used[x][cubes[x].pattern_of(color, kk)] += 1
-        slacks = {}
-        for x in members:
-            base = np.array(
-                [cubes[x].subpattern_count(delta + 1, j, kk) for j in range(s)],
-                dtype=np.int64,
-            )
-            slacks[x] = np.maximum(0, base - used[x])
+        if use_blocks:
+            slacks = self._stage_slacks_blocks(stream, chi, uncolored, cubes, kk, members)
+        else:
+            used = {x: np.zeros(s, dtype=np.int64) for x in members}
+            for token in stream.new_pass():
+                if not isinstance(token, EdgeToken):
+                    continue
+                for x, y in ((token.u, token.v), (token.v, token.u)):
+                    if x in uncolored:
+                        color = chi.get(y)
+                        if color is not None and cubes[x].contains(color):
+                            used[x][cubes[x].pattern_of(color, kk)] += 1
+            slacks = {}
+            for x in members:
+                base = np.array(
+                    [cubes[x].subpattern_count(delta + 1, j, kk) for j in range(s)],
+                    dtype=np.int64,
+                )
+                slacks[x] = np.maximum(0, base - used[x])
         potential_before = None
         if self.instrument:
             potential_before = self._measure_potential(stream, chi, uncolored, cubes, slacks=None)
@@ -247,14 +300,19 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
             for x in members:
                 selector.register_vertex(x, np.arange(s), slacks[x])
             self.meter.set_gauge("part accumulators", selector.accumulator_bits())
+            collect = (
+                self._collect_conflict_edges_blocks
+                if use_blocks
+                else self._collect_conflict_edges
+            )
             # --- pass 2: part sums over the sqrt(|H|) parts (lines 20-23) ---
-            conflict_edges = self._collect_conflict_edges(stream, uncolored, cubes)
+            conflict_edges = collect(stream, uncolored, cubes)
             part = selector.part_sums(conflict_edges)
-            a_star = int(np.argmin(part)) if conflict_edges else 0
+            a_star = int(np.argmin(part)) if len(conflict_edges) else 0
             # --- pass 3: members of the best part (lines 24-26) ---
-            conflict_edges = self._collect_conflict_edges(stream, uncolored, cubes)
+            conflict_edges = collect(stream, uncolored, cubes)
             member = selector.member_sums(a_star, conflict_edges)
-            b_star = int(np.argmin(member)) if conflict_edges else 0
+            b_star = int(np.argmin(member)) if len(conflict_edges) else 0
             proposals = {
                 x: selector.proposal_for(x, a_star, b_star) for x in members
             }
@@ -308,18 +366,107 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
         return edges
 
     # ------------------------------------------------------------------
-    def _final_pass(self, stream, chi, uncolored) -> None:
+    # vectorized block passes (same passes, same counts, same gauges)
+    # ------------------------------------------------------------------
+    def _stage_slacks_blocks(self, stream, chi, uncolored, cubes, kk, members):
+        """Pass 1 over edge blocks: ``np.bincount`` instead of per-token dicts.
+
+        Within an epoch every uncolored vertex's subcube shares ``(b,
+        fixed)`` and differs only in ``value``, so membership and
+        ``pattern_of`` reduce to branch-free bit arithmetic on arrays.
+        """
+        n, delta = self.n, self.delta
+        s = 1 << kk
+        fixed = cubes[members[0]].fixed
+        chi_arr, unc, cube_value = self._state_arrays(chi, uncolored, cubes)
+        low_mask = (1 << fixed) - 1
+        # Batch flat (vertex, pattern) keys and flush into the histogram
+        # whenever the batch tops _FLUSH_KEYS: O(m + n*s*flushes) work with
+        # peak memory bounded by the batch, not the stream length, so the
+        # O(chunk_size)-memory promise of lazy sources survives this pass.
+        counts = np.zeros(n * s, dtype=np.int64)
+        key_chunks: list = []
+        pending = 0
+        for item in stream.new_pass():
+            if not isinstance(item, np.ndarray):
+                continue
+            for x, y in ((item[:, 0], item[:, 1]), (item[:, 1], item[:, 0])):
+                cy = chi_arr[y]
+                sel = unc[x] & (cy > 0) & (((cy - 1) & low_mask) == cube_value[x])
+                if not sel.any():
+                    continue
+                pattern = ((cy[sel] - 1) >> fixed) & (s - 1)
+                key_chunks.append(x[sel] * s + pattern)
+                pending += len(key_chunks[-1])
+                if pending >= _FLUSH_KEYS:
+                    counts += np.bincount(
+                        np.concatenate(key_chunks), minlength=n * s
+                    )
+                    key_chunks.clear()
+                    pending = 0
+        # The deferred histogram replaces counting work the token path does
+        # inside its (timed) loop; charge it to the pass it belongs to.
+        reduce_start = time.perf_counter()
+        if key_chunks:
+            counts += np.bincount(np.concatenate(key_chunks), minlength=n * s)
+        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        used = counts.reshape(n, s)[members]
+        # base[i, j] = |restrict(j, kk) ∩ [1, delta+1]| in closed form.
+        hi = delta + 1
+        step = 1 << (fixed + kk)
+        values = cube_value[members][:, None] | (
+            np.arange(s, dtype=np.int64)[None, :] << fixed
+        )
+        base = np.where(values >= hi, 0, (hi - 1 - values) // step + 1)
+        slack_matrix = np.maximum(0, base - used)
+        return {x: slack_matrix[i] for i, x in enumerate(members)}
+
+    def _collect_conflict_edges_blocks(self, stream, uncolored, cubes):
+        """Block twin of :meth:`_collect_conflict_edges`.
+
+        Returns the identical conflict-edge sequence as a ``(k, 2)`` array:
+        unique and in first-occurrence stream order, matching the token
+        path's list exactly.  Order matters — the selector accumulates
+        float potentials per edge, and near-ties under a different
+        summation order could flip the argmin.
+        """
+        from repro.graph.csr import dedupe_edges
+
+        _, unc, cube_value = self._state_arrays({}, uncolored, cubes)
+        chunks = []
+        for item in stream.new_pass():
+            if not isinstance(item, np.ndarray):
+                continue
+            u, v = item[:, 0], item[:, 1]
+            sel = unc[u] & unc[v] & (cube_value[u] == cube_value[v])
+            if sel.any():
+                chunks.append(item[sel])
+        if not chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        # Deferred dedup mirrors the token path's (timed) in-loop seen-set.
+        reduce_start = time.perf_counter()
+        edges = dedupe_edges(self.n, np.concatenate(chunks), keep_order=True)
+        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        return edges
+
+    # ------------------------------------------------------------------
+    def _final_pass(self, stream, chi, uncolored, use_blocks=False) -> None:
         """Line 6-7: collect all edges incident to U, then finish greedily."""
         n = self.n
-        adjacency: dict[int, set[int]] = {x: set() for x in uncolored}
-        stored = 0
-        for token in stream.new_pass():
-            if not isinstance(token, EdgeToken):
-                continue
-            for x, y in ((token.u, token.v), (token.v, token.u)):
-                if x in uncolored and y not in adjacency.get(x, ()):
-                    adjacency[x].add(y)
-                    stored += 1
+        if use_blocks:
+            adjacency, stored = self._collect_final_adjacency_blocks(
+                stream, uncolored
+            )
+        else:
+            adjacency = {x: set() for x in uncolored}
+            stored = 0
+            for token in stream.new_pass():
+                if not isinstance(token, EdgeToken):
+                    continue
+                for x, y in ((token.u, token.v), (token.v, token.u)):
+                    if x in uncolored and y not in adjacency.get(x, ()):
+                        adjacency[x].add(y)
+                        stored += 1
         self.meter.set_gauge("final edges", stored * 2 * ceil_log2(max(2, n)))
         palette = set(range(1, self.delta + 2))
         for x in sorted(uncolored):
@@ -331,16 +478,59 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
         uncolored.clear()
         self.meter.clear_gauge("final edges")
 
+    def _collect_final_adjacency_blocks(self, stream, uncolored):
+        """Block twin of the final-pass edge collection.
+
+        Gathers the unique directed pairs ``(x, y)`` with ``x`` uncolored
+        (exactly what the token path's per-vertex sets hold), then groups
+        them into adjacency lists with one sort.
+        """
+        _, unc = self._state_arrays({}, uncolored)
+        chunks = []
+        for item in stream.new_pass():
+            if not isinstance(item, np.ndarray):
+                continue
+            u, v = item[:, 0], item[:, 1]
+            keep = unc[u] | unc[v]
+            if keep.any():
+                chunks.append(item[keep])
+        adjacency: dict[int, list] = {x: [] for x in uncolored}
+        if not chunks:
+            return adjacency, 0
+        # Deferred grouping mirrors the token path's (timed) in-loop
+        # adjacency-set building.
+        reduce_start = time.perf_counter()
+        arr = np.concatenate(chunks)
+        fwd = arr[unc[arr[:, 0]]]
+        rev = arr[unc[arr[:, 1]]][:, ::-1]
+        pairs = np.concatenate([fwd, rev])
+        keys = np.unique(pairs[:, 0] * self.n + pairs[:, 1])
+        xs, ys = keys // self.n, keys % self.n
+        boundaries = np.flatnonzero(np.diff(xs)) + 1
+        for group_x, group_ys in zip(
+            xs[np.concatenate(([0], boundaries))],
+            np.split(ys, boundaries),
+        ):
+            adjacency[int(group_x)] = group_ys.tolist()
+        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        return adjacency, len(keys)
+
     # ------------------------------------------------------------------
     def _measure_potential(self, stream, chi, uncolored, cubes, slacks) -> float:
         """Out-of-band diagnostic: Phi via Lemma 3.3 (sum of dconf(x)/s_x).
 
-        Reads ``stream.tokens`` directly (not ``new_pass``) so that
-        instrumentation does not distort the pass count.
+        Reads the stream out-of-band (``tokens`` / ``iter_tokens``, not
+        ``new_pass``) so that instrumentation does not distort the pass
+        count.
         """
         dconf = {x: 0 for x in uncolored}
         used_total = {x: 0 for x in uncolored}
-        for token in stream.tokens:
+        tokens = (
+            stream.iter_tokens()
+            if isinstance(stream, StreamSource)
+            else stream.tokens
+        )
+        for token in tokens:
             if not isinstance(token, EdgeToken):
                 continue
             u, v = token.u, token.v

@@ -186,7 +186,12 @@ class SlackWeightedSelector:
         return s
 
     def part_sums(self, conflict_edges) -> np.ndarray:
-        """Pass 2: ``sum_b Phi-contribution`` for every part ``a`` (exactly)."""
+        """Pass 2: ``sum_b Phi-contribution`` for every part ``a`` (exactly).
+
+        ``conflict_edges`` is a list of ``(u, v)`` pairs or a ``(k, 2)``
+        array (the block data plane hands arrays; the sum is
+        order-insensitive so both give identical results).
+        """
         p = self.p
         parts = np.zeros(p)
         a = np.arange(p)
@@ -212,7 +217,7 @@ class SlackWeightedSelector:
 
     def choose(self, conflict_edges) -> tuple[int, int]:
         """Run the two-level search and return the selected ``(a*, b*)``."""
-        if not conflict_edges:
+        if len(conflict_edges) == 0:
             return (0, 0)  # any member works; nothing to optimize
         parts = self.part_sums(conflict_edges)
         a_star = int(np.argmin(parts))

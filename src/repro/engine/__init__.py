@@ -49,7 +49,15 @@ from repro.engine.result import (
     ColoringResult,
     validate_result_dict,
 )
-from repro.engine.runner import GameSpec, RunSpec, make_adversary, run, run_game
+from repro.engine.runner import (
+    GRAPH_FAMILIES,
+    STREAM_BACKENDS,
+    GameSpec,
+    RunSpec,
+    make_adversary,
+    run,
+    run_game,
+)
 
 __all__ = [
     "ACS22Config",
@@ -59,6 +67,7 @@ __all__ = [
     "CGS22Config",
     "ColoringResult",
     "DeterministicConfig",
+    "GRAPH_FAMILIES",
     "GameSpec",
     "GridRunner",
     "GridSpec",
@@ -70,6 +79,7 @@ __all__ = [
     "RESULT_SCHEMA",
     "RobustConfig",
     "RunSpec",
+    "STREAM_BACKENDS",
     "StreamingColorer",
     "make_adversary",
     "results_table",

@@ -12,22 +12,53 @@ same schema, but the algorithm plays the Section 2 insert/query game
 instead of reading a static stream.
 """
 
+import tempfile
 import time
 from dataclasses import dataclass, field
 
-from repro.common.exceptions import ReproError
+import numpy as np
+
+from repro.common.exceptions import ImproperColoringError, ReproError
 from repro.engine.registry import REGISTRY, AlgorithmRegistry
 from repro.engine.result import ColoringResult
 from repro.graph.coloring import (
     monochromatic_edges,
     num_colors_used,
     validate_coloring,
+    validate_coloring_blocks,
 )
 from repro.graph.graph import Graph
+from repro.streaming.source import (
+    DEFAULT_CHUNK_SIZE,
+    FileSource,
+    GeneratorSource,
+    StreamSource,
+    write_edge_file,
+)
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken, ListToken
 
-__all__ = ["GameSpec", "RunSpec", "make_adversary", "run", "run_game"]
+__all__ = [
+    "GRAPH_FAMILIES",
+    "GameSpec",
+    "RunSpec",
+    "STREAM_BACKENDS",
+    "make_adversary",
+    "run",
+    "run_game",
+]
+
+#: Valid ``RunSpec.stream_backend`` values.  ``tokens`` is the legacy
+#: token-at-a-time path; the other three construct block sources
+#: (``materialized`` in-memory, ``generator`` lazily regenerated each pass,
+#: ``file`` memory-mapped from a binary edge file written on the fly).
+STREAM_BACKENDS = ("tokens", "materialized", "generator", "file")
+
+#: Valid ``RunSpec.graph_family`` values.  ``random_max_degree`` is the
+#: classic proposal-loop workload; ``near_regular`` is the vectorized
+#: Hamiltonian-cycle construction (max degree <= delta, numpy-built, the
+#: one to use at n >= 10^4 where the proposal loop dominates runtime).
+GRAPH_FAMILIES = ("random_max_degree", "near_regular")
 
 
 @dataclass(frozen=True)
@@ -39,6 +70,16 @@ class RunSpec:
     :func:`repro.graph.generators.random_max_degree_graph`; algorithms
     whose registry entry sets ``needs_lists`` additionally get a random
     list assignment (``list_seed``) interleaved via ``stream_seed``.
+
+    ``stream_backend`` selects the data-plane view (see
+    :data:`STREAM_BACKENDS`): ``tokens`` is the legacy token-at-a-time
+    stream; ``materialized`` / ``generator`` / ``file`` construct chunked
+    block sources (``chunk_size`` edges per block) carrying the identical
+    edge sequence, so results are bit-for-bit equal across backends while
+    block-capable algorithms run their passes vectorized.
+    ``graph_family`` picks the workload generator (see
+    :data:`GRAPH_FAMILIES`); ``near_regular`` is the numpy-built family
+    for n >= 10^4 instances.
     """
 
     algorithm: str
@@ -48,9 +89,12 @@ class RunSpec:
     config: dict = field(default_factory=dict)
     graph_seed: int | None = None
     graph_fill: float = 0.9
+    graph_family: str = "random_max_degree"
     stream_order: str = "insertion"
     stream_seed: int | None = None
     list_seed: int | None = None
+    stream_backend: str = "tokens"
+    chunk_size: int = DEFAULT_CHUNK_SIZE
     validate: bool = True
     keep_coloring: bool = False
     tags: dict = field(default_factory=dict)
@@ -92,26 +136,92 @@ def make_adversary(kind: str, seed: int):
     return kinds[kind](seed)
 
 
-def _build_stream(spec: RunSpec, entry, config) -> TokenStream:
+def _build_stream(spec: RunSpec, entry, config):
     from repro.graph.generators import (
+        near_regular_edge_array,
         random_list_assignment,
         random_max_degree_graph,
     )
-    from repro.streaming.stream import stream_from_graph, stream_with_lists
+    from repro.streaming.stream import order_edges, stream_with_lists
+    from repro.streaming.tokens import edge_tokens
 
+    if spec.stream_backend not in STREAM_BACKENDS:
+        raise ReproError(
+            f"unknown stream_backend {spec.stream_backend!r}; "
+            f"valid: {list(STREAM_BACKENDS)}"
+        )
+    if spec.graph_family not in GRAPH_FAMILIES:
+        raise ReproError(
+            f"unknown graph_family {spec.graph_family!r}; "
+            f"valid: {list(GRAPH_FAMILIES)}"
+        )
     graph_seed = spec.graph_seed if spec.graph_seed is not None else spec.seed
-    graph = random_max_degree_graph(
-        spec.n, spec.delta, seed=graph_seed, fill=spec.graph_fill
-    )
+
+    def make_graph():
+        if spec.graph_family == "near_regular":
+            return Graph(
+                spec.n,
+                near_regular_edge_array(spec.n, spec.delta, graph_seed).tolist(),
+            )
+        return random_max_degree_graph(
+            spec.n, spec.delta, seed=graph_seed, fill=spec.graph_fill
+        )
+
     if entry.needs_lists:
+        if spec.stream_backend not in ("tokens", "materialized"):
+            raise ReproError(
+                f"algorithm {entry.name!r} needs list tokens; the "
+                f"{spec.stream_backend!r} backend carries edges only "
+                "(use tokens or materialized)"
+            )
+        graph = make_graph()
         universe = getattr(config, "universe", None) or 2 * (spec.delta + 1)
         lists = random_list_assignment(
             graph, palette_size=universe, seed=spec.list_seed or 0
         )
-        return stream_with_lists(graph, lists, seed=spec.stream_seed)
-    return stream_from_graph(
-        graph, seed=spec.stream_seed, order=spec.stream_order
-    )
+        stream = stream_with_lists(graph, lists, seed=spec.stream_seed)
+        if spec.stream_backend == "materialized":
+            return stream.as_source(spec.chunk_size)
+        return stream
+
+    def make_edges():
+        """The family's sorted edge list, arranged into the stream order."""
+        if spec.graph_family == "near_regular":
+            base = [
+                tuple(e)
+                for e in near_regular_edge_array(
+                    spec.n, spec.delta, graph_seed
+                ).tolist()
+            ]
+        else:
+            base = make_graph().edge_list()
+        return order_edges(base, seed=spec.stream_seed, order=spec.stream_order)
+
+    if spec.stream_backend == "generator":
+        # Lazy: the same edges + ordering are re-derived on every pass and
+        # nothing survives between passes (the regeneration itself
+        # materializes the edges transiently, so this trades repeated
+        # generator work for not *retaining* the stream).
+        def regenerate():
+            edges = make_edges()
+            if not edges:
+                return np.empty((0, 2), dtype=np.int64)
+            return np.asarray(edges, dtype=np.int64)
+
+        return GeneratorSource(regenerate, spec.n, chunk_size=spec.chunk_size)
+
+    if spec.stream_backend == "file":
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-edges-")
+        path = f"{tmpdir.name}/edges.bin"
+        write_edge_file(path, spec.n, iter(make_edges()))
+        source = FileSource(path, chunk_size=spec.chunk_size)
+        source._tmpdir = tmpdir  # tie the temp file's lifetime to the source
+        return source
+
+    stream = TokenStream(edge_tokens(make_edges()), spec.n)
+    if spec.stream_backend == "materialized":
+        return stream.as_source(spec.chunk_size)
+    return stream
 
 
 def _graph_and_lists(stream: TokenStream) -> tuple[Graph, dict | None]:
@@ -124,6 +234,85 @@ def _graph_and_lists(stream: TokenStream) -> tuple[Graph, dict | None]:
         elif isinstance(token, ListToken):
             lists[token.x] = token.colors
     return graph, (lists or None)
+
+
+def _backend_label(stream) -> str:
+    """The data plane actually driven, from the stream's type.
+
+    ``run`` accepts prebuilt streams, so the spec's ``stream_backend``
+    field may not describe what really ran; result rows record this
+    instead.
+    """
+    from repro.streaming.source import MaterializedSource
+
+    if isinstance(stream, FileSource):
+        return "file"
+    if isinstance(stream, GeneratorSource):
+        return "generator"
+    if isinstance(stream, MaterializedSource):
+        return "materialized"
+    if isinstance(stream, StreamSource):
+        return type(stream).__name__
+    return "tokens"
+
+
+def _check_output(spec: RunSpec, stream, coloring, palette_bound, entry) -> bool:
+    """Validate (or measure) the output coloring against the stream's graph.
+
+    Block sources validate vectorized, one block at a time (O(chunk_size)
+    memory — the full edge array is never concatenated); token streams and
+    list-coloring inputs go through the reconstructed :class:`Graph`.
+    Returns measured properness when ``spec.validate`` is false.
+    """
+    from repro.graph.coloring import coloring_array, first_monochromatic
+
+    if isinstance(stream, StreamSource):
+        if entry.needs_lists:
+            # List constraints need the reconstructed per-vertex lists:
+            # fall through to the Graph-based path via the shim.
+            stream = stream.as_token_stream()
+        else:
+            colors = coloring_array(stream.n, coloring)
+            if spec.validate:
+                validate_coloring_blocks(
+                    stream.n,
+                    np.empty((0, 2), dtype=np.int64),
+                    coloring,
+                    palette_size=palette_bound if entry.enforce_palette else None,
+                )  # totality + palette; edges checked block-by-block below
+                edge_total = 0
+                for item in stream.iter_items():
+                    if not isinstance(item, np.ndarray):
+                        continue
+                    edge_total += len(item)
+                    witness = first_monochromatic(colors, item)
+                    if witness is not None:
+                        raise ImproperColoringError(*witness)
+                # The sweep saw every edge; spare lazy sources a re-scan.
+                stream.note_edge_count(edge_total)
+                return True
+            if not bool((colors != 0).all()):
+                return False
+            edge_total = 0
+            for item in stream.iter_items():
+                if isinstance(item, np.ndarray):
+                    edge_total += len(item)
+                    if first_monochromatic(colors, item) is not None:
+                        return False
+            stream.note_edge_count(edge_total)
+            return True
+    graph, lists = _graph_and_lists(stream)
+    if spec.validate:
+        validate_coloring(
+            graph,
+            coloring,
+            palette_size=palette_bound if entry.enforce_palette else None,
+            lists=lists if entry.needs_lists else None,
+        )
+        return True
+    return all(
+        coloring.get(v) is not None for v in range(graph.n)
+    ) and not monochromatic_edges(graph, coloring)
 
 
 def run(
@@ -142,13 +331,36 @@ def run(
     registry = registry if registry is not None else REGISTRY
     entry = registry.get(spec.algorithm)
     config = entry.make_config(spec.config)
+    owns_stream = stream is None
     if stream is None:
         stream = _build_stream(spec, entry, config)
     elif stream.n != spec.n:
         raise ReproError(
             f"stream is over {stream.n} vertices but the spec says n={spec.n}"
         )
+    try:
+        return _run_on_stream(spec, entry, config, stream)
+    finally:
+        if owns_stream:
+            _dispose_stream(stream)
+
+
+def _dispose_stream(stream) -> None:
+    """Explicitly release a runner-built stream's resources.
+
+    File-backend streams carry a temp directory; cleaning it up here (with
+    the mapping closed first) keeps cleanup deterministic instead of
+    leaving it to GC finalizers and their ResourceWarnings.
+    """
+    tmpdir = getattr(stream, "_tmpdir", None)
+    if tmpdir is not None:
+        stream.close()
+        tmpdir.cleanup()
+
+
+def _run_on_stream(spec, entry, config, stream) -> ColoringResult:
     passes_before = stream.passes_used
+    timings_before = len(stream.pass_seconds)
 
     algo = entry.create(spec.n, spec.delta, spec.seed, config)
     start = time.perf_counter()
@@ -156,21 +368,21 @@ def run(
     wall_time = time.perf_counter() - start
 
     palette_bound = algo.palette_bound
-    graph, lists = _graph_and_lists(stream)
-    if spec.validate:
-        validate_coloring(
-            graph,
-            coloring,
-            palette_size=palette_bound if entry.enforce_palette else None,
-            lists=lists if entry.needs_lists else None,
-        )
-        proper = True
-    else:
-        proper = (
-            all(coloring.get(v) is not None for v in range(graph.n))
-            and not monochromatic_edges(graph, coloring)
-        )
-    extras = {"stream_edges": stream.edge_count()}
+    proper = _check_output(spec, stream, coloring, palette_bound, entry)
+    extras = {
+        "stream_edges": stream.edge_count(),
+        "stream_backend": _backend_label(stream),
+    }
+    if isinstance(stream, StreamSource):
+        extras["chunk_size"] = stream.chunk_size
+    pass_times = list(stream.pass_seconds[timings_before:])
+    if pass_times:
+        extras["pass_wall_times"] = [round(t, 6) for t in pass_times]
+        scan_seconds = sum(pass_times)
+        if scan_seconds > 0:
+            extras["edges_per_sec"] = round(
+                stream.edge_count() * len(pass_times) / scan_seconds, 1
+            )
     extras.update(entry.collect_extras(algo))
     return ColoringResult(
         algorithm=entry.name,

@@ -14,6 +14,7 @@ from repro.graph.coloring import (
     num_colors_used,
     validate_coloring,
 )
+from repro.graph.csr import CSRGraph
 from repro.graph.degeneracy import (
     degeneracy,
     degeneracy_coloring,
@@ -23,6 +24,7 @@ from repro.graph.graph import Graph
 from repro.graph.independent_set import turan_independent_set
 
 __all__ = [
+    "CSRGraph",
     "Graph",
     "degeneracy",
     "degeneracy_coloring",

@@ -134,3 +134,69 @@ def validate_coloring(
         for v, c in coloring.items():
             if c is not None and c not in lists[v]:
                 raise ListViolationError(v, c)
+
+
+def coloring_array(n: int, coloring: dict[int, int]):
+    """A length-n int64 numpy array of colors, 0 where unset/``None``.
+
+    The one canonical dict-to-array conversion the vectorized paths share
+    (validators, properness measures, the block data plane's state
+    snapshots).
+    """
+    import numpy as np
+
+    colors = np.zeros(n, dtype=np.int64)
+    for v, c in coloring.items():
+        if c is not None:
+            colors[v] = c
+    return colors
+
+
+def first_monochromatic(colors, edges):
+    """First edge of the ``(k, 2)`` array violated by ``colors``, or None.
+
+    ``colors`` is a :func:`coloring_array`; 0 (unset) never conflicts.
+    Any other equal pair is a violation — including out-of-domain
+    non-positive colors, matching the token path's ``is not None`` test.
+    """
+    import numpy as np
+
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    cu = colors[edges[:, 0]]
+    cv = colors[edges[:, 1]]
+    bad = np.flatnonzero((cu != 0) & (cu == cv))
+    if len(bad):
+        i = int(bad[0])
+        return int(edges[i, 0]), int(edges[i, 1]), int(cu[i])
+    return None
+
+
+def validate_coloring_blocks(
+    n: int,
+    edges,
+    coloring: dict[int, int],
+    palette_size=None,
+    require_total=True,
+) -> None:
+    """Vectorized :func:`validate_coloring` over an ``(m, 2)`` edge array.
+
+    Raises the same exceptions with the same witnesses (first violation in
+    vertex/edge order) without materializing a :class:`Graph`.  List
+    constraints are not supported here — list-coloring runs validate
+    through the token path.
+    """
+    import numpy as np
+
+    colors = coloring_array(n, coloring)
+    if require_total:
+        unset = np.flatnonzero(colors == 0)
+        if len(unset):
+            raise ReproError(f"vertex {int(unset[0])} left uncolored")
+    witness = first_monochromatic(colors, edges)
+    if witness is not None:
+        raise ImproperColoringError(*witness)
+    if palette_size is not None:
+        out = np.flatnonzero((colors != 0) & ((colors < 1) | (colors > palette_size)))
+        if len(out):
+            v = int(out[0])
+            raise PaletteExceededError(v, int(colors[v]), palette_size)

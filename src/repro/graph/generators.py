@@ -17,6 +17,8 @@ algorithms:
   ``|L_v| = deg(v) + 1 + slack`` for the Theorem 2 workload.
 """
 
+import numpy as np
+
 from repro.common.rng import SeededRng
 from repro.graph.graph import Graph
 
@@ -195,6 +197,75 @@ def random_list_assignment(
         size = graph.degree(v) + 1 + slack
         lists[v] = set(rng.sample(universe, size))
     return lists
+
+
+# ----------------------------------------------------------------------
+# Vectorized edge-array generators (the block data plane's workloads).
+#
+# The set-based generators above propose one edge at a time through Python
+# loops, which dominates runtime long before any streaming pass does once
+# n reaches 10^4-10^5.  The functions below build (m, 2) int64 edge arrays
+# with numpy only; they feed StreamSource backends and CSRGraph directly
+# and never materialize a Python object per edge.  They are separate
+# families (different seeds give different graphs than the loop-based
+# generators), not vectorized re-implementations of them.
+# ----------------------------------------------------------------------
+
+
+def near_regular_edge_array(n: int, degree: int, seed: int) -> np.ndarray:
+    """Near-``degree``-regular edge array via random Hamiltonian cycles.
+
+    Takes the union of ``degree // 2`` uniformly random cycles on all of
+    ``[n]`` (plus one random perfect matching when ``degree`` is odd) and
+    deduplicates.  Max degree is at most ``degree``; the graph is exactly
+    regular up to the (rare, for ``degree << n``) collisions removed by the
+    dedup.  Runs in O(m) numpy time — an n=10^5, degree=24 instance builds
+    in milliseconds where the proposal-loop generator takes minutes.
+    """
+    if degree >= n:
+        raise ValueError(f"degree={degree} must be < n={n}")
+    if n < 3 and degree > 0:
+        raise ValueError("need n >= 3 for a cycle construction")
+    from repro.graph.csr import dedupe_edges
+
+    rng = np.random.default_rng(seed)
+    chunks = []
+    for _ in range(degree // 2):
+        perm = rng.permutation(n).astype(np.int64)
+        chunks.append(np.stack([perm, np.roll(perm, -1)], axis=1))
+    if degree % 2 == 1:
+        # Random matching; for odd n a uniformly random vertex sits out
+        # (the permutation is over all of [n], the trailing element drops).
+        perm = rng.permutation(n).astype(np.int64)[: n - (n % 2)]
+        chunks.append(perm.reshape(-1, 2))
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    return dedupe_edges(n, np.concatenate(chunks))
+
+
+def gnm_edge_array(n: int, m: int, seed: int) -> np.ndarray:
+    """Uniform simple graph with exactly ``m`` edges, as an edge array.
+
+    Samples vertex pairs in vectorized batches and deduplicates until ``m``
+    distinct edges are collected (rejection is cheap while ``m`` is well
+    below ``n*(n-1)/2``).
+    """
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds the {max_m} possible edges")
+    rng = np.random.default_rng(seed)
+    keys = np.empty(0, dtype=np.int64)
+    while len(keys) < m:
+        need = m - len(keys)
+        u = rng.integers(0, n, size=2 * need + 16, dtype=np.int64)
+        v = rng.integers(0, n, size=2 * need + 16, dtype=np.int64)
+        ok = u != v
+        lo = np.minimum(u[ok], v[ok])
+        hi = np.maximum(u[ok], v[ok])
+        keys = np.unique(np.concatenate([keys, lo * n + hi]))
+    keys = keys[rng.permutation(len(keys))[:m]]
+    keys.sort()
+    return np.stack([keys // n, keys % n], axis=1)
 
 
 def interval_lists(graph: Graph, palette_size: int) -> dict[int, set[int]]:

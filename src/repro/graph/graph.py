@@ -63,9 +63,13 @@ class Graph:
         self._check_vertex(v)
         return v in self._adj[u]
 
-    def neighbors(self, v: int) -> set[int]:
-        """The (live) adjacency set of ``v``.  Do not mutate."""
-        return self._adj[v]
+    def neighbors(self, v: int) -> frozenset[int]:
+        """A read-only snapshot of the adjacency set of ``v``.
+
+        Returns a :class:`frozenset` so callers cannot corrupt the graph by
+        mutating what used to be the live internal set.
+        """
+        return frozenset(self._adj[v])
 
     def degree(self, v: int) -> int:
         """Degree of ``v``."""
@@ -83,15 +87,34 @@ class Graph:
         return self._m
 
     def edges(self):
-        """Iterate over edges as ``(u, v)`` with ``u < v``."""
+        """Iterate over edges as ``(u, v)`` with ``u < v``, in sorted order.
+
+        The order is deterministic (lexicographic), independent of edge
+        insertion order — set iteration order is an implementation detail
+        that must not leak into streams built from graphs.
+        """
         for u in range(self.n):
-            for v in self._adj[u]:
+            for v in sorted(self._adj[u]):
                 if u < v:
                     yield (u, v)
 
     def edge_list(self) -> list[tuple[int, int]]:
-        """All edges as a list of ``(u, v)`` with ``u < v``."""
+        """All edges as a sorted list of ``(u, v)`` with ``u < v``."""
         return list(self.edges())
+
+    def edge_array(self):
+        """All edges as a sorted ``(m, 2)`` int64 numpy array (``u < v``)."""
+        import numpy as np
+
+        if self._m == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(self.edge_list(), dtype=np.int64)
+
+    def to_csr(self) -> "CSRGraph":
+        """A frozen, array-backed :class:`repro.graph.csr.CSRGraph` view."""
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_graph(self)
 
     # ------------------------------------------------------------------
     # derived graphs

@@ -13,9 +13,19 @@ the independent set, and remove its closed neighborhood.  Each pick lowers
 the potential ``psi`` by at most 1, giving ``|I| >= psi(G)``.
 """
 
+import math
 from fractions import Fraction
 
+import numpy as np
+
 from repro.graph.graph import Graph
+
+# Base slack added to the float minimum when collecting candidates for the
+# exact comparison.  The actual band is widened by the worst-case float
+# accumulation error of summing D+1 terms in (0, 1] — O(D^2) ulps — so the
+# true minimizer always lands inside the band and gets re-scored exactly,
+# whatever the live degrees are.
+_BAND_EPS = 1e-9
 
 
 def turan_bound(n: int, m: int) -> Fraction:
@@ -28,43 +38,92 @@ def turan_bound(n: int, m: int) -> Fraction:
 def turan_independent_set(graph: Graph) -> list[int]:
     """Find an independent set of size ``>= n^2/(2m+n)`` (Lemma 2.1).
 
-    Exact rational arithmetic is used for the selection rule so the
-    guarantee of the lemma holds bit-for-bit (floating point could in
-    principle pick a wrong minimizer on adversarial inputs).
+    The paper's selection rule — repeatedly take the vertex minimizing
+    ``sum_{y in N[x]} 1/(deg(y)+1)`` over the live subgraph — is evaluated
+    vectorized over a CSR snapshot, with exact arithmetic throughout
+    (floating point alone could in principle pick a wrong minimizer on
+    adversarial inputs): the common tier scales every term to the integer
+    ``lcm(1..D+1) / (deg+1)`` so scores compare exactly in int64; when
+    that lcm would overflow, a float prefilter narrows to near-minimal
+    candidates which are re-scored with ``Fraction``.  Either way the
+    picked vertex is the exact minimizer, ties breaking toward the
+    smallest vertex id, and an n=16k conflict graph commits in
+    milliseconds instead of hours.  Isolated vertices are taken in
+    batches (removing them never affects anyone else's score, and
+    ``psi(G) = #isolated + psi(rest)`` keeps the guarantee intact).
     """
-    alive = set(range(graph.n))
-    deg = {v: graph.degree(v) for v in alive}
+    n = graph.n
+    alive = set(range(n))
     independent: list[int] = []
-    # Fast path: vertices with no live neighbors are always safe to take and
-    # removing them does not affect anyone else's degree or the guarantee
-    # (psi(G) = #isolated + psi(rest)).  The conflict graphs Algorithm 1
-    # feeds us are mostly isolated vertices, so this matters.
-    isolated = [v for v in alive if deg[v] == 0]
-    independent.extend(isolated)
-    alive -= set(isolated)
+    if n == 0:
+        return independent
+    deg_arr = np.array([graph.degree(v) for v in range(n)], dtype=np.int64)
+    alive_mask = np.ones(n, dtype=bool)
+    # CSR snapshot for the vectorized score computation.
+    csr = graph.to_csr()
+    src = np.repeat(np.arange(n, dtype=np.int64), csr.degrees)
+    dst = csr.indices
     while alive:
-        newly_isolated = [v for v in alive if deg[v] == 0]
-        if newly_isolated:
-            independent.extend(newly_isolated)
-            alive -= set(newly_isolated)
+        isolated = np.flatnonzero(alive_mask & (deg_arr == 0))
+        if len(isolated):
+            independent.extend(isolated.tolist())
+            alive.difference_update(isolated.tolist())
+            alive_mask[isolated] = False
             continue
-        best_vertex = None
-        best_score = None
-        for x in alive:
-            score = Fraction(1, deg[x] + 1)
-            for y in graph.neighbors(x):
-                if y in alive:
-                    score += Fraction(1, deg[y] + 1)
-            if best_score is None or score < best_score:
-                best_score = score
-                best_vertex = x
-        x = best_vertex
+        # Exact integer tier: with L = lcm(1..D+1) over the max live degree
+        # D, every term 1/(deg+1) scales to the integer L/(deg+1), and
+        # score comparisons become exact int64 comparisons.  Neighbor terms
+        # are accumulated as a (vertex, degree)-histogram (bincount of
+        # integer keys — no float summation anywhere), then one matmul
+        # against the scaled coefficients gives all scores at once.
+        d_max = int(deg_arr[alive_mask].max())
+        lcm = math.lcm(*range(1, d_max + 2))
+        width = d_max + 2
+        if lcm * width < 2**62:
+            own = np.where(alive_mask, lcm // (deg_arr + 1), 0)
+            live_dst = alive_mask[dst]
+            keys = src[live_dst] * width + (deg_arr[dst[live_dst]] + 1)
+            counts = np.bincount(keys, minlength=n * width).reshape(n, width)
+            coef = np.zeros(width, dtype=np.int64)
+            coef[1:] = lcm // np.arange(1, width, dtype=np.int64)
+            scores = own + counts @ coef
+            scores = np.where(alive_mask, scores, np.iinfo(np.int64).max)
+            x = int(np.argmin(scores))  # ties break toward the smallest id
+        else:
+            # Fallback for huge degrees (the lcm would overflow int64):
+            # float tier to find near-minimal candidates, exact Fractions
+            # to decide among them.
+            w = np.where(alive_mask, 1.0 / (deg_arr + 1.0), 0.0)
+            scores = w + np.bincount(src, weights=w[dst], minlength=n)
+            scores = np.where(alive_mask, scores, np.inf)
+            band_eps = _BAND_EPS + 4.0 * (d_max + 2) ** 2 * np.finfo(np.float64).eps
+            band = np.flatnonzero(scores <= scores.min() + band_eps)
+            best_vertex = None
+            best_score = None
+            for cand in band.tolist():
+                # Grouping live neighbors by degree keeps this to
+                # O(#distinct degrees) rational operations per candidate.
+                nbrs = dst[csr.indptr[cand] : csr.indptr[cand + 1]]
+                live = nbrs[alive_mask[nbrs]]
+                counts = np.bincount(deg_arr[live] + 1)
+                score = Fraction(1, int(deg_arr[cand]) + 1)
+                for k in np.flatnonzero(counts).tolist():
+                    score += Fraction(int(counts[k]), k)
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best_vertex = cand
+            x = best_vertex
         independent.append(x)
-        closed = {x} | {y for y in graph.neighbors(x) if y in alive}
+        # Neighbor lists come from the CSR snapshot (zero-copy slices), not
+        # Graph.neighbors(), which allocates a frozenset per call.
+        nbrs = dst[csr.indptr[x] : csr.indptr[x + 1]].tolist()
+        closed = {x} | {y for y in nbrs if y in alive}
         alive -= closed
+        closed_list = list(closed)
+        alive_mask[closed_list] = False
         # Update live degrees after deleting the closed neighborhood.
-        for y in closed:
-            for z in graph.neighbors(y):
+        for y in closed_list:
+            for z in dst[csr.indptr[y] : csr.indptr[y + 1]].tolist():
                 if z in alive:
-                    deg[z] -= 1
+                    deg_arr[z] -= 1
     return independent

@@ -1,4 +1,4 @@
-"""Streaming model: tokens, multipass streams, and algorithm interfaces.
+"""Streaming model: tokens, multipass streams, block sources, interfaces.
 
 The paper's two settings are represented directly:
 
@@ -8,17 +8,46 @@ The paper's two settings are represented directly:
 - **Adversarial single-pass** (Section 4): a :class:`OnePassAlgorithm`
   exposes ``process(u, v)`` / ``query()``, and the game loop in
   :mod:`repro.adversaries` drives it against an adaptive adversary.
+
+The data plane has two interchangeable views (see DESIGN.md, "Data
+plane"): the token-at-a-time :class:`TokenStream` and the array-backed,
+chunked :class:`StreamSource` (:class:`MaterializedSource`,
+:class:`GeneratorSource`, :class:`FileSource`), whose passes yield
+``(k, 2)`` numpy edge blocks.  Pass counting and space accounting are
+identical on both.
 """
 
 from repro.streaming.model import MultipassStreamingAlgorithm, OnePassAlgorithm
-from repro.streaming.stream import TokenStream
+from repro.streaming.source import (
+    DEFAULT_CHUNK_SIZE,
+    FileSource,
+    GeneratorSource,
+    MaterializedSource,
+    SourceTokenStream,
+    StreamSource,
+    as_edge_blocks,
+    read_edge_file_header,
+    write_edge_file,
+)
+from repro.streaming.stream import TokenStream, stream_from_graph, stream_with_lists
 from repro.streaming.tokens import EdgeToken, ListToken, edge_tokens
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "EdgeToken",
+    "FileSource",
+    "GeneratorSource",
     "ListToken",
+    "MaterializedSource",
     "MultipassStreamingAlgorithm",
     "OnePassAlgorithm",
+    "SourceTokenStream",
+    "StreamSource",
     "TokenStream",
+    "as_edge_blocks",
     "edge_tokens",
+    "read_edge_file_header",
+    "stream_from_graph",
+    "stream_with_lists",
+    "write_edge_file",
 ]

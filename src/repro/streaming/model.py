@@ -14,7 +14,10 @@ through that protocol.
 
 import abc
 
+import numpy as np
+
 from repro.common.space import SpaceMeter
+from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken
 
@@ -24,7 +27,15 @@ class MultipassStreamingAlgorithm(abc.ABC):
 
     Subclasses implement :meth:`run`, reading the stream only via
     ``stream.new_pass()`` and charging ``self.meter`` for state.
+
+    Algorithms with a vectorized pass loop set :attr:`supports_blocks` and
+    accept a :class:`~repro.streaming.source.StreamSource` in :meth:`run`;
+    for everyone else :meth:`color_stream` transparently adapts block
+    sources back to token iteration (same order, same pass counts).
     """
+
+    #: Set true by subclasses whose ``run`` consumes StreamSource blocks.
+    supports_blocks = False
 
     def __init__(self):
         self.meter = SpaceMeter()
@@ -33,8 +44,10 @@ class MultipassStreamingAlgorithm(abc.ABC):
     def run(self, stream: TokenStream) -> dict[int, int]:
         """Process the stream and return a total coloring ``vertex -> color``."""
 
-    def color_stream(self, stream: TokenStream) -> dict[int, int]:
-        """Protocol entry point: alias for :meth:`run`."""
+    def color_stream(self, stream) -> dict[int, int]:
+        """Protocol entry point: :meth:`run`, adapting block sources if needed."""
+        if isinstance(stream, StreamSource) and not self.supports_blocks:
+            stream = stream.as_token_stream()
         return self.run(stream)
 
     @property
@@ -72,12 +85,20 @@ class OnePassAlgorithm(abc.ABC):
     def query(self) -> dict[int, int]:
         """Return a coloring of every vertex, proper for the edges so far."""
 
-    def color_stream(self, stream: TokenStream) -> dict[int, int]:
+    def color_stream(self, stream) -> dict[int, int]:
         """Protocol entry point: feed every edge token, then query once.
 
         This is the static-stream (oblivious) driver; the adaptive setting
         goes through :func:`repro.adversaries.run_adversarial_game` instead.
+        Block sources are consumed block-by-block but processed in the
+        exact same edge order as the token path.
         """
+        if isinstance(stream, StreamSource):
+            for item in stream.new_pass():
+                if isinstance(item, np.ndarray):
+                    for u, v in item.tolist():
+                        self.process(u, v)
+            return self.query()
         for token in stream.new_pass():
             if isinstance(token, EdgeToken):
                 self.process(token.u, token.v)

@@ -1,0 +1,457 @@
+"""Array-backed, chunked stream sources: the block data plane.
+
+A :class:`StreamSource` is the high-throughput complement to
+:class:`~repro.streaming.stream.TokenStream`: one streaming pass yields
+numpy edge *blocks* — ``(k, 2)`` int64 arrays of up to ``chunk_size`` edges
+— instead of one Python object per edge.  List-coloring inputs interleave
+:class:`ListToken` items between blocks, preserving the Theorem 2 "any
+order" contract exactly.
+
+The pass/space model is untouched by the representation change: a source
+counts passes exactly like a token stream (one ``new_pass()`` = one pass,
+whatever the chunk size), and algorithms charge their :class:`SpaceMeter`
+identically on both paths.  See DESIGN.md, section "Data plane", for the
+faithfulness argument.
+
+Three concrete sources:
+
+- :class:`MaterializedSource` — chunked view over an in-memory
+  :class:`TokenStream`; shares its pass counter and supports the per-token
+  observer hook (communication protocol) by degrading to single-token
+  items when an observer is installed.
+- :class:`GeneratorSource` — lazy: re-generates the edge sequence from a
+  deterministic factory on every pass; O(chunk_size) memory, nothing is
+  ever materialized across passes.
+- :class:`FileSource` — memory-mapped binary edge file (format below);
+  :func:`write_edge_file` is the writer utility.
+
+Binary edge-file format (little-endian): 8-byte magic ``REPROED1``,
+``uint64 n``, ``uint64 m``, then ``m`` pairs of ``int64`` endpoints.
+"""
+
+import abc
+import struct
+import time
+
+import numpy as np
+
+from repro.common.exceptions import StreamProtocolError
+from repro.streaming.stream import TokenStream
+from repro.streaming.tokens import EdgeToken, ListToken
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "FileSource",
+    "GeneratorSource",
+    "MaterializedSource",
+    "SourceTokenStream",
+    "StreamSource",
+    "as_edge_blocks",
+    "read_edge_file_header",
+    "write_edge_file",
+]
+
+DEFAULT_CHUNK_SIZE = 8192
+
+_MAGIC = b"REPROED1"
+_HEADER = struct.Struct("<QQ")  # n, m
+
+
+def as_edge_blocks(edges, chunk_size: int = DEFAULT_CHUNK_SIZE):
+    """Normalize edges into ``(k, 2)`` int64 blocks of at most ``chunk_size``.
+
+    Accepts an ``(m, 2)`` array (sliced without copying) or any iterable of
+    ``(u, v)`` pairs (batched).  Yielded blocks are read-only: consumers
+    mutating a block would otherwise silently corrupt the caller's array —
+    and with it every later pass of a source regenerating from it.
+    """
+    if chunk_size < 1:
+        raise StreamProtocolError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    def frozen(block):
+        view = block.view()
+        view.flags.writeable = False
+        return view
+
+    if isinstance(edges, np.ndarray):
+        arr = edges
+        if arr.dtype != np.int64:
+            arr = arr.astype(np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise StreamProtocolError(
+                f"edge array must have shape (m, 2), got {arr.shape}"
+            )
+        for start in range(0, len(arr), chunk_size):
+            yield frozen(arr[start : start + chunk_size])
+        return
+    buf: list = []
+    for pair in edges:
+        buf.append(pair)
+        if len(buf) >= chunk_size:
+            yield frozen(np.asarray(buf, dtype=np.int64).reshape(-1, 2))
+            buf = []
+    if buf:
+        yield frozen(np.asarray(buf, dtype=np.int64).reshape(-1, 2))
+
+
+class StreamSource(abc.ABC):
+    """A replayable, pass-counting stream of edge blocks (and list tokens).
+
+    Subclasses implement :meth:`_pass_items`, yielding ``(k, 2)`` int64
+    arrays and/or :class:`ListToken` items for one sweep of the input.  The
+    base class handles pass counting, per-pass wall-time recording, cached
+    degree statistics, and the token-compatibility shim.
+    """
+
+    def __init__(self, n: int, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        if n < 0:
+            raise StreamProtocolError(f"source needs n >= 0, got {n}")
+        if chunk_size < 1:
+            raise StreamProtocolError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.n = n
+        self.chunk_size = chunk_size
+        self._passes = 0
+        self._pass_seconds: list[float] = []
+        self._edge_count = None
+        self._max_degree = None
+        self._token_view = None
+
+    # -- pass accounting (overridden by MaterializedSource to share the
+    #    wrapped stream's counters) --------------------------------------
+    @property
+    def passes_used(self) -> int:
+        """Passes taken so far (the Theorem 1 statistic)."""
+        return self._passes
+
+    @property
+    def pass_seconds(self) -> list[float]:
+        """Wall time of each completed pass, including consumer work.
+
+        The recorded time spans first item to generator exhaustion.  A
+        consumer whose per-pass work happens *after* exhausting the blocks
+        (e.g. one deferred reduction over collected chunks) must charge
+        that time back with ``pass_seconds[-1] += elapsed`` so token-path
+        and block-path pass times stay comparable.
+        """
+        return self._pass_seconds
+
+    def _count_pass(self) -> None:
+        self._passes += 1
+
+    def _record_pass_time(self, seconds: float) -> None:
+        self._pass_seconds.append(seconds)
+
+    # -------------------------------------------------------------------
+    def new_pass(self):
+        """Begin a pass; yields edge blocks (and list tokens) in order."""
+        self._count_pass()
+        start = time.perf_counter()
+        yield from self._pass_items()
+        self._record_pass_time(time.perf_counter() - start)
+
+    @abc.abstractmethod
+    def _pass_items(self):
+        """One sweep of the input as blocks / list tokens (no accounting)."""
+
+    def iter_items(self):
+        """One sweep WITHOUT counting a pass (validation / diagnostics only).
+
+        Streaming algorithms must never call this; it exists for the
+        harness to reconstruct the input graph and for out-of-band
+        instrumentation, mirroring ``TokenStream.tokens``.
+        """
+        return self._pass_items()
+
+    def iter_tokens(self):
+        """Token-at-a-time sweep WITHOUT counting a pass (diagnostics only)."""
+        for item in self.iter_items():
+            if isinstance(item, ListToken):
+                yield item
+            else:
+                for u, v in item.tolist():
+                    yield EdgeToken(u, v)
+
+    # -------------------------------------------------------------------
+    def edge_count(self) -> int:
+        """Number of edges per pass (cached after one scan)."""
+        if self._edge_count is None:
+            self._scan_stats()
+        return self._edge_count
+
+    def note_edge_count(self, count: int) -> None:
+        """Record an externally-counted edge total, skipping a stats sweep.
+
+        For lazy sources a sweep re-generates the whole stream; callers
+        that just iterated every block (e.g. run validation) hand the
+        count over instead.
+        """
+        if self._edge_count is None:
+            self._edge_count = count
+
+    def max_degree(self) -> int:
+        """Max degree of the streamed graph (cached after one scan)."""
+        if self._max_degree is None:
+            self._scan_stats()
+        return self._max_degree
+
+    def _scan_stats(self) -> None:
+        deg = np.zeros(max(1, self.n), dtype=np.int64)
+        count = 0
+        for item in self.iter_items():
+            if isinstance(item, ListToken):
+                continue
+            count += len(item)
+            deg += np.bincount(item.ravel(), minlength=len(deg))
+        self._edge_count = count
+        self._max_degree = int(deg.max()) if self.n else 0
+
+    # -------------------------------------------------------------------
+    def as_token_stream(self) -> "SourceTokenStream":
+        """The compatibility shim: token-at-a-time view sharing pass counts."""
+        if self._token_view is None:
+            self._token_view = SourceTokenStream(self)
+        return self._token_view
+
+    def set_observer(self, callback) -> None:
+        """Per-token observers require a materialized stream."""
+        raise StreamProtocolError(
+            f"{type(self).__name__} does not support per-token observers; "
+            "use a TokenStream / MaterializedSource"
+        )
+
+
+class MaterializedSource(StreamSource):
+    """Chunked block view over an in-memory :class:`TokenStream`.
+
+    Shares the wrapped stream's pass counter and timing list, so code
+    holding either view sees consistent accounting.  ``ListToken``
+    interleaving is preserved: edge runs are chunked into blocks, list
+    tokens are yielded in place.  If the wrapped stream has a per-token
+    observer installed (the communication-protocol hook), passes degrade
+    to single-token items so the observer fires at exactly the original
+    token granularity.
+    """
+
+    def __init__(self, stream: TokenStream, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        if isinstance(stream, SourceTokenStream):
+            raise StreamProtocolError(
+                "cannot materialize a source-backed token shim; "
+                "use the original source"
+            )
+        super().__init__(stream.n, chunk_size)
+        self.stream = stream
+        self._segments = None
+
+    # pass accounting lives on the wrapped stream
+    @property
+    def passes_used(self) -> int:
+        return self.stream.passes_used
+
+    @property
+    def pass_seconds(self) -> list[float]:
+        return self.stream.pass_seconds
+
+    def _count_pass(self) -> None:
+        self.stream.passes_used += 1
+
+    def _record_pass_time(self, seconds: float) -> None:
+        self.stream.pass_seconds.append(seconds)
+
+    # -------------------------------------------------------------------
+    def _build_segments(self) -> list:
+        segments: list = []
+        buf: list = []
+
+        def flush():
+            if buf:
+                block = np.asarray(buf, dtype=np.int64).reshape(-1, 2)
+                # Blocks are cached and re-yielded every pass: freeze them
+                # so a consumer mutating one cannot corrupt later passes
+                # (matching FileSource's read-only mapping).
+                block.flags.writeable = False
+                segments.append(block)
+                buf.clear()
+
+        for token in self.stream.tokens:
+            if isinstance(token, EdgeToken):
+                buf.append((token.u, token.v))
+                if len(buf) >= self.chunk_size:
+                    flush()
+            else:
+                flush()
+                segments.append(token)
+        flush()
+        return segments
+
+    def _pass_items(self):
+        if self._segments is None:
+            self._segments = self._build_segments()
+        return iter(self._segments)
+
+    def new_pass(self):
+        self._count_pass()
+        start = time.perf_counter()
+        observer = self.stream._observer
+        if observer is None:
+            yield from self._pass_items()
+        else:
+            # Token-fidelity fallback: the observer contract is per-token.
+            pass_index = self.stream.passes_used
+            for i, token in enumerate(self.stream.tokens):
+                observer(pass_index, i)
+                if isinstance(token, EdgeToken):
+                    yield np.array([[token.u, token.v]], dtype=np.int64)
+                else:
+                    yield token
+        self._record_pass_time(time.perf_counter() - start)
+
+    def set_observer(self, callback) -> None:
+        self.stream.set_observer(callback)
+
+
+class GeneratorSource(StreamSource):
+    """Lazy source: re-generates the edge sequence from a factory each pass.
+
+    ``factory()`` is invoked once per sweep and must deterministically
+    return the same edges every time — an ``(m, 2)`` array or an iterable
+    of ``(u, v)`` pairs (e.g. a seeded generator re-run from scratch).
+    Nothing is cached across passes; the memory profile is whatever the
+    factory's is (a factory yielding pairs lazily keeps the whole source
+    at O(chunk_size), one returning a full array costs O(m) while the
+    pass runs).
+    """
+
+    def __init__(self, factory, n: int, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        super().__init__(n, chunk_size)
+        self.factory = factory
+
+    def _pass_items(self):
+        yield from as_edge_blocks(self.factory(), self.chunk_size)
+
+
+def write_edge_file(path, n: int, edges) -> int:
+    """Write edges to the binary edge-file format; returns the edge count.
+
+    ``edges`` may be an ``(m, 2)`` array or any iterable of ``(u, v)``
+    pairs (streamed through in chunks — the full list is never required in
+    memory).
+    """
+    m = 0
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(_HEADER.pack(n, 0))  # m patched below
+        for block in as_edge_blocks(edges):
+            if len(block) and (block.min() < 0 or block.max() >= n):
+                raise StreamProtocolError(f"edge endpoint out of range [0, {n})")
+            fh.write(np.ascontiguousarray(block, dtype="<i8").tobytes())
+            m += len(block)
+        fh.seek(len(_MAGIC))
+        fh.write(_HEADER.pack(n, m))
+    return m
+
+
+def read_edge_file_header(path) -> tuple[int, int]:
+    """The ``(n, m)`` header of a binary edge file (validates the magic)."""
+    with open(path, "rb") as fh:
+        magic = fh.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise StreamProtocolError(f"{path}: not a repro edge file")
+        n, m = _HEADER.unpack(fh.read(_HEADER.size))
+    return int(n), int(m)
+
+
+class FileSource(StreamSource):
+    """Memory-mapped binary edge file; passes read ``chunk_size`` rows at a time.
+
+    The mapping is read-only; blocks handed to algorithms are views into
+    the page cache, so re-reading passes costs no Python-object churn and
+    no extra resident memory beyond the OS cache.
+    """
+
+    def __init__(self, path, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        n, m = read_edge_file_header(path)
+        super().__init__(n, chunk_size)
+        self.path = path
+        self.m = m
+        self._edge_count = m
+        offset = len(_MAGIC) + _HEADER.size
+        if m:
+            self._mmap = np.memmap(
+                path, dtype="<i8", mode="r", offset=offset, shape=(m, 2)
+            )
+        else:
+            self._mmap = np.empty((0, 2), dtype=np.int64)
+
+    def _pass_items(self):
+        if self._mmap is None:
+            raise StreamProtocolError(f"{self.path}: source is closed")
+        for start in range(0, self.m, self.chunk_size):
+            yield np.asarray(
+                self._mmap[start : start + self.chunk_size], dtype=np.int64
+            )
+
+    def close(self) -> None:
+        """Release the memory mapping (subsequent passes raise)."""
+        self._mmap = None
+
+
+class SourceTokenStream(TokenStream):
+    """Thin compatibility shim: token-at-a-time iteration over any source.
+
+    Looks like a :class:`TokenStream` (``new_pass`` yields tokens,
+    ``tokens`` materializes lazily for diagnostics) but delegates pass
+    counting, timings, and cached statistics to the underlying source, so
+    an algorithm consuming the shim and a harness reading the source agree
+    on every measured quantity.
+    """
+
+    def __init__(self, source: StreamSource):
+        # Deliberately skip TokenStream.__init__: tokens materialize lazily.
+        self._source = source
+        self.n = source.n
+        self._observer = None
+        self._tokens_cache = None
+
+    @property
+    def tokens(self) -> list:
+        if self._tokens_cache is None:
+            self._tokens_cache = list(self._source.iter_tokens())
+        return self._tokens_cache
+
+    @property
+    def passes_used(self) -> int:
+        return self._source.passes_used
+
+    @property
+    def pass_seconds(self) -> list[float]:
+        return self._source.pass_seconds
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def as_source(self, chunk_size=None) -> StreamSource:
+        if chunk_size is not None and chunk_size != self._source.chunk_size:
+            raise StreamProtocolError(
+                f"shim's source already chunks at {self._source.chunk_size}; "
+                f"cannot re-chunk to {chunk_size}"
+            )
+        return self._source
+
+    def set_observer(self, callback) -> None:
+        self._source.set_observer(callback)
+
+    def new_pass(self):
+        for item in self._source.new_pass():
+            if isinstance(item, ListToken):
+                yield item
+            else:
+                for u, v in item.tolist():
+                    yield EdgeToken(u, v)
+
+    def edge_count(self) -> int:
+        return self._source.edge_count()
+
+    def max_degree(self) -> int:
+        return self._source.max_degree()

@@ -1,0 +1,230 @@
+"""Unit tests for the block data plane (StreamSource and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import StreamProtocolError
+from repro.graph.generators import cycle_graph, gnp_random_graph
+from repro.streaming.source import (
+    FileSource,
+    GeneratorSource,
+    MaterializedSource,
+    SourceTokenStream,
+    as_edge_blocks,
+    read_edge_file_header,
+    write_edge_file,
+)
+from repro.streaming.stream import TokenStream, stream_from_graph
+from repro.streaming.tokens import EdgeToken, ListToken, edge_tokens
+
+
+def collect_edges(source):
+    """Flatten one (non-counting) sweep of a source into an (m, 2) array."""
+    blocks = [b for b in source.iter_items() if isinstance(b, np.ndarray)]
+    if not blocks:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.concatenate(blocks)
+
+
+class TestAsEdgeBlocks:
+    def test_chunks_an_array(self):
+        arr = np.arange(20, dtype=np.int64).reshape(10, 2)
+        blocks = list(as_edge_blocks(arr, chunk_size=4))
+        assert [len(b) for b in blocks] == [4, 4, 2]
+        assert np.array_equal(np.concatenate(blocks), arr)
+
+    def test_chunks_an_iterable(self):
+        blocks = list(as_edge_blocks([(0, 1), (1, 2), (2, 3)], chunk_size=2))
+        assert [len(b) for b in blocks] == [2, 1]
+        assert blocks[0].dtype == np.int64
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(StreamProtocolError):
+            list(as_edge_blocks(np.zeros((3, 3), dtype=np.int64)))
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(StreamProtocolError):
+            list(as_edge_blocks(np.zeros((2, 2), dtype=np.int64), chunk_size=0))
+
+
+class TestMaterializedSource:
+    def test_blocks_match_tokens(self):
+        g = gnp_random_graph(20, 0.4, seed=1)
+        stream = stream_from_graph(g)
+        source = MaterializedSource(stream, chunk_size=5)
+        edges = collect_edges(source)
+        assert edges.tolist() == [[t.u, t.v] for t in stream.tokens]
+
+    def test_respects_chunk_size(self):
+        stream = TokenStream(edge_tokens([(0, 1)] * 10), n=2)
+        source = MaterializedSource(stream, chunk_size=3)
+        sizes = [len(b) for b in source.iter_items()]
+        assert sizes == [3, 3, 3, 1]
+
+    def test_preserves_list_token_interleaving(self):
+        tokens = [
+            EdgeToken(0, 1),
+            ListToken(0, frozenset({1})),
+            EdgeToken(1, 2),
+            EdgeToken(0, 2),
+        ]
+        source = MaterializedSource(TokenStream(tokens, n=3), chunk_size=8)
+        items = list(source.iter_items())
+        assert isinstance(items[0], np.ndarray) and items[0].tolist() == [[0, 1]]
+        assert items[1] == tokens[1]
+        assert items[2].tolist() == [[1, 2], [0, 2]]
+
+    def test_shares_pass_counter_with_stream(self):
+        stream = TokenStream(edge_tokens([(0, 1), (1, 2)]), n=3)
+        source = MaterializedSource(stream)
+        list(source.new_pass())
+        list(stream.new_pass())
+        assert stream.passes_used == 2
+        assert source.passes_used == 2
+        assert len(source.pass_seconds) == 2
+
+    def test_observer_fires_per_token(self):
+        stream = TokenStream(edge_tokens([(0, 1), (1, 2)]), n=3)
+        source = MaterializedSource(stream)
+        seen = []
+        source.set_observer(lambda pi, ti: seen.append((pi, ti)))
+        blocks = list(source.new_pass())
+        assert seen == [(1, 0), (1, 1)]
+        assert [b.tolist() for b in blocks] == [[[0, 1]], [[1, 2]]]
+
+    def test_stats(self):
+        g = cycle_graph(6)
+        source = MaterializedSource(stream_from_graph(g))
+        assert source.edge_count() == 6
+        assert source.max_degree() == 2
+
+    def test_blocks_are_read_only(self):
+        # Cached blocks are re-yielded every pass; mutation must fail loudly
+        # rather than corrupt later passes.
+        source = MaterializedSource(TokenStream(edge_tokens([(0, 1), (1, 2)]), n=3))
+        block = next(iter(source.new_pass()))
+        with pytest.raises(ValueError):
+            block[0, 0] = 99
+        assert next(iter(source.iter_items())).tolist() == [[0, 1], [1, 2]]
+
+    def test_rejects_wrapping_a_shim(self):
+        source = MaterializedSource(
+            TokenStream(edge_tokens([(0, 1)]), n=2)
+        )
+        with pytest.raises(StreamProtocolError):
+            MaterializedSource(source.as_token_stream())
+
+
+class TestGeneratorSource:
+    def test_regenerates_each_pass(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return [(0, 1), (1, 2), (0, 2)]
+
+        source = GeneratorSource(factory, n=3, chunk_size=2)
+        first = [b.tolist() for b in source.new_pass()]
+        second = [b.tolist() for b in source.new_pass()]
+        assert first == second == [[[0, 1], [1, 2]], [[0, 2]]]
+        assert len(calls) == 2
+        assert source.passes_used == 2
+
+    def test_accepts_array_factory(self):
+        arr = np.array([[0, 1], [2, 3]], dtype=np.int64)
+        source = GeneratorSource(lambda: arr, n=4)
+        assert collect_edges(source).tolist() == arr.tolist()
+
+
+class TestFileSource:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "edges.bin"
+        edges = [(0, 1), (1, 2), (3, 4), (2, 4)]
+        m = write_edge_file(path, 5, edges)
+        assert m == 4
+        assert read_edge_file_header(path) == (5, 4)
+        source = FileSource(path, chunk_size=3)
+        assert collect_edges(source).tolist() == [list(e) for e in edges]
+        assert source.edge_count() == 4
+        assert source.max_degree() == 2
+
+    def test_round_trip_from_array(self, tmp_path):
+        path = tmp_path / "edges.bin"
+        arr = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        write_edge_file(path, 3, arr)
+        assert collect_edges(FileSource(path)).tolist() == arr.tolist()
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "edges.bin"
+        write_edge_file(path, 7, [])
+        source = FileSource(path)
+        assert source.edge_count() == 0
+        assert list(source.new_pass()) == []
+        assert source.passes_used == 1
+
+    def test_rejects_out_of_range(self, tmp_path):
+        with pytest.raises(StreamProtocolError):
+            write_edge_file(tmp_path / "bad.bin", 2, [(0, 5)])
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"not an edge file")
+        with pytest.raises(StreamProtocolError):
+            read_edge_file_header(path)
+
+
+class TestSourceTokenStream:
+    def test_yields_tokens_and_counts_passes(self):
+        source = GeneratorSource(lambda: [(0, 1), (1, 2)], n=3)
+        shim = source.as_token_stream()
+        assert isinstance(shim, SourceTokenStream)
+        tokens = list(shim.new_pass())
+        assert tokens == [EdgeToken(0, 1), EdgeToken(1, 2)]
+        assert shim.passes_used == 1 and source.passes_used == 1
+
+    def test_lazy_tokens_do_not_count_a_pass(self):
+        source = GeneratorSource(lambda: [(0, 1)], n=2)
+        shim = source.as_token_stream()
+        assert shim.tokens == [EdgeToken(0, 1)]
+        assert len(shim) == 1
+        assert source.passes_used == 0
+
+    def test_delegates_stats(self):
+        source = GeneratorSource(lambda: [(0, 1), (0, 2)], n=3)
+        shim = source.as_token_stream()
+        assert shim.edge_count() == 2
+        assert shim.max_degree() == 2
+
+    def test_as_source_returns_original(self):
+        source = GeneratorSource(lambda: [(0, 1)], n=2)
+        assert source.as_token_stream().as_source() is source
+
+    def test_as_source_rejects_conflicting_chunk_size(self):
+        source = GeneratorSource(lambda: [(0, 1)], n=2, chunk_size=8)
+        shim = source.as_token_stream()
+        assert shim.as_source(chunk_size=8) is source
+        with pytest.raises(StreamProtocolError):
+            shim.as_source(chunk_size=100)
+
+
+class TestTokenStreamBridge:
+    def test_as_source_shares_counters(self):
+        stream = TokenStream(edge_tokens([(0, 1), (1, 2)]), n=3)
+        source = stream.as_source(chunk_size=1)
+        list(source.new_pass())
+        assert stream.passes_used == 1
+
+    def test_cached_stats(self):
+        stream = TokenStream(edge_tokens([(0, 1), (0, 2), (0, 3)]), n=4)
+        assert stream.edge_count() == 3
+        assert stream.max_degree() == 3
+        # Cached values survive repeat calls.
+        assert stream.edge_count() == 3
+        assert stream.max_degree() == 3
+
+    def test_pass_seconds_recorded(self):
+        stream = TokenStream(edge_tokens([(0, 1)]), n=2)
+        list(stream.new_pass())
+        list(stream.new_pass())
+        assert len(stream.pass_seconds) == 2
+        assert all(t >= 0 for t in stream.pass_seconds)
