@@ -25,17 +25,22 @@ self-contained machinery (DESIGN.md section 2.3):
   measured pass count is data dependent (reported by experiments T9).
 """
 
+import time
+
 import numpy as np
 
 from repro.common.exceptions import ReproError
 from repro.common.integer_math import ceil_div, ceil_log2, next_prime
 from repro.streaming.model import MultipassStreamingAlgorithm
+from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken
 
 
 class TwoPassQuadraticColoring(MultipassStreamingAlgorithm):
     """Deterministic ``O(Delta^2)``-coloring in four streaming passes."""
+
+    supports_blocks = True
 
     def __init__(self, n: int, delta: int, range_multiplier: int = 4):
         super().__init__()
@@ -84,11 +89,86 @@ class TwoPassQuadraticColoring(MultipassStreamingAlgorithm):
         return counts
 
     # ------------------------------------------------------------------
+    # vectorized block passes (same counts, same gauges)
+    # ------------------------------------------------------------------
+    def _edge_blocks(self, stream):
+        for item in stream.new_pass():
+            if isinstance(item, np.ndarray):
+                yield item
+
+    def _part_collision_counts_blocks(self, stream) -> np.ndarray:
+        """Block twin of pass 1: aggregate by edge difference.
+
+        The per-edge collision vector depends on the edge only through
+        ``(v - u) mod p``, so one ``bincount`` of differences per block
+        followed by a single (difference x part) reduction replaces the
+        per-edge ``O(p)`` update — exact int64 arithmetic throughout.
+        """
+        p, r = self.p, self.range_size
+        diff_counts = np.zeros(p, dtype=np.int64)
+        for block in self._edge_blocks(stream):
+            diffs = (block[:, 1] - block[:, 0]) % p
+            diff_counts += np.bincount(diffs, minlength=p)
+        reduce_start = time.perf_counter()
+        a = np.arange(1, p, dtype=np.int64)
+        totals = np.zeros(p - 1, dtype=np.int64)
+        present = np.flatnonzero(diff_counts)
+        batch = max(1, (1 << 22) // max(1, p))
+        for start in range(0, len(present), batch):
+            dvals = present[start : start + batch]
+            d = (dvals[:, None] * a[None, :]) % p
+            collide = (p - d) * (d % r == 0) + d * ((d - p) % r == 0)
+            totals += diff_counts[dvals] @ collide
+        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        self.meter.set_gauge("part accumulators", (p - 1) * 2 * ceil_log2(max(2, self.n)))
+        return totals
+
+    def _member_collision_counts_blocks(self, stream, a_star: int) -> np.ndarray:
+        """Block twin of pass 2: circular-interval difference counting.
+
+        A member ``b`` sees edge ``(u, v)`` collide iff ``t = (a* u + b)
+        mod p`` lands in ``[0, p - d)`` with ``r | d``, or in ``[p - d, p)``
+        with ``r | (d - p)`` (``d = a*(v - u) mod p``).  Edges with neither
+        divisibility (the vast majority) contribute to no member at all;
+        each contributing edge becomes one circular ``b``-interval in a
+        difference array — ``O(1)`` per edge instead of ``O(p)``.
+        """
+        p, r = self.p, self.range_size
+        diff = np.zeros(p + 1, dtype=np.int64)
+
+        def add_intervals(starts, lengths):
+            ends = starts + lengths
+            np.add.at(diff, starts, 1)
+            np.add.at(diff, np.minimum(ends, p), -1)
+            wrap = ends > p
+            if wrap.any():
+                diff[0] += int(wrap.sum())
+                np.add.at(diff, ends[wrap] - p, -1)
+
+        for block in self._edge_blocks(stream):
+            d = (a_star * ((block[:, 1] - block[:, 0]) % p)) % p
+            t0 = (a_star * block[:, 0]) % p
+            low = d % r == 0  # t in [0, p - d)
+            if low.any():
+                add_intervals((-t0[low]) % p, p - d[low])
+            high = ((d - p) % r == 0) & (d > 0)  # t in [p - d, p)
+            if high.any():
+                add_intervals((p - d[high] - t0[high]) % p, d[high])
+        return np.cumsum(diff[:p])
+
+    # ------------------------------------------------------------------
     def run(self, stream: TokenStream) -> dict[int, int]:
         n = self.n
-        parts = self._part_collision_counts(stream)
+        use_blocks = isinstance(stream, StreamSource)
+        if use_blocks:
+            parts = self._part_collision_counts_blocks(stream)
+        else:
+            parts = self._part_collision_counts(stream)
         a_star = int(np.argmin(parts)) + 1
-        members = self._member_collision_counts(stream, a_star)
+        if use_blocks:
+            members = self._member_collision_counts_blocks(stream, a_star)
+        else:
+            members = self._member_collision_counts(stream, a_star)
         b_star = int(np.argmin(members))
         self.meter.clear_gauge("part accumulators")
 
@@ -98,22 +178,33 @@ class TwoPassQuadraticColoring(MultipassStreamingAlgorithm):
         # Pass 3: the monochromatic edges of f -> conflicted vertices.
         conflicted: set[int] = set()
         mono = 0
-        for u, v in self._edge_list(stream):
-            if f(u) == f(v):
-                conflicted.add(u)
-                conflicted.add(v)
-                mono += 1
+        if use_blocks:
+            for block in self._edge_blocks(stream):
+                fb = ((a_star * block + b_star) % self.p) % self.range_size
+                mask = fb[:, 0] == fb[:, 1]
+                mono += int(mask.sum())
+                if mask.any():
+                    conflicted.update(np.unique(block[mask]).tolist())
+        else:
+            for u, v in self._edge_list(stream):
+                if f(u) == f(v):
+                    conflicted.add(u)
+                    conflicted.add(v)
+                    mono += 1
         self.meter.set_gauge("mono edges", mono * 2 * ceil_log2(max(2, n)))
         # Pass 4: all edges incident to conflicted vertices.
-        adjacency: dict[int, set[int]] = {v: set() for v in conflicted}
-        stored = 0
-        for u, v in self._edge_list(stream):
-            if u in conflicted:
-                adjacency[u].add(v)
-                stored += 1
-            if v in conflicted:
-                adjacency[v].add(u)
-                stored += 1
+        if use_blocks:
+            adjacency, stored = self._repair_adjacency_blocks(stream, conflicted)
+        else:
+            adjacency = {v: set() for v in conflicted}
+            stored = 0
+            for u, v in self._edge_list(stream):
+                if u in conflicted:
+                    adjacency[u].add(v)
+                    stored += 1
+                if v in conflicted:
+                    adjacency[v].add(u)
+                    stored += 1
         self.meter.set_gauge("repair edges", stored * 2 * ceil_log2(max(2, n)))
         # Unconflicted vertices keep color f(v)+1 in [R]; conflicted ones are
         # repaired greedily inside the fresh block [R+1, R+Delta+1].
@@ -135,9 +226,36 @@ class TwoPassQuadraticColoring(MultipassStreamingAlgorithm):
         self.meter.clear_gauge("repair edges")
         return coloring
 
+    def _repair_adjacency_blocks(self, stream, conflicted):
+        """Block twin of pass 4: gather directed incidences, group by sort."""
+        conf = np.zeros(self.n, dtype=bool)
+        if conflicted:
+            conf[list(conflicted)] = True
+        chunks = []
+        stored = 0
+        for block in self._edge_blocks(stream):
+            mu = conf[block[:, 0]]
+            mv = conf[block[:, 1]]
+            stored += int(mu.sum()) + int(mv.sum())
+            if mu.any():
+                chunks.append(block[mu])
+            if mv.any():
+                chunks.append(block[mv][:, ::-1])
+        adjacency: dict[int, set[int]] = {v: set() for v in conflicted}
+        reduce_start = time.perf_counter()
+        if chunks:
+            from repro.streaming.blocks import group_pairs
+
+            for x, ys in group_pairs(np.concatenate(chunks)):
+                adjacency[x] = set(ys.tolist())
+        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        return adjacency, stored
+
 
 class ColorReductionColoring(MultipassStreamingAlgorithm):
     """Deterministic ``O(Delta)``-coloring via iterated palette halving."""
+
+    supports_blocks = True
 
     def __init__(self, n: int, delta: int, space_budget_edges=None):
         super().__init__()
@@ -170,18 +288,46 @@ class ColorReductionColoring(MultipassStreamingAlgorithm):
 
             pending = set(range(num_buckets))
             new_coloring = dict(coloring)
+            use_blocks = isinstance(stream, StreamSource)
+            if use_blocks:
+                # One color/bucket array per reduction round: the
+                # intra-bucket filter for a whole block is two gathers.
+                color_arr = np.zeros(n, dtype=np.int64)
+                for v, c in coloring.items():
+                    color_arr[v] = c
+                bucket_arr = (color_arr - 1) // bucket_width
+            def intra_bucket_edges():
+                """One pass of ``((u, v), bucket)`` for same-bucket edges.
+
+                The (state-independent) intra-bucket filter is the only
+                part that differs per data plane; the budget/eviction
+                state machine below is shared.
+                """
+                if use_blocks:
+                    for item in stream.new_pass():
+                        if not isinstance(item, np.ndarray):
+                            continue
+                        bu_arr = bucket_arr[item[:, 0]]
+                        keep = bu_arr == bucket_arr[item[:, 1]]
+                        yield from zip(
+                            item[keep].tolist(), bu_arr[keep].tolist()
+                        )
+                else:
+                    for token in stream.new_pass():
+                        if not isinstance(token, EdgeToken):
+                            continue
+                        bu = bucket_of(coloring[token.u])
+                        if bu == bucket_of(coloring[token.v]):
+                            yield (token.u, token.v), bu
+
             while pending:
                 # Admit every pending bucket, then evict whole buckets as
                 # the edge budget fills; evicted buckets retry next pass.
                 batch = set(pending)
                 stored_edges: dict[int, list[tuple[int, int]]] = {b: [] for b in batch}
                 stored = 0
-                for token in stream.new_pass():
-                    if not isinstance(token, EdgeToken):
-                        continue
-                    u, v = token.u, token.v
-                    bu = bucket_of(coloring[u])
-                    if bu != bucket_of(coloring[v]) or bu not in batch:
+                for (u, v), bu in intra_bucket_edges():
+                    if bu not in batch:
                         continue
                     if stored >= self.space_budget_edges:
                         batch.discard(bu)

@@ -39,6 +39,8 @@ from repro.streaming.model import OnePassAlgorithm
 class SketchSwitchingQuadraticColoring(OnePassAlgorithm):
     """[CGS22]-style robust ``O(Delta^2)``-coloring at the ``n sqrt(Delta)`` space point."""
 
+    supports_blocks = True
+
     def __init__(self, n: int, delta: int, seed: int, repetitions=None):
         super().__init__()
         if delta < 1:
@@ -56,8 +58,10 @@ class SketchSwitchingQuadraticColoring(OnePassAlgorithm):
         prime = next_prime(max(n, self.ell, 11))
         self.family = PolynomialHashFamily(prime, k=4, m=self.ell)
         rng = SeededRng(seed)
-        self._coeffs = rng.np.integers(
-            0, prime, size=(self.num_epochs, self.repetitions, 4), dtype=np.int64
+        # Batched sampler; draws the identical coefficient sequence the
+        # previous direct rng.np.integers call did.
+        self._coeffs = self.family.coeff_array(
+            rng, (self.num_epochs, self.repetitions)
         )
         self.meter.charge_random_bits(
             self.num_epochs * self.repetitions * self.family.seed_bits()
@@ -112,6 +116,15 @@ class SketchSwitchingQuadraticColoring(OnePassAlgorithm):
             else:
                 d_i[j] = None
         self._update_space()
+
+    def process_block(self, edges: np.ndarray) -> None:
+        """Vectorized :meth:`process` over a ``(k, 2)`` block (bit-identical)."""
+        from repro.streaming.blocks import sketch_process_block
+
+        sketch_process_block(
+            self, edges, num_epochs=self.num_epochs,
+            capacity=self.buffer_capacity,
+        )
 
     # ------------------------------------------------------------------
     def query(self) -> dict[int, int]:

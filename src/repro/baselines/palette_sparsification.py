@@ -16,17 +16,22 @@ paper's existence proof is non-constructive; [ACK19] give a poly-time
 completion, and greedy-with-retries is the standard practical stand-in).
 """
 
+import numpy as np
+
 from repro.common.exceptions import AlgorithmFailure, ReproError
 from repro.common.integer_math import ceil_log2
 from repro.common.rng import SeededRng
 from repro.graph.graph import Graph
 from repro.streaming.model import MultipassStreamingAlgorithm
+from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken
 
 
 class PaletteSparsificationColoring(MultipassStreamingAlgorithm):
     """Single-pass randomized ``(Delta+1)``-coloring for oblivious streams."""
+
+    supports_blocks = True
 
     def __init__(
         self,
@@ -53,14 +58,42 @@ class PaletteSparsificationColoring(MultipassStreamingAlgorithm):
         self.conflict_edge_count = 0
 
     def run(self, stream: TokenStream) -> dict[int, int]:
+        import time
+
         n = self.n
-        conflict = Graph(n)
-        for token in stream.new_pass():
-            if not isinstance(token, EdgeToken):
-                continue
-            u, v = token.u, token.v
-            if self.lists[u] & self.lists[v]:
-                conflict.add_edge(u, v)
+        if isinstance(stream, StreamSource):
+            # Lists as one boolean membership matrix: the intersection test
+            # for a whole block is a single vectorized any(); the surviving
+            # edges become one CSR build (same dedup, n, m, and neighbor
+            # sets as Graph.add_edge, so the completion is identical).
+            from repro.graph.csr import CSRGraph
+
+            mask = np.zeros((n, self.delta + 2), dtype=bool)
+            for v, colors in self.lists.items():
+                mask[v, list(colors)] = True
+            chunks = []
+            for item in stream.new_pass():
+                if not isinstance(item, np.ndarray):
+                    continue
+                hit = (mask[item[:, 0]] & mask[item[:, 1]]).any(axis=1)
+                if hit.any():
+                    chunks.append(item[hit])
+            reduce_start = time.perf_counter()
+            conflict = CSRGraph.from_edge_array(
+                n,
+                np.concatenate(chunks)
+                if chunks
+                else np.empty((0, 2), dtype=np.int64),
+            )
+            stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        else:
+            conflict = Graph(n)
+            for token in stream.new_pass():
+                if not isinstance(token, EdgeToken):
+                    continue
+                u, v = token.u, token.v
+                if self.lists[u] & self.lists[v]:
+                    conflict.add_edge(u, v)
         self.conflict_edge_count = conflict.m
         self.meter.set_gauge(
             "conflict edges", conflict.m * 2 * ceil_log2(max(2, n))

@@ -24,7 +24,7 @@ from repro.analysis import experiments as exp
 from repro.analysis.report import build_report
 from repro.analysis.tables import format_table
 from repro.common.exceptions import ReproError
-from repro.engine import REGISTRY, set_default_workers
+from repro.engine import REGISTRY, set_default_stream, set_default_workers
 
 
 def _ints(text: str) -> list[int]:
@@ -140,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--workers", type=int, default=1,
                      help="process-pool size for grid execution (default 1)")
+    run.add_argument("--stream-backend", default=None, metavar="BACKEND",
+                     help="data plane for every run of the experiment: "
+                     "tokens | materialized | generator | file "
+                     "(default: tokens)")
+    run.add_argument("--chunk-size", type=int, default=None, metavar="K",
+                     help="edges per block for the block backends "
+                     "(default 8192)")
 
     report = sub.add_parser("report", help="assemble markdown from archived tables")
     report.add_argument("--results", default="benchmarks/results")
@@ -165,13 +172,18 @@ def main(argv=None) -> int:
             if args.workers < 1:
                 raise ReproError(f"--workers must be >= 1, got {args.workers}")
             set_default_workers(args.workers)
+            set_default_stream(backend=args.stream_backend,
+                               chunk_size=args.chunk_size)
             headers, rows = dispatch(args)
         except ReproError as error:
             print(f"repro run {args.experiment}: error: {error}",
                   file=sys.stderr)
             return 2
         finally:
+            from repro.streaming.source import DEFAULT_CHUNK_SIZE
+
             set_default_workers(1)
+            set_default_stream(backend="tokens", chunk_size=DEFAULT_CHUNK_SIZE)
         print(format_table(headers, rows,
                            title=f"{args.experiment}: {description}"))
         return 0

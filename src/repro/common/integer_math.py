@@ -45,6 +45,63 @@ def ceil_sqrt(x: int) -> int:
     return r if r * r == x else r + 1
 
 
+def mod_horner_array(coeffs, xs, p: int):
+    """Horner-evaluate ``sum_i coeffs[i] * x^i mod p`` over an integer array.
+
+    ``coeffs`` is low-to-high degree; every coefficient must lie in
+    ``[0, p)``.  Fast path: int64 vectorized arithmetic, valid whenever the
+    intermediate ``acc * x + c`` (with ``acc, c < p`` and ``x`` bounded by
+    the largest key) cannot exceed ``2**63 - 1``.  For larger moduli the
+    evaluation falls back to exact Python-int (object dtype) arithmetic, so
+    results are correct at any prime size — the overflow-safe modular path
+    shared by every hash family here.
+    """
+    import numpy as np
+
+    xs = np.asarray(xs)
+    out_shape = xs.shape
+    if xs.size == 0:
+        return np.zeros(out_shape, dtype=np.int64)
+    xmax = int(np.abs(xs).max())
+    if horner_fits_int64(len(coeffs), xmax, p):
+        # Small enough that even the mod-free accumulation cannot
+        # overflow: one reduction at the end replaces one per step.
+        acc = np.zeros(out_shape, dtype=np.int64)
+        xs64 = xs.astype(np.int64, copy=False)
+        for c in reversed(coeffs):
+            acc = acc * xs64 + int(c)
+        return acc % p
+    if (p - 1) * (xmax + 1) + (p - 1) < 2**63:
+        acc = np.zeros(out_shape, dtype=np.int64)
+        xs64 = xs.astype(np.int64, copy=False)
+        for c in reversed(coeffs):
+            acc = (acc * xs64 + int(c)) % p
+        return acc
+    acc = np.zeros(out_shape, dtype=object)
+    xs_obj = xs.astype(object)
+    for c in reversed(coeffs):
+        acc = (acc * xs_obj + int(c)) % p
+    if p <= 2**63:
+        return acc.astype(np.int64)
+    return acc
+
+
+def horner_fits_int64(num_coeffs: int, xmax: int, p: int) -> bool:
+    """Whether Horner evaluation stays below 2**63 *without* reducing mod p.
+
+    Tracks the exact worst-case accumulator bound ``B_{t+1} = B_t * xmax +
+    (p - 1)`` (coefficients lie in ``[0, p)``); when it holds, one final
+    ``% p`` replaces a modulo per step — the same value, computed with a
+    fraction of the integer divisions.
+    """
+    bound = 0
+    for _ in range(num_coeffs):
+        bound = bound * xmax + (p - 1)
+        if bound >= 2**63:
+            return False
+    return True
+
+
 def is_prime(n: int) -> bool:
     """Deterministic Miller-Rabin primality test (exact for n < 3.3e24)."""
     if n < 2:

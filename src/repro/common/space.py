@@ -40,6 +40,20 @@ class SpaceMeter:
         """Drop the named component (its bits no longer count)."""
         self._gauges.pop(name, None)
 
+    def observe_peak(self, total_bits: int) -> None:
+        """Record that the gauge total transiently reached ``total_bits``.
+
+        Block-native passes replay many per-item gauge updates as one
+        vectorized step; the intermediate high-water mark (e.g. a buffer
+        filling to capacity mid-block before rolling) is computed in closed
+        form and reported here, so token-path and block-path peaks agree
+        bit for bit without per-item ``set_gauge`` calls.
+        """
+        if total_bits < 0:
+            raise ValueError("observed peak cannot be negative")
+        if total_bits > self._peak_bits:
+            self._peak_bits = total_bits
+
     def charge_random_bits(self, bits: int) -> None:
         """Record consumption of ``bits`` random bits (monotone)."""
         if bits < 0:

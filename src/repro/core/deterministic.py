@@ -499,19 +499,16 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
             return adjacency, 0
         # Deferred grouping mirrors the token path's (timed) in-loop
         # adjacency-set building.
+        from repro.streaming.blocks import group_pairs
+
         reduce_start = time.perf_counter()
         arr = np.concatenate(chunks)
         fwd = arr[unc[arr[:, 0]]]
         rev = arr[unc[arr[:, 1]]][:, ::-1]
         pairs = np.concatenate([fwd, rev])
         keys = np.unique(pairs[:, 0] * self.n + pairs[:, 1])
-        xs, ys = keys // self.n, keys % self.n
-        boundaries = np.flatnonzero(np.diff(xs)) + 1
-        for group_x, group_ys in zip(
-            xs[np.concatenate(([0], boundaries))],
-            np.split(ys, boundaries),
-        ):
-            adjacency[int(group_x)] = group_ys.tolist()
+        for x, ys in group_pairs(np.stack([keys // self.n, keys % self.n], axis=1)):
+            adjacency[x] = ys.tolist()
         stream.pass_seconds[-1] += time.perf_counter() - reduce_start
         return adjacency, len(keys)
 

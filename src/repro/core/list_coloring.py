@@ -39,10 +39,13 @@ from repro.common.exceptions import ReproError
 from repro.common.integer_math import ceil_div, ceil_log2, floor_log2
 from repro.core.deterministic import choose_family_prime
 from repro.core.selector import SlackWeightedSelector
+from repro.graph.coloring import coloring_array
+from repro.graph.csr import dedupe_edges
 from repro.graph.graph import Graph
 from repro.graph.independent_set import turan_independent_set
 from repro.hashing.partitions import PartitionFamily
 from repro.streaming.model import MultipassStreamingAlgorithm
+from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken, ListToken
 
@@ -81,7 +84,19 @@ class _EpochState:
 
 
 class DeterministicListColoring(MultipassStreamingAlgorithm):
-    """Deterministic multipass (deg+1)-list-coloring (Theorem 2)."""
+    """Deterministic multipass (deg+1)-list-coloring (Theorem 2).
+
+    Consumes either data-plane view.  Given a
+    :class:`~repro.streaming.source.StreamSource` (edge blocks with
+    ``ListToken`` items interleaved in place), every pass runs vectorized:
+    list-token work is numpy per token (survivor masks over the chain's
+    partition arrays), edge work is masked block arithmetic, and the
+    Lemma 3.10 partition search scores whole candidate groups against the
+    family's precomputed class table.  Both paths take the same passes,
+    charge the same gauges, and produce the identical coloring.
+    """
+
+    supports_blocks = True
 
     def __init__(
         self,
@@ -164,10 +179,60 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         self.meter.clear_gauge("pcc chains")
 
     # ------------------------------------------------------------------
+    # block-path state snapshots (derived per pass; O(n) << O(m) scan cost)
+    # ------------------------------------------------------------------
+    def _chain_arrays(self, state):
+        """``(member_mask, chain_matrix)`` arrays mirroring the PCC chains.
+
+        ``chain_matrix[t, x]`` is vertex ``x``'s class at stage ``t``
+        (-1 for non-members), so chain containment and chain equality
+        become branch-free array comparisons.
+        """
+        n = self.n
+        stages = len(state.partitions)
+        member_mask = np.zeros(n, dtype=bool)
+        if state.members:
+            member_mask[state.members] = True
+        chain_matrix = np.full((stages, n), -1, dtype=np.int64)
+        for x in state.members:
+            chain = state.chain[x]
+            for t in range(stages):
+                chain_matrix[t, x] = chain[t]
+        return member_mask, chain_matrix
+
+    def _contains_colors(self, state, x, colors: np.ndarray) -> np.ndarray:
+        """Mask of ``colors`` inside ``P_x`` (vectorized chain walk)."""
+        mask = np.ones(len(colors), dtype=bool)
+        for arr, cls in zip(state.partitions, state.chain[x]):
+            mask &= arr[colors] == cls
+        return mask
+
+    def _contains_pairs(self, state, chain_matrix, xs, colors) -> np.ndarray:
+        """Mask where ``colors[i]`` lies in ``P_{xs[i]}``, elementwise."""
+        mask = np.ones(len(xs), dtype=bool)
+        for t, arr in enumerate(state.partitions):
+            mask &= arr[colors] == chain_matrix[t, xs]
+        return mask
+
+    def _token_colors(self, token) -> np.ndarray:
+        return np.fromiter(token.colors, dtype=np.int64, count=len(token.colors))
+
+    # ------------------------------------------------------------------
     def _list_mass(self, stream, chi, uncolored, state) -> int:
         """One pass: the Lemma 3.10 decay quantity ``sum_x (|P_x ∩ L_x| - 1)``."""
         total = 0
         seen = set()
+        if isinstance(stream, StreamSource):
+            for item in stream.new_pass():
+                if not isinstance(item, ListToken):
+                    continue
+                x = item.x
+                if x in uncolored and x not in seen:
+                    seen.add(x)
+                    colors = self._token_colors(item)
+                    count = int(self._contains_colors(state, x, colors).sum())
+                    total += max(0, count - 1)
+            return total
         for token in stream.new_pass():
             if isinstance(token, ListToken) and token.x in uncolored:
                 if token.x in seen:
@@ -186,28 +251,33 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         partition_arr = self._materialize(family, key)
         # --- slack counter pass (both base and used, per class) ---
         members = state.members
-        base = {x: np.zeros(s, dtype=np.int64) for x in members}
-        used = {x: np.zeros(s, dtype=np.int64) for x in members}
         self.meter.set_gauge(
             "stage counters",
             len(members) * s * 2 * ceil_log2(max(2, self.delta + 2)),
         )
-        seen_lists = set()
-        for token in stream.new_pass():
-            if isinstance(token, ListToken):
-                x = token.x
-                if x in uncolored and x not in seen_lists:
-                    seen_lists.add(x)
-                    for c in token.colors:
-                        if state.contains(x, c):
-                            base[x][partition_arr[c]] += 1
-            elif isinstance(token, EdgeToken):
-                for x, y in ((token.u, token.v), (token.v, token.u)):
-                    if x in uncolored:
-                        color = chi.get(y)
-                        if color is not None and state.contains(x, color):
-                            used[x][partition_arr[color]] += 1
-        slacks = {x: np.maximum(0, base[x] - used[x]) for x in members}
+        if isinstance(stream, StreamSource):
+            slacks = self._stage_slacks_blocks(
+                stream, chi, uncolored, state, partition_arr, s
+            )
+        else:
+            base = {x: np.zeros(s, dtype=np.int64) for x in members}
+            used = {x: np.zeros(s, dtype=np.int64) for x in members}
+            seen_lists = set()
+            for token in stream.new_pass():
+                if isinstance(token, ListToken):
+                    x = token.x
+                    if x in uncolored and x not in seen_lists:
+                        seen_lists.add(x)
+                        for c in token.colors:
+                            if state.contains(x, c):
+                                base[x][partition_arr[c]] += 1
+                elif isinstance(token, EdgeToken):
+                    for x, y in ((token.u, token.v), (token.v, token.u)):
+                        if x in uncolored:
+                            color = chi.get(y)
+                            if color is not None and state.contains(x, color):
+                                used[x][partition_arr[color]] += 1
+            slacks = {x: np.maximum(0, base[x] - used[x]) for x in members}
         proposals = self._select_classes(stream, uncolored, state, slacks, s)
         for x in members:
             if slacks[x][proposals[x]] <= 0:
@@ -217,6 +287,45 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
             state.chain[x] = state.chain[x] + (proposals[x],)
         state.partitions.append(partition_arr)
         self.meter.clear_gauge("stage counters")
+
+    def _stage_slacks_blocks(self, stream, chi, uncolored, state, partition_arr, s):
+        """Block twin of the slack counter pass.
+
+        List tokens contribute to per-vertex ``base`` histograms via one
+        masked ``np.add.at`` each; edge blocks accumulate ``used`` with a
+        flat ``np.bincount`` over ``(vertex, class)`` keys, exactly as the
+        deterministic algorithm's stage pass does.
+        """
+        n = self.n
+        members = state.members
+        member_mask, chain_matrix = self._chain_arrays(state)
+        chi_arr = coloring_array(n, chi)
+        base = {x: np.zeros(s, dtype=np.int64) for x in members}
+        used_counts = np.zeros(n * s, dtype=np.int64)
+        seen_lists = set()
+        for item in stream.new_pass():
+            if isinstance(item, ListToken):
+                x = item.x
+                if x in uncolored and x not in seen_lists:
+                    seen_lists.add(x)
+                    colors = self._token_colors(item)
+                    colors = colors[self._contains_colors(state, x, colors)]
+                    np.add.at(base[x], partition_arr[colors], 1)
+            elif isinstance(item, np.ndarray):
+                for xs, ys in ((item[:, 0], item[:, 1]), (item[:, 1], item[:, 0])):
+                    cy = chi_arr[ys]
+                    sel = member_mask[xs] & (cy > 0)
+                    if not sel.any():
+                        continue
+                    xs_s, cy_s = xs[sel], cy[sel]
+                    inside = self._contains_pairs(state, chain_matrix, xs_s, cy_s)
+                    if inside.any():
+                        used_counts += np.bincount(
+                            xs_s[inside] * s + partition_arr[cy_s[inside]],
+                            minlength=n * s,
+                        )
+        used = used_counts.reshape(n, s)
+        return {x: np.maximum(0, base[x] - used[x]) for x in members}
 
     def _select_partition(self, stream, uncolored, state, family):
         """The paper's 4-pass group minimization over the Lemma 3.10 family.
@@ -254,6 +363,12 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         self.meter.set_gauge(
             "partition accumulators", len(groups) * 2 * ceil_log2(max(2, self.n))
         )
+        if isinstance(stream, StreamSource):
+            scores = self._score_partition_groups_blocks(
+                stream, uncolored, state, family, groups
+            )
+            self.meter.clear_gauge("partition accumulators")
+            return scores
         scores = np.zeros(len(groups))
         seen = set()
         for token in stream.new_pass():
@@ -275,13 +390,53 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         self.meter.clear_gauge("partition accumulators")
         return scores
 
+    def _score_partition_groups_blocks(self, stream, uncolored, state, family, groups):
+        """Block twin of the group-scoring pass.
+
+        All candidate members are scored at once against the family's
+        precomputed color -> class table: per list token, one occupancy
+        bincount over ``(member, class)`` keys yields every member's
+        ``a_R`` value, then a grouped sum.  Scores are integer-valued
+        float sums, exactly as the token path accumulates them.
+        """
+        s = family.s
+        table = family.class_table()
+        row_of = {key: i for i, key in enumerate(family.members())}
+        cand_keys = [key for group in groups for key in group]
+        rows = np.fromiter(
+            (row_of[key] for key in cand_keys), dtype=np.int64, count=len(cand_keys)
+        )
+        group_ids = np.repeat(
+            np.arange(len(groups)), [len(group) for group in groups]
+        )
+        sub_table = table[rows]  # (M, universe + 1)
+        offsets = np.arange(len(rows), dtype=np.int64)[:, None] * s
+        scores = np.zeros(len(groups))
+        seen = set()
+        for item in stream.new_pass():
+            if not isinstance(item, ListToken) or item.x not in uncolored:
+                continue
+            x = item.x
+            if x in seen:
+                continue
+            seen.add(x)
+            colors = self._token_colors(item)
+            survivors = colors[self._contains_colors(state, x, colors)]
+            if not len(survivors):
+                continue
+            occupancy = np.bincount(
+                (sub_table[:, survivors] + offsets).ravel(),
+                minlength=len(rows) * s,
+            ).reshape(len(rows), s)
+            per_member = np.maximum(0, occupancy.max(axis=1) - 1)
+            scores += np.bincount(
+                group_ids, weights=per_member, minlength=len(groups)
+            )
+        return scores
+
     def _materialize(self, family, key) -> np.ndarray:
         """Color -> class array for the chosen partition (index 1..universe)."""
-        a, b = key
-        arr = np.zeros(self.universe + 1, dtype=np.int64)
-        for c in range(1, self.universe + 1):
-            arr[c] = family.class_of(a, b, c)
-        return arr
+        return family.class_array(*key)
 
     def _select_classes(self, stream, uncolored, state, slacks, s):
         """Slack-weighted class choice: greedy or 3-pass hash-family search."""
@@ -295,15 +450,36 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         self.meter.set_gauge("part accumulators", selector.accumulator_bits())
         conflict = self._conflict_edges(stream, uncolored, state)
         part = selector.part_sums(conflict)
-        a_star = int(np.argmin(part)) if conflict else 0
+        a_star = int(np.argmin(part)) if len(conflict) else 0
         conflict = self._conflict_edges(stream, uncolored, state)
         member = selector.member_sums(a_star, conflict)
-        b_star = int(np.argmin(member)) if conflict else 0
+        b_star = int(np.argmin(member)) if len(conflict) else 0
         self.meter.clear_gauge("part accumulators")
         return {x: selector.proposal_for(x, a_star, b_star) for x in members}
 
     def _conflict_edges(self, stream, uncolored, state):
-        """One pass: edges inside U whose endpoints share the same chain."""
+        """One pass: edges inside U whose endpoints share the same chain.
+
+        The block path returns the identical edge sequence as a ``(k, 2)``
+        array — unique, in first-occurrence stream order — because the
+        selector accumulates float potentials per edge and summation order
+        matters for exact argmin ties.
+        """
+        if isinstance(stream, StreamSource):
+            member_mask, chain_matrix = self._chain_arrays(state)
+            chunks = []
+            for item in stream.new_pass():
+                if not isinstance(item, np.ndarray):
+                    continue
+                u, v = item[:, 0], item[:, 1]
+                sel = member_mask[u] & member_mask[v]
+                for t in range(len(state.partitions)):
+                    sel &= chain_matrix[t, u] == chain_matrix[t, v]
+                if sel.any():
+                    chunks.append(item[sel])
+            if not chunks:
+                return np.empty((0, 2), dtype=np.int64)
+            return dedupe_edges(self.n, np.concatenate(chunks), keep_order=True)
         edges = []
         seen = set()
         for token in stream.new_pass():
@@ -322,31 +498,64 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
     # ------------------------------------------------------------------
     def _final_stage(self, stream, chi, uncolored, state) -> None:
         members = state.members
+        use_blocks = isinstance(stream, StreamSource)
         # Recording pass: P_x ∩ L_x explicitly (<= 2|U| ids total after decay).
         candidates: dict[int, list[int]] = {x: [] for x in members}
         seen = set()
-        for token in stream.new_pass():
-            if isinstance(token, ListToken) and token.x in uncolored:
-                if token.x in seen:
-                    continue
-                seen.add(token.x)
-                candidates[token.x] = sorted(
-                    c for c in token.colors if state.contains(token.x, c)
-                )
+        if use_blocks:
+            for item in stream.new_pass():
+                if isinstance(item, ListToken) and item.x in uncolored:
+                    if item.x in seen:
+                        continue
+                    seen.add(item.x)
+                    colors = self._token_colors(item)
+                    inside = colors[self._contains_colors(state, item.x, colors)]
+                    candidates[item.x] = np.sort(inside).tolist()
+        else:
+            for token in stream.new_pass():
+                if isinstance(token, ListToken) and token.x in uncolored:
+                    if token.x in seen:
+                        continue
+                    seen.add(token.x)
+                    candidates[token.x] = sorted(
+                        c for c in token.colors if state.contains(token.x, c)
+                    )
         total_ids = sum(len(v) for v in candidates.values())
         self.meter.set_gauge(
             "final-stage candidates", total_ids * ceil_log2(max(2, self.universe))
         )
         # Marking pass: drop colors used by already-colored neighbors.
         unavailable: dict[int, set[int]] = {x: set() for x in members}
-        for token in stream.new_pass():
-            if not isinstance(token, EdgeToken):
-                continue
-            for x, y in ((token.u, token.v), (token.v, token.u)):
-                if x in uncolored:
-                    color = chi.get(y)
-                    if color is not None:
-                        unavailable[x].add(color)
+        if use_blocks:
+            member_mask, _ = self._chain_arrays(state)
+            chi_arr = coloring_array(self.n, chi)
+            key_chunks = []
+            for item in stream.new_pass():
+                if not isinstance(item, np.ndarray):
+                    continue
+                for xs, ys in ((item[:, 0], item[:, 1]), (item[:, 1], item[:, 0])):
+                    cy = chi_arr[ys]
+                    sel = member_mask[xs] & (cy > 0)
+                    if sel.any():
+                        key_chunks.append(
+                            xs[sel] * (self.universe + 1) + cy[sel]
+                        )
+            if key_chunks:
+                keys = np.unique(np.concatenate(key_chunks))
+                for x, color in zip(
+                    (keys // (self.universe + 1)).tolist(),
+                    (keys % (self.universe + 1)).tolist(),
+                ):
+                    unavailable[x].add(color)
+        else:
+            for token in stream.new_pass():
+                if not isinstance(token, EdgeToken):
+                    continue
+                for x, y in ((token.u, token.v), (token.v, token.u)):
+                    if x in uncolored:
+                        color = chi.get(y)
+                        if color is not None:
+                            unavailable[x].add(color)
         avail = {
             x: [c for c in candidates[x] if c not in unavailable[x]]
             for x in members
@@ -367,10 +576,10 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
                 selector.register_vertex(x, avail[x], [1] * len(avail[x]))
             conflict = self._conflict_edges(stream, uncolored, state)
             part = selector.part_sums(conflict)
-            a_star = int(np.argmin(part)) if conflict else 0
+            a_star = int(np.argmin(part)) if len(conflict) else 0
             conflict = self._conflict_edges(stream, uncolored, state)
             member = selector.member_sums(a_star, conflict)
-            b_star = int(np.argmin(member)) if conflict else 0
+            b_star = int(np.argmin(member)) if len(conflict) else 0
             state.proposals = {
                 x: selector.proposal_for(x, a_star, b_star) for x in members
             }
@@ -380,17 +589,36 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
     def _commit(self, stream, chi, uncolored, state) -> None:
         """End-of-epoch: collect F, Turán-commit an independent set."""
         proposals = state.proposals
-        conflict_edges = []
-        seen = set()
-        for token in stream.new_pass():
-            if not isinstance(token, EdgeToken):
-                continue
-            u, v = token.u, token.v
-            if u in uncolored and v in uncolored and proposals[u] == proposals[v]:
-                key = (min(u, v), max(u, v))
-                if key not in seen:
-                    seen.add(key)
-                    conflict_edges.append(key)
+        if isinstance(stream, StreamSource):
+            member_mask, _ = self._chain_arrays(state)
+            prop = np.full(self.n, -1, dtype=np.int64)
+            for x, proposal in proposals.items():
+                prop[x] = proposal
+            chunks = []
+            for item in stream.new_pass():
+                if not isinstance(item, np.ndarray):
+                    continue
+                u, v = item[:, 0], item[:, 1]
+                sel = member_mask[u] & member_mask[v] & (prop[u] == prop[v])
+                if sel.any():
+                    chunks.append(item[sel])
+            conflict_edges = (
+                dedupe_edges(self.n, np.concatenate(chunks), keep_order=True)
+                if chunks
+                else np.empty((0, 2), dtype=np.int64)
+            ).tolist()
+        else:
+            conflict_edges = []
+            seen = set()
+            for token in stream.new_pass():
+                if not isinstance(token, EdgeToken):
+                    continue
+                u, v = token.u, token.v
+                if u in uncolored and v in uncolored and proposals[u] == proposals[v]:
+                    key = (min(u, v), max(u, v))
+                    if key not in seen:
+                        seen.add(key)
+                        conflict_edges.append(key)
         members = state.members
         index = {x: i for i, x in enumerate(members)}
         conflict_graph = Graph(len(members))
@@ -406,14 +634,40 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         """Collect edges incident to U plus U's lists; finish greedily."""
         adjacency: dict[int, set[int]] = {x: set() for x in uncolored}
         lists: dict[int, set[int]] = {}
-        for token in stream.new_pass():
-            if isinstance(token, ListToken):
-                if token.x in uncolored and token.x not in lists:
-                    lists[token.x] = set(token.colors)
-            elif isinstance(token, EdgeToken):
-                for x, y in ((token.u, token.v), (token.v, token.u)):
-                    if x in uncolored:
-                        adjacency[x].add(y)
+        if isinstance(stream, StreamSource):
+            unc = np.zeros(self.n, dtype=bool)
+            if uncolored:
+                unc[list(uncolored)] = True
+            pair_chunks = []
+            for item in stream.new_pass():
+                if isinstance(item, ListToken):
+                    if item.x in uncolored and item.x not in lists:
+                        lists[item.x] = set(item.colors)
+                elif isinstance(item, np.ndarray):
+                    keep = unc[item[:, 0]] | unc[item[:, 1]]
+                    if keep.any():
+                        pair_chunks.append(item[keep])
+            if pair_chunks:
+                from repro.streaming.blocks import group_pairs
+
+                arr = np.concatenate(pair_chunks)
+                fwd = arr[unc[arr[:, 0]]]
+                rev = arr[unc[arr[:, 1]]][:, ::-1]
+                pairs = np.concatenate([fwd, rev])
+                keys = np.unique(pairs[:, 0] * self.n + pairs[:, 1])
+                for x, ys in group_pairs(
+                    np.stack([keys // self.n, keys % self.n], axis=1)
+                ):
+                    adjacency[x] = set(ys.tolist())
+        else:
+            for token in stream.new_pass():
+                if isinstance(token, ListToken):
+                    if token.x in uncolored and token.x not in lists:
+                        lists[token.x] = set(token.colors)
+                elif isinstance(token, EdgeToken):
+                    for x, y in ((token.u, token.v), (token.v, token.u)):
+                        if x in uncolored:
+                            adjacency[x].add(y)
         stored = sum(len(a) for a in adjacency.values())
         self.meter.set_gauge(
             "final edges+lists",

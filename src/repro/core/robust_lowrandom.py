@@ -32,6 +32,8 @@ from repro.streaming.model import OnePassAlgorithm
 class LowRandomnessRobustColoring(OnePassAlgorithm):
     """Robust ``O(Delta^3)``-coloring within semi-streaming space incl. randomness."""
 
+    supports_blocks = True
+
     def __init__(self, n: int, delta: int, seed: int, repetitions=None):
         super().__init__()
         if delta < 1:
@@ -52,10 +54,10 @@ class LowRandomnessRobustColoring(OnePassAlgorithm):
         prime = next_prime(max(n, self.range_size, 11))
         self.family = PolynomialHashFamily(prime, k=4, m=self.range_size)
         rng = SeededRng(seed)
-        # Coefficients for h_{i,j}: i in [Delta] epochs, j in [P] repetitions.
-        self._coeffs = rng.np.integers(
-            0, prime, size=(delta, self.repetitions, 4), dtype=np.int64
-        )
+        # Coefficients for h_{i,j}: i in [Delta] epochs, j in [P] repetitions
+        # (the family's batched sampler draws the identical sequence the
+        # previous direct rng.np.integers call did).
+        self._coeffs = self.family.coeff_array(rng, (delta, self.repetitions))
         self.meter.charge_random_bits(
             delta * self.repetitions * self.family.seed_bits()
         )
@@ -123,6 +125,14 @@ class LowRandomnessRobustColoring(OnePassAlgorithm):
             else:
                 d_i[j] = None  # wipe if it grows too large (line 14)
         self._update_space()
+
+    def process_block(self, edges: np.ndarray) -> None:
+        """Vectorized :meth:`process` over a ``(k, 2)`` block (bit-identical)."""
+        from repro.streaming.blocks import sketch_process_block
+
+        sketch_process_block(
+            self, edges, num_epochs=self.delta, capacity=self.n
+        )
 
     # ------------------------------------------------------------------
     def query(self) -> dict[int, int]:

@@ -57,6 +57,7 @@ from repro.engine.runner import (
     make_adversary,
     run,
     run_game,
+    set_default_stream,
 )
 
 __all__ = [
@@ -85,6 +86,7 @@ __all__ = [
     "results_table",
     "run",
     "run_game",
+    "set_default_stream",
     "set_default_workers",
     "validate_result_dict",
 ]

@@ -15,13 +15,21 @@ column list into the ``(headers, rows)`` pair the rest of the repository
 formats and archives.
 """
 
+import functools
 import itertools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields
 
 from repro.common.exceptions import ReproError
 from repro.engine.result import ColoringResult
-from repro.engine.runner import GameSpec, RunSpec, run, run_game
+from repro.engine.runner import (
+    GameSpec,
+    RunSpec,
+    get_default_stream,
+    run,
+    run_game,
+    set_default_stream,
+)
 
 __all__ = [
     "GridRunner",
@@ -113,8 +121,16 @@ def _job_to_spec(job: dict, mode: str):
         raise ReproError(f"bad grid job {sorted(job)}: {exc}") from None
 
 
-def _execute_spec(spec) -> ColoringResult:
-    """Module-level job executor (picklable for the process pool)."""
+def _execute_spec(spec, stream_defaults=None) -> ColoringResult:
+    """Module-level job executor (picklable for the process pool).
+
+    ``stream_defaults`` carries the parent's ``(backend, chunk_size)``
+    data-plane defaults into pool workers, which under spawn/forkserver
+    start methods re-import the runner module and would otherwise fall
+    back to the token path silently.
+    """
+    if stream_defaults is not None:
+        set_default_stream(*stream_defaults)
     if isinstance(spec, GameSpec):
         return run_game(spec)
     return run(spec)
@@ -146,8 +162,11 @@ class GridRunner:
         workers = self._effective_workers(len(specs))
         if workers <= 1:
             return [_execute_spec(spec) for spec in specs]
+        job = functools.partial(
+            _execute_spec, stream_defaults=get_default_stream()
+        )
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_spec, specs))
+            return list(pool.map(job, specs))
 
     def table(self, grid: GridSpec, columns) -> tuple[list[str], list[list]]:
         """Run the grid and derive one table row per result."""

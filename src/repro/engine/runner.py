@@ -46,6 +46,7 @@ __all__ = [
     "make_adversary",
     "run",
     "run_game",
+    "set_default_stream",
 ]
 
 #: Valid ``RunSpec.stream_backend`` values.  ``tokens`` is the legacy
@@ -59,6 +60,58 @@ STREAM_BACKENDS = ("tokens", "materialized", "generator", "file")
 #: Hamiltonian-cycle construction (max degree <= delta, numpy-built, the
 #: one to use at n >= 10^4 where the proposal loop dominates runtime).
 GRAPH_FAMILIES = ("random_max_degree", "near_regular")
+
+# Process-level data-plane defaults, used when a spec leaves
+# ``stream_backend`` / ``chunk_size`` as None; the CLI's --stream-backend /
+# --chunk-size flags set them once instead of threading parameters through
+# every experiment signature (mirroring grid.set_default_workers).
+_default_stream_backend = "tokens"
+_default_chunk_size = DEFAULT_CHUNK_SIZE
+
+
+def set_default_stream(backend=None, chunk_size=None) -> None:
+    """Set the data plane used by specs that do not pick one explicitly.
+
+    Either argument may be None to leave it unchanged.  Raises
+    :class:`ReproError` on an unknown backend or a non-positive chunk
+    size, so CLI callers get the standard exit-2 path.
+    """
+    global _default_stream_backend, _default_chunk_size
+    if backend is not None:
+        if backend not in STREAM_BACKENDS:
+            raise ReproError(
+                f"unknown stream backend {backend!r}; "
+                f"valid: {list(STREAM_BACKENDS)}"
+            )
+        _default_stream_backend = backend
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ReproError(f"chunk size must be >= 1, got {chunk_size}")
+        _default_chunk_size = chunk_size
+
+
+def get_default_stream() -> tuple[str, int]:
+    """The current process-level ``(backend, chunk_size)`` defaults.
+
+    Grid runners snapshot this when fanning jobs out to a process pool so
+    that workers under any multiprocessing start method (spawn/forkserver
+    re-import this module, resetting the globals) still honor the CLI's
+    data-plane choice.
+    """
+    return _default_stream_backend, _default_chunk_size
+
+
+def _resolve_data_plane(spec: "RunSpec") -> tuple[str, int]:
+    """The spec's ``(stream_backend, chunk_size)``, defaults applied."""
+    backend = (
+        spec.stream_backend
+        if spec.stream_backend is not None
+        else _default_stream_backend
+    )
+    chunk_size = (
+        spec.chunk_size if spec.chunk_size is not None else _default_chunk_size
+    )
+    return backend, chunk_size
 
 
 @dataclass(frozen=True)
@@ -76,7 +129,9 @@ class RunSpec:
     stream; ``materialized`` / ``generator`` / ``file`` construct chunked
     block sources (``chunk_size`` edges per block) carrying the identical
     edge sequence, so results are bit-for-bit equal across backends while
-    block-capable algorithms run their passes vectorized.
+    every registered algorithm runs its passes vectorized.  Leaving either
+    field as ``None`` uses the process defaults (:func:`set_default_stream`
+    — ``tokens`` / ``DEFAULT_CHUNK_SIZE`` unless the CLI overrode them).
     ``graph_family`` picks the workload generator (see
     :data:`GRAPH_FAMILIES`); ``near_regular`` is the numpy-built family
     for n >= 10^4 instances.
@@ -93,8 +148,8 @@ class RunSpec:
     stream_order: str = "insertion"
     stream_seed: int | None = None
     list_seed: int | None = None
-    stream_backend: str = "tokens"
-    chunk_size: int = DEFAULT_CHUNK_SIZE
+    stream_backend: str | None = None
+    chunk_size: int | None = None
     validate: bool = True
     keep_coloring: bool = False
     tags: dict = field(default_factory=dict)
@@ -102,7 +157,13 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class GameSpec:
-    """One adaptive-game run (Section 2 insert/query model)."""
+    """One adaptive-game run (Section 2 insert/query model).
+
+    ``batch_size`` groups consecutive adversary insertions into one
+    ``process_block`` call (``None`` = up to the next query boundary,
+    ``1`` = the legacy per-edge ``process`` path); outcomes are identical
+    either way.
+    """
 
     algorithm: str
     n: int
@@ -112,6 +173,7 @@ class GameSpec:
     adversary: str = "conflict"
     adversary_seed: int | None = None
     query_every: int = 1
+    batch_size: int | None = None
     config: dict = field(default_factory=dict)
     tags: dict = field(default_factory=dict)
 
@@ -145,9 +207,10 @@ def _build_stream(spec: RunSpec, entry, config):
     from repro.streaming.stream import order_edges, stream_with_lists
     from repro.streaming.tokens import edge_tokens
 
-    if spec.stream_backend not in STREAM_BACKENDS:
+    backend, chunk_size = _resolve_data_plane(spec)
+    if backend not in STREAM_BACKENDS:
         raise ReproError(
-            f"unknown stream_backend {spec.stream_backend!r}; "
+            f"unknown stream_backend {backend!r}; "
             f"valid: {list(STREAM_BACKENDS)}"
         )
     if spec.graph_family not in GRAPH_FAMILIES:
@@ -168,10 +231,10 @@ def _build_stream(spec: RunSpec, entry, config):
         )
 
     if entry.needs_lists:
-        if spec.stream_backend not in ("tokens", "materialized"):
+        if backend not in ("tokens", "materialized"):
             raise ReproError(
                 f"algorithm {entry.name!r} needs list tokens; the "
-                f"{spec.stream_backend!r} backend carries edges only "
+                f"{backend!r} backend carries edges only "
                 "(use tokens or materialized)"
             )
         graph = make_graph()
@@ -180,8 +243,8 @@ def _build_stream(spec: RunSpec, entry, config):
             graph, palette_size=universe, seed=spec.list_seed or 0
         )
         stream = stream_with_lists(graph, lists, seed=spec.stream_seed)
-        if spec.stream_backend == "materialized":
-            return stream.as_source(spec.chunk_size)
+        if backend == "materialized":
+            return stream.as_source(chunk_size)
         return stream
 
     def make_edges():
@@ -197,7 +260,7 @@ def _build_stream(spec: RunSpec, entry, config):
             base = make_graph().edge_list()
         return order_edges(base, seed=spec.stream_seed, order=spec.stream_order)
 
-    if spec.stream_backend == "generator":
+    if backend == "generator":
         # Lazy: the same edges + ordering are re-derived on every pass and
         # nothing survives between passes (the regeneration itself
         # materializes the edges transiently, so this trades repeated
@@ -208,19 +271,19 @@ def _build_stream(spec: RunSpec, entry, config):
                 return np.empty((0, 2), dtype=np.int64)
             return np.asarray(edges, dtype=np.int64)
 
-        return GeneratorSource(regenerate, spec.n, chunk_size=spec.chunk_size)
+        return GeneratorSource(regenerate, spec.n, chunk_size=chunk_size)
 
-    if spec.stream_backend == "file":
+    if backend == "file":
         tmpdir = tempfile.TemporaryDirectory(prefix="repro-edges-")
         path = f"{tmpdir.name}/edges.bin"
         write_edge_file(path, spec.n, iter(make_edges()))
-        source = FileSource(path, chunk_size=spec.chunk_size)
+        source = FileSource(path, chunk_size=chunk_size)
         source._tmpdir = tmpdir  # tie the temp file's lifetime to the source
         return source
 
     stream = TokenStream(edge_tokens(make_edges()), spec.n)
-    if spec.stream_backend == "materialized":
-        return stream.as_source(spec.chunk_size)
+    if backend == "materialized":
+        return stream.as_source(chunk_size)
     return stream
 
 
@@ -375,6 +438,9 @@ def _run_on_stream(spec, entry, config, stream) -> ColoringResult:
     }
     if isinstance(stream, StreamSource):
         extras["chunk_size"] = stream.chunk_size
+        # True iff the algorithm consumed blocks natively (no token
+        # adapter): every registered algorithm does.
+        extras["block_native"] = bool(getattr(algo, "supports_blocks", False))
     pass_times = list(stream.pass_seconds[timings_before:])
     if pass_times:
         extras["pass_wall_times"] = [round(t, 6) for t in pass_times]
@@ -433,11 +499,12 @@ def run_game(
     start = time.perf_counter()
     outcome = run_adversarial_game(
         algo, adversary, n=spec.n, delta=spec.delta, rounds=spec.rounds,
-        query_every=spec.query_every,
+        query_every=spec.query_every, batch_size=spec.batch_size,
     )
     wall_time = time.perf_counter() - start
 
     extras = {
+        "batch_size": spec.batch_size,
         "rounds": outcome.rounds,
         "errors": outcome.errors,
         "failures": outcome.failures,

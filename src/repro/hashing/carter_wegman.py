@@ -18,7 +18,7 @@ lines 20-26 is realized.
 
 from dataclasses import dataclass
 
-from repro.common.integer_math import is_prime
+from repro.common.integer_math import is_prime, mod_horner_array
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,10 @@ class AffineFunction:
 
     def __call__(self, x: int) -> int:
         return (self.a * x + self.b) % self.p
+
+    def eval_array(self, xs):
+        """Vectorized (overflow-safe) evaluation over an integer key array."""
+        return mod_horner_array((self.b, self.a), xs, self.p)
 
 
 class CarterWegmanFamily:

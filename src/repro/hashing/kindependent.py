@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.integer_math import is_prime
+from repro.common.integer_math import horner_fits_int64, is_prime, mod_horner_array
 
 
 @dataclass(frozen=True)
@@ -34,11 +34,17 @@ class PolynomialFunction:
         return acc % self.m
 
     def eval_array(self, xs: np.ndarray) -> np.ndarray:
-        """Vectorized evaluation over an int64 array of keys."""
-        acc = np.zeros_like(xs, dtype=np.int64)
-        for c in reversed(self.coeffs):
-            acc = (acc * xs + c) % self.p
-        return acc % self.m
+        """Vectorized evaluation over an integer array of keys.
+
+        Overflow-safe: for ``p`` large enough that ``acc * x + c`` could
+        exceed int64 (``p`` beyond ~2^31 with comparably large keys),
+        evaluation falls back to exact Python-int arithmetic and still
+        matches :meth:`__call__` bit for bit.
+        """
+        out = mod_horner_array(self.coeffs, xs, self.p) % self.m
+        if out.dtype == object:
+            out = out.astype(np.int64)
+        return out
 
 
 class PolynomialHashFamily:
@@ -75,3 +81,44 @@ class PolynomialHashFamily:
         """Uniformly random member."""
         coeffs = tuple(rng.randint(0, self.p - 1) for _ in range(self.k))
         return PolynomialFunction(coeffs, self.p, self.m)
+
+    # ------------------------------------------------------------------
+    # batched API: many members at once, evaluated over arrays of keys
+    # ------------------------------------------------------------------
+    def coeff_array(self, rng, shape) -> np.ndarray:
+        """Coefficient tensor for a batch of members, shape ``shape + (k,)``.
+
+        Draws ``prod(shape) * k`` uniform coefficients from ``rng.np`` in
+        one call — the vectorized counterpart of calling :meth:`sample`
+        per member.  The random-bit accounting is unchanged: callers charge
+        ``seed_bits()`` per member exactly as on the scalar path.
+        """
+        shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        return rng.np.integers(0, self.p, size=shape + (self.k,), dtype=np.int64)
+
+    def eval_coeffs(self, coeffs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """Evaluate every member of a coefficient tensor at every key.
+
+        ``coeffs`` has shape ``members_shape + (k,)`` (low-to-high degree,
+        as from :meth:`coeff_array`); ``xs`` is a 1-d key array.  Returns
+        values in ``[0, m)`` with shape ``(len(xs),) + members_shape``,
+        using the same overflow-safe path as
+        :meth:`PolynomialFunction.eval_array`.
+        """
+        coeffs = np.asarray(coeffs)
+        xs = np.asarray(xs)
+        members_shape = coeffs.shape[:-1]
+        xmax = int(np.abs(xs).max()) if xs.size else 0
+        big = (self.p - 1) * (xmax + 1) + (self.p - 1) >= 2**63
+        dtype = object if big else np.int64
+        x_col = xs.astype(dtype).reshape((len(xs),) + (1,) * len(members_shape))
+        acc = np.zeros((len(xs),) + members_shape, dtype=dtype)
+        if not big and horner_fits_int64(self.k, xmax, self.p):
+            # Mod-free accumulation (exact: one final reduction suffices).
+            for d in range(self.k - 1, -1, -1):
+                acc = acc * x_col + coeffs[..., d]
+            return acc % self.p % self.m
+        for d in range(self.k - 1, -1, -1):
+            acc = (acc * x_col + coeffs[..., d].astype(dtype)) % self.p
+        out = acc % self.m
+        return out.astype(np.int64) if big else out

@@ -18,6 +18,8 @@ Colors here are the integers ``1..|C|`` (the library canonicalizes color
 universes before streaming).
 """
 
+import numpy as np
+
 from repro.common.integer_math import next_prime
 from repro.hashing.universal import TwoUniversalFamily
 
@@ -34,6 +36,7 @@ class PartitionFamily:
         self.s = s
         self.p = next_prime(max(universe_size, s, 2))
         self._family = TwoUniversalFamily(self.p, s)
+        self._class_table = None
 
     @property
     def size(self) -> int:
@@ -57,3 +60,39 @@ class PartitionFamily:
         for color in range(1, self.universe_size + 1):
             classes[h(color)].add(color)
         return classes
+
+    # ------------------------------------------------------------------
+    # batched API
+    # ------------------------------------------------------------------
+    def class_array(self, a: int, b: int) -> np.ndarray:
+        """Color -> class array for partition ``(a, b)``, indexed ``1..universe``.
+
+        Index 0 is unused (colors are 1-based) and set to 0.
+        """
+        arr = np.zeros(self.universe_size + 1, dtype=np.int64)
+        arr[1:] = self._family.function(a, b).eval_array(
+            np.arange(1, self.universe_size + 1, dtype=np.int64)
+        )
+        return arr
+
+    def class_table(self) -> np.ndarray:
+        """Class of every color under every member: ``(|F|, universe + 1)``.
+
+        Rows follow :meth:`members` order; column 0 is unused (colors are
+        1-based).  Cached — the table is ``O(|C|^3)`` integers, small for
+        the list-coloring regimes (``|C| = O(Delta)``), and shared by every
+        scoring pass of a stage.
+        """
+        if self._class_table is None:
+            a = np.arange(1, self.p, dtype=np.int64)
+            b = np.arange(self.p, dtype=np.int64)
+            colors = np.arange(self.universe_size + 1, dtype=np.int64)
+            # (a, b, color) -> class, flattened to members-order rows.
+            vals = (
+                a[:, None, None] * colors[None, None, :] + b[None, :, None]
+            ) % self.p % self.s
+            table = vals.reshape(-1, self.universe_size + 1)
+            table[:, 0] = 0
+            table.flags.writeable = False
+            self._class_table = table
+        return self._class_table

@@ -25,6 +25,10 @@ class OracleFunction:
     def __call__(self, x: int) -> int:
         return int(self._table[x])
 
+    def eval_array(self, xs) -> np.ndarray:
+        """Vectorized evaluation: one table gather over an index array."""
+        return self._table[np.asarray(xs, dtype=np.int64)]
+
     def table(self) -> np.ndarray:
         """The underlying value table (do not mutate)."""
         return self._table

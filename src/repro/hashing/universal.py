@@ -9,7 +9,7 @@ coloring function.
 
 from dataclasses import dataclass
 
-from repro.common.integer_math import is_prime
+from repro.common.integer_math import is_prime, mod_horner_array
 
 
 @dataclass(frozen=True)
@@ -23,6 +23,10 @@ class ModFunction:
 
     def __call__(self, x: int) -> int:
         return ((self.a * x + self.b) % self.p) % self.s
+
+    def eval_array(self, xs):
+        """Vectorized (overflow-safe) evaluation over an integer key array."""
+        return mod_horner_array((self.b, self.a), xs, self.p) % self.s
 
 
 class TwoUniversalFamily:

@@ -1,0 +1,225 @@
+"""Shared helpers for vectorized ``process_block`` implementations.
+
+The sketch-based one-pass algorithms (Algorithms 2 and 3, the [CGS22]
+baseline, the one-shot strawman) all follow the same shape: a buffer that
+rolls when it reaches capacity, rare "monochromatic" sketch events found
+by comparing hash values of the two endpoints, and per-edge space-gauge
+updates.  Their block paths replay a whole ``(k, 2)`` edge array at once;
+these helpers compute the sequential bookkeeping (buffer epochs, running
+degrees, cached hash rows) in closed form so each algorithm's
+``process_block`` stays a thin, vectorized transcription of its scalar
+``process``.
+"""
+
+import numpy as np
+
+__all__ = [
+    "buffer_timeline",
+    "cached_hash_rows",
+    "group_pairs",
+    "running_degrees",
+    "sketch_process_block",
+]
+
+
+def group_pairs(pairs: np.ndarray):
+    """Group directed ``(x, y)`` pairs by ``x``: yields ``(x, ys_array)``.
+
+    The canonical vectorized adjacency reduction shared by the block
+    passes: one stable sort on the first column, then boundary splits, so
+    each group's ``ys`` keep their input order.  ``x`` is a Python int;
+    ``ys`` an int64 array view.
+    """
+    if not len(pairs):
+        return
+    order = np.argsort(pairs[:, 0], kind="stable")
+    xs = pairs[order, 0]
+    ys = pairs[order, 1]
+    boundaries = np.flatnonzero(np.diff(xs)) + 1
+    starts = np.concatenate(([0], boundaries)).astype(np.int64)
+    for x, group in zip(xs[starts].tolist(), np.split(ys, boundaries)):
+        yield x, group
+
+
+def buffer_timeline(start_len: int, capacity: int, k: int):
+    """Per-edge roll counts and buffer lengths for a roll-at-capacity buffer.
+
+    Models the sketch algorithms' rule: before each insertion, a buffer
+    holding ``capacity`` edges is cleared (one *roll*); the edge is then
+    appended.  For ``k`` insertions starting from ``start_len`` buffered
+    edges, returns ``(rolls, lengths)`` int64 arrays of length ``k``:
+    ``rolls[e]`` counts the rolls that happened at or before edge ``e``
+    (the epoch while processing edge ``e`` is ``curr0 + rolls[e]``), and
+    ``lengths[e]`` is the buffer size just after edge ``e``'s append.
+
+    After the block, the buffer holds the last ``lengths[-1]`` edges; a
+    roll occurred within the block iff ``rolls[-1] > 0``.
+    """
+    if capacity < 1:
+        raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
+    e = np.arange(k, dtype=np.int64)
+    rolls = (start_len + e) // capacity
+    lengths = (start_len + e) % capacity + 1
+    return rolls, lengths
+
+
+def running_degrees(deg0: np.ndarray, edges: np.ndarray):
+    """Degrees of each edge's endpoints just *before* its own insertion.
+
+    ``deg0`` is the degree array entering the block.  Returns a ``(k, 2)``
+    int64 array where row ``e`` holds the degrees of ``edges[e]`` after
+    the first ``e`` insertions of the block — the value the scalar path's
+    degree-cap check reads.  Degrees *after* edge ``e`` are this plus 1.
+    """
+    flat = edges.ravel()
+    order = np.argsort(flat, kind="stable")
+    sorted_vals = flat[order]
+    # Rank within each equal-value run = prior occurrences of the vertex.
+    starts = np.flatnonzero(np.concatenate(([True], sorted_vals[1:] != sorted_vals[:-1])))
+    run_ids = np.cumsum(np.concatenate(([False], sorted_vals[1:] != sorted_vals[:-1])))
+    ranks = np.arange(len(flat), dtype=np.int64) - starts[run_ids]
+    prior = np.empty(len(flat), dtype=np.int64)
+    prior[order] = ranks
+    # Both endpoints of an edge are counted before the *next* edge, and an
+    # edge's own endpoints are distinct, so pair-position within the edge
+    # does not matter: prior occurrences in flat[:2e] is what we need, and
+    # ranks computed over the full flat array give exactly that because a
+    # vertex appears at most once per edge.
+    return deg0[edges] + prior.reshape(-1, 2)
+
+
+def cached_hash_rows(cache: dict, keys: np.ndarray, compute):
+    """Per-key hash rows from a dict cache, computing misses in one batch.
+
+    ``keys`` is a 1-d int64 array (typically the unique vertices of a
+    block); ``compute(missing)`` evaluates the hash family for an array of
+    missing keys at once, returning ``(len(missing), ...)`` values.  The
+    cache maps ``int key -> row array`` — the same structure the scalar
+    ``_hash_all`` paths maintain, so both paths share one cache.
+    """
+    missing = [x for x in keys.tolist() if x not in cache]
+    if missing:
+        rows = compute(np.asarray(missing, dtype=np.int64))
+        for i, x in enumerate(missing):
+            cache[x] = rows[i]
+    if not len(keys):
+        return np.empty((0,), dtype=np.int64)
+    first = cache[int(keys[0])]
+    out = np.empty((len(keys),) + first.shape, dtype=np.int64)
+    for i, x in enumerate(keys.tolist()):
+        out[i] = cache[x]
+    return out
+
+
+def sketch_process_block(algo, edges: np.ndarray, *, num_epochs: int,
+                         capacity: int) -> None:
+    """Vectorized ``process_block`` for the D-sketch algorithms.
+
+    Shared by Algorithm 3 (:class:`~repro.core.robust_lowrandom.
+    LowRandomnessRobustColoring`) and the [CGS22] baseline, whose scalar
+    ``process`` differs only in parameters: roll the buffer at
+    ``capacity``, hash both endpoints under every ``(epoch, repetition)``
+    polynomial, and append the rare monochromatic edges to the live future
+    sketches ``D_{i, j}`` (wiping any that exceed ``algo.overflow_cap``).
+
+    The state evolution — sketch contents, buffer, epoch counter, and the
+    :class:`~repro.common.space.SpaceMeter` peak that the scalar path
+    reaches via per-edge ``_update_space`` calls — is bit-identical to the
+    equivalent ``process`` sequence.
+    """
+    k = len(edges)
+    if k == 0:
+        return
+    start_len = len(algo._buffer)
+    rolls, lengths = buffer_timeline(start_len, capacity, k)
+    curr0 = algo._curr
+    curr_at = curr0 + rolls
+    stored0 = sum(
+        len(dj) for di in algo._d_sets for dj in di if dj is not None
+    )
+    # Hash rows for this block's vertices (shared dict cache with the
+    # scalar path), then monochromatic (edge, epoch, repetition) events,
+    # computed in edge sub-batches to bound the (k, epochs, reps)
+    # temporary.  Hash values are tiny (< family.m), so detection compares
+    # narrow copies to halve memory traffic.
+    uniq, inv = np.unique(edges, return_inverse=True)
+    rows = cached_hash_rows(
+        algo._hash_cache, uniq,
+        lambda xs: algo.family.eval_coeffs(algo._coeffs, xs),
+    )
+    cmp_rows = rows.astype(np.int32) if algo.family.m <= 2**31 else rows
+    inv = inv.reshape(-1, 2)
+    row_size = int(rows[0].size) if len(rows) else 1
+    sub = max(1, (1 << 22) // max(1, row_size))
+    ev_chunks: list = []
+    for start in range(0, k, sub):
+        stop = min(k, start + sub)
+        mono = (
+            cmp_rows[inv[start:stop, 0]] == cmp_rows[inv[start:stop, 1]]
+        )
+        e, i, j = np.nonzero(mono)  # row-major: edge, then epoch, then rep
+        ev_chunks.append((e + start, i, j))
+    ev_e = np.concatenate([c[0] for c in ev_chunks])
+    ev_i = np.concatenate([c[1] for c in ev_chunks])
+    ev_j = np.concatenate([c[2] for c in ev_chunks])
+    # Pre-filter the two state-independent conditions vectorized: the
+    # epoch window (line "for i in curr+1..") and already-dead sketches.
+    # The cap/wipe logic on what survives stays sequential (and rare).
+    reps = algo._coeffs.shape[1]
+    alive = np.ones((num_epochs + 1, reps), dtype=bool)
+    for epoch in range(1, num_epochs + 1):
+        d_epoch = algo._d_sets[epoch]
+        for j in range(reps):
+            alive[epoch, j] = d_epoch[j] is not None
+    epochs = ev_i + 1
+    keep = (
+        (epochs <= num_epochs)
+        & (epochs >= curr_at[ev_e] + 1)
+        & alive[np.minimum(epochs, num_epochs), ev_j]
+    )
+    ev_e, ev_i, ev_j = ev_e[keep], ev_i[keep], ev_j[keep]
+    # Apply the surviving events sequentially (identical order to the
+    # scalar path: by edge, then epoch, then repetition).
+    stored_delta = np.zeros(k, dtype=np.int64)
+    edges_list = edges.tolist()
+    for e, i, j in zip(ev_e.tolist(), ev_i.tolist(), ev_j.tolist()):
+        d_i = algo._d_sets[i + 1]
+        d_ij = d_i[j]
+        if d_ij is None:  # wiped earlier in this very block
+            continue
+        if len(d_ij) < algo.overflow_cap:
+            u, v = edges_list[e]
+            d_ij.append((u, v))
+            stored_delta[e] += 1
+        else:
+            d_i[j] = None  # wipe (the sketch held exactly overflow_cap)
+            stored_delta[e] -= len(d_ij)
+    # Buffer and epoch counter.
+    if rolls[-1] > 0:
+        algo._buffer = [tuple(p) for p in edges_list[k - int(lengths[-1]):]]
+    else:
+        algo._buffer.extend(tuple(p) for p in edges_list)
+    algo._curr = curr0 + int(rolls[-1])
+    # Space peak: the scalar path updates gauges after every edge; the
+    # per-edge totals are reconstructed in closed form instead.  The
+    # scalar ``_update_space`` sets the D gauge before the buffer gauge,
+    # so at a roll its transient total pairs the new sketch size with the
+    # *pre-roll* buffer — reproduced here via the running maximum of the
+    # adjacent buffer lengths.
+    prev_lengths = np.concatenate(([start_len], lengths[:-1]))
+    eff_lengths = np.maximum(lengths, prev_lengths)
+    per_edge_total = (
+        stored0 + np.cumsum(stored_delta) + eff_lengths
+    ) * algo._edge_bits
+    base = (
+        algo.meter.current_bits
+        - algo.meter.gauge("D sketches")
+        - algo.meter.gauge("buffer B")
+    )
+    algo.meter.observe_peak(base + int(per_edge_total.max()))
+    # Zero the varying gauges before the final update: setting one gauge
+    # to its new value while the other still holds the pre-block value
+    # would register a transient total the scalar path never reaches.
+    algo.meter.set_gauge("D sketches", 0)
+    algo.meter.set_gauge("buffer B", 0)
+    algo._update_space()

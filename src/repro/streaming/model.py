@@ -28,13 +28,18 @@ class MultipassStreamingAlgorithm(abc.ABC):
     Subclasses implement :meth:`run`, reading the stream only via
     ``stream.new_pass()`` and charging ``self.meter`` for state.
 
-    Algorithms with a vectorized pass loop set :attr:`supports_blocks` and
-    accept a :class:`~repro.streaming.source.StreamSource` in :meth:`run`;
-    for everyone else :meth:`color_stream` transparently adapts block
-    sources back to token iteration (same order, same pass counts).
+    :meth:`run` accepts either data-plane view: a token stream (one
+    ``EdgeToken``/``ListToken`` per item) or a
+    :class:`~repro.streaming.source.StreamSource` (numpy ``(k, 2)`` edge
+    blocks, list tokens interleaved in place).  Every algorithm in the
+    registry consumes blocks natively (:attr:`supports_blocks` is true) and
+    produces bit-identical output on both views; the legacy token
+    adaptation in :meth:`color_stream` remains only as the contract
+    fallback for third-party subclasses that never vectorized.
     """
 
-    #: Set true by subclasses whose ``run`` consumes StreamSource blocks.
+    #: True when ``run`` consumes StreamSource blocks natively (all
+    #: registered algorithms).  False falls back to token adaptation.
     supports_blocks = False
 
     def __init__(self):
@@ -72,7 +77,18 @@ class OnePassAlgorithm(abc.ABC):
     The adversary (or a static driver) calls :meth:`process` for each edge
     insertion and may call :meth:`query` at any time; ``query`` must return
     a proper coloring of all edges processed so far.
+
+    :meth:`process_block` is the batched twin of :meth:`process`: a
+    ``(k, 2)`` array of insertions, consumed in order.  The default
+    implementation is the scalar loop, so the contract is always satisfied;
+    subclasses with a vectorized implementation override it (and set
+    :attr:`supports_blocks`) with bit-identical state evolution, which both
+    the static driver and the batched adversarial game rely on.
     """
+
+    #: True when :meth:`process_block` is vectorized (all registered
+    #: algorithms); the default scalar loop leaves it False.
+    supports_blocks = False
 
     def __init__(self):
         self.meter = SpaceMeter()
@@ -81,23 +97,33 @@ class OnePassAlgorithm(abc.ABC):
     def process(self, u: int, v: int) -> None:
         """Consume the next edge insertion ``{u, v}``."""
 
+    def process_block(self, edges: np.ndarray) -> None:
+        """Consume a ``(k, 2)`` block of edge insertions, in order.
+
+        Default: the scalar :meth:`process` loop.  Overrides must evolve
+        the exact same state (colorings, space gauges, randomness) as the
+        equivalent sequence of :meth:`process` calls.
+        """
+        for u, v in np.asarray(edges).tolist():
+            self.process(u, v)
+
     @abc.abstractmethod
     def query(self) -> dict[int, int]:
         """Return a coloring of every vertex, proper for the edges so far."""
 
     def color_stream(self, stream) -> dict[int, int]:
-        """Protocol entry point: feed every edge token, then query once.
+        """Protocol entry point: feed every edge, then query once.
 
         This is the static-stream (oblivious) driver; the adaptive setting
         goes through :func:`repro.adversaries.run_adversarial_game` instead.
-        Block sources are consumed block-by-block but processed in the
-        exact same edge order as the token path.
+        Block sources are fed through :meth:`process_block` block by block
+        — the same edge order as the token path, vectorized whenever the
+        algorithm overrides it.
         """
         if isinstance(stream, StreamSource):
             for item in stream.new_pass():
                 if isinstance(item, np.ndarray):
-                    for u, v in item.tolist():
-                        self.process(u, v)
+                    self.process_block(item)
             return self.query()
         for token in stream.new_pass():
             if isinstance(token, EdgeToken):

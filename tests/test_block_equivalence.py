@@ -9,7 +9,8 @@ once per stream backend and compares the results field by field.
 import pytest
 
 from repro.common.exceptions import ReproError
-from repro.engine import REGISTRY, RunSpec, run
+from repro.engine import REGISTRY, GameSpec, RunSpec, run, run_game
+from repro.streaming.model import OnePassAlgorithm
 
 # (n, delta) kept modest per algorithm so the whole matrix stays fast; the
 # deterministic algorithm additionally covers both selection modes and a
@@ -68,6 +69,26 @@ class TestTokenBlockEquivalence:
     def test_all_registered_algorithms_are_covered(self):
         assert {c[0] for c in CASES} == set(REGISTRY.names())
 
+    def test_every_registered_algorithm_is_block_native(self):
+        # Not just output-equivalent: no algorithm may fall through the
+        # token-adapter fallback.  Multipass algorithms must declare
+        # supports_blocks; onepass algorithms must additionally override
+        # the default scalar process_block loop.
+        for entry in REGISTRY:
+            algo = entry.create(n=16, delta=3, seed=0)
+            assert getattr(algo, "supports_blocks", False), entry.name
+            if entry.kind == "onepass":
+                assert (
+                    type(algo).process_block is not OnePassAlgorithm.process_block
+                ), f"{entry.name} uses the default scalar process_block"
+
+    def test_block_runs_report_block_native(self):
+        r = run_backend(
+            "deterministic", 64, 6, {"selection": "greedy_slack"}, 3,
+            "materialized",
+        )
+        assert r.extras["block_native"] is True
+
     def test_generator_and_file_backends_match(self):
         # Edge-only backends, deterministic block consumer, both selections.
         for config in ({"selection": "greedy_slack"},
@@ -88,6 +109,24 @@ class TestTokenBlockEquivalence:
                 "materialized", chunk_size=chunk_size,
             )
             assert fingerprint(base) == fingerprint(other)
+
+    @pytest.mark.parametrize("algorithm,n,delta,config", [
+        ("robust", 48, 6, {}),
+        ("robust_lowrandom", 64, 9, {}),
+        ("list_coloring", 40, 5, {"prime_policy": "scaled"}),
+    ])
+    def test_chunk_size_does_not_matter_randomized(
+        self, algorithm, n, delta, config
+    ):
+        # Chunk boundaries cross buffer rolls and sketch events; the
+        # randomized algorithms must be invariant to where they fall.
+        base = run_backend(algorithm, n, delta, config, 7, "tokens")
+        for chunk_size in (1, 3, 17, 10_000):
+            other = run_backend(
+                algorithm, n, delta, config, 7, "materialized",
+                chunk_size=chunk_size,
+            )
+            assert fingerprint(base) == fingerprint(other), chunk_size
 
     def test_stream_orders_match_across_backends(self):
         # hash_family is the order-sensitive mode: the selector accumulates
@@ -147,3 +186,45 @@ class TestTokenBlockEquivalence:
         with pytest.raises(ReproError):
             run(RunSpec(algorithm="naive", n=10, delta=2,
                         stream_backend="carrier-pigeon"))
+
+
+class TestAdversarialGameBatching:
+    """Batched ``process_block`` games must match the per-edge path exactly."""
+
+    def game_fingerprint(self, result):
+        extras = dict(result.extras)
+        extras.pop("batch_size")
+        return (
+            result.colors_used,
+            result.proper,
+            result.peak_space_bits,
+            result.random_bits,
+            extras,
+        )
+
+    @pytest.mark.parametrize("algorithm,n,delta", [
+        ("robust", 48, 6),
+        ("robust_lowrandom", 48, 6),
+        ("cgs22", 32, 4),
+        ("naive", 48, 6),
+    ])
+    def test_batched_matches_scalar_under_fixed_seed(self, algorithm, n, delta):
+        for adversary in ("conflict", "random"):
+            outcomes = []
+            for batch_size in (1, None, 3):
+                result = run_game(GameSpec(
+                    algorithm=algorithm, n=n, delta=delta, rounds=2 * n,
+                    seed=5, adversary=adversary, query_every=8,
+                    batch_size=batch_size,
+                ))
+                outcomes.append(self.game_fingerprint(result))
+            assert outcomes[0] == outcomes[1] == outcomes[2], (
+                algorithm, adversary
+            )
+
+    def test_bad_batch_size_rejected(self):
+        from repro.common.exceptions import AdversaryError
+
+        with pytest.raises(AdversaryError):
+            run_game(GameSpec(algorithm="robust", n=8, delta=2, rounds=4,
+                              batch_size=0))

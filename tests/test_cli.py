@@ -50,6 +50,18 @@ class TestErrorHandling:
                      "--workers", "0"]) == 2
         assert "workers" in capsys.readouterr().err
 
+    def test_bad_stream_backend_exits_2(self, capsys):
+        assert main(["run", "t1", "--n", "16", "--deltas", "2",
+                     "--stream-backend", "carrier-pigeon"]) == 2
+        err = capsys.readouterr().err
+        assert "stream backend" in err
+        assert "Traceback" not in err
+
+    def test_bad_chunk_size_exits_2(self, capsys):
+        assert main(["run", "t1", "--n", "16", "--deltas", "2",
+                     "--chunk-size", "0"]) == 2
+        assert "chunk size" in capsys.readouterr().err
+
     def test_unknown_experiment_rejected_by_parser(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["run", "zzz"])
@@ -66,6 +78,20 @@ class TestRun:
     def test_run_t10(self, capsys):
         assert main(["run", "t10", "--n", "24"]) == 0
         assert "bound" in capsys.readouterr().out
+
+    def test_run_t1_on_block_backend(self, capsys):
+        assert main(["run", "t1", "--n", "20", "--deltas", "2,3",
+                     "--stream-backend", "materialized",
+                     "--chunk-size", "64"]) == 0
+        assert "t1:" in capsys.readouterr().out
+
+    def test_stream_backend_default_restored_after_run(self):
+        from repro.engine.runner import _resolve_data_plane, RunSpec
+
+        assert main(["run", "t1", "--n", "20", "--deltas", "2",
+                     "--stream-backend", "file", "--chunk-size", "7"]) == 0
+        spec = RunSpec(algorithm="naive", n=4, delta=1)
+        assert _resolve_data_plane(spec) == ("tokens", 8192)
 
     def test_run_t6_small(self, capsys):
         assert main([

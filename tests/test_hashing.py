@@ -108,6 +108,37 @@ class TestPolynomialFamily:
         for x in range(50):
             assert arr[x] == h(x)
 
+    def test_eval_array_overflow_safe_at_large_prime(self):
+        # Regression: (acc * x + c) % p overflows int64 once p (and the
+        # keys) pass ~2^31.5; eval_array must fall back to exact
+        # Python-int arithmetic and still match the scalar path.
+        import numpy as np
+
+        from repro.common.integer_math import next_prime
+
+        p = next_prime(2**32)
+        fam = PolynomialHashFamily(p, k=4, m=1024)
+        h = fam.function((p - 3, p - 5, p - 7, p - 11))
+        xs = np.array([0, 1, 2**31, 2**32 - 1, p - 1], dtype=np.int64)
+        arr = h.eval_array(xs)
+        assert arr.dtype == np.int64
+        for i, x in enumerate(xs.tolist()):
+            assert arr[i] == h(x)
+
+    def test_eval_coeffs_matches_per_member_scalar(self):
+        import numpy as np
+
+        fam = PolynomialHashFamily(101, k=4, m=16)
+        coeffs = fam.coeff_array(SeededRng(5), (3, 2))
+        xs = np.arange(20, dtype=np.int64)
+        values = fam.eval_coeffs(coeffs, xs)
+        assert values.shape == (20, 3, 2)
+        for i in range(3):
+            for j in range(2):
+                h = fam.function(tuple(int(c) for c in coeffs[i, j]))
+                for x in range(20):
+                    assert values[x, i, j] == h(x)
+
     def test_seed_bits(self):
         fam = PolynomialHashFamily(101, k=4, m=16)
         assert fam.seed_bits() == 4 * 7  # ceil(log2 101) = 7
