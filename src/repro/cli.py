@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``):
     python -m repro run t1 --n 128 --deltas 2,4,8,16
     python -m repro run t6 --n 96 --delta 10 --rounds 320
     python -m repro run t2 --workers 4
+    python -m repro verify --all [--smoke] [--family power_law,empty]
     python -m repro report [--results benchmarks/results] [-o report.md]
 
 Experiments are one declarative table: each id maps to a description and a
@@ -148,11 +149,86 @@ def build_parser() -> argparse.ArgumentParser:
                      help="edges per block for the block backends "
                      "(default 8192)")
 
+    verify = sub.add_parser(
+        "verify",
+        help="sweep the guarantee oracles over the workload zoo (exit 2 "
+        "on any violation)",
+    )
+    verify.add_argument("--all", action="store_true", dest="all_algorithms",
+                        help="verify every registered algorithm (the "
+                        "default when --algorithms is omitted)")
+    verify.add_argument("--algorithms", default=None, metavar="LIST",
+                        help="comma-separated algorithm names "
+                        "(default: all registered)")
+    verify.add_argument("--family", default=None, metavar="LIST",
+                        help="comma-separated zoo families "
+                        "(default: all; see repro.graph.zoo)")
+    verify.add_argument("--order", default=None, metavar="LIST",
+                        help="comma-separated edge orders "
+                        "(default: random,degree_sorted,bfs,adversarial)")
+    verify.add_argument("--chunk-sizes", default=None, metavar="LIST",
+                        help="comma-separated block sizes to difference "
+                        "against the token path (default: 64,4096)")
+    verify.add_argument("--n", type=int, default=64,
+                        help="instance size per workload (default 64)")
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--smoke", action="store_true",
+                        help="CI-sized sweep: the same grid and checks "
+                        "(incl. metamorphic) at n capped to 32")
+
     report = sub.add_parser("report", help="assemble markdown from archived tables")
     report.add_argument("--results", default="benchmarks/results")
     report.add_argument("-o", "--output", default=None,
                         help="write to file instead of stdout")
     return parser
+
+
+def _csv(text: str | None) -> list[str] | None:
+    if text is None:
+        return None
+    return [item for item in text.split(",") if item]
+
+
+def _run_verify(args) -> int:
+    from repro.verify import verify_sweep
+
+    try:
+        if args.all_algorithms and args.algorithms:
+            raise ReproError("--all and --algorithms are mutually exclusive")
+        chunk_sizes = _ints(args.chunk_sizes) if args.chunk_sizes else None
+        if chunk_sizes is not None and any(c < 1 for c in chunk_sizes):
+            raise ReproError(
+                f"chunk sizes must be >= 1, got {chunk_sizes}"
+            )
+        n = args.n if not args.smoke else min(args.n, 32)
+        if n < 1:
+            raise ReproError(f"--n must be >= 1, got {args.n}")
+        report = verify_sweep(
+            algorithms=_csv(args.algorithms),
+            families=_csv(args.family),
+            orders=_csv(args.order),
+            chunk_sizes=chunk_sizes,
+            n=n,
+            seed=args.seed,
+            registry=REGISTRY,
+        )
+    except ReproError as error:
+        print(f"repro verify: error: {error}", file=sys.stderr)
+        return 2
+    headers, rows = report.table()
+    print(format_table(
+        headers, rows,
+        title=f"guarantee verification ({report.runs} runs, "
+        f"{report.cells} cells)",
+    ))
+    if not report.ok:
+        print(f"repro verify: {len(report.violations)} violation(s):",
+              file=sys.stderr)
+        for violation in report.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 2
+    print("all guarantees hold")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -187,6 +263,8 @@ def main(argv=None) -> int:
         print(format_table(headers, rows,
                            title=f"{args.experiment}: {description}"))
         return 0
+    if args.command == "verify":
+        return _run_verify(args)
     if args.command == "report":
         text = build_report(args.results)
         if args.output:

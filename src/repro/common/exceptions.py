@@ -47,6 +47,32 @@ class StreamProtocolError(ReproError):
     """The streaming contract was violated (bad token, pass misuse, ...)."""
 
 
+class EdgeFileError(StreamProtocolError, ValueError):
+    """A binary edge file is malformed (bad magic, truncated, odd length).
+
+    Subclasses :class:`ValueError` as well so callers probing untrusted
+    files can use the standard idiom without importing this package's
+    hierarchy.
+    """
+
+
+class GuaranteeViolationError(ReproError):
+    """A run broke a paper-stated guarantee its registry entry declares.
+
+    Raised by strict verification (``RunSpec.verify="strict"`` and the
+    ``repro verify`` sweep); carries the failing checks for reporting.
+    """
+
+    def __init__(self, algorithm, violations):
+        self.algorithm = algorithm
+        self.violations = list(violations)
+        detail = "; ".join(
+            f"{c.name}: observed {c.observed} > bound {c.bound}"
+            for c in self.violations
+        )
+        super().__init__(f"{algorithm} guarantee violation: {detail}")
+
+
 class AlgorithmFailure(ReproError):
     """A randomized algorithm hit its (small-probability) failure event.
 

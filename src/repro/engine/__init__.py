@@ -42,6 +42,12 @@ from repro.engine.grid import (
     results_table,
     set_default_workers,
 )
+from repro.engine.guarantees import (
+    GuaranteeCheck,
+    GuaranteeReport,
+    GuaranteeSpec,
+    evaluate_guarantees,
+)
 from repro.engine.protocol import StreamingColorer
 from repro.engine.registry import REGISTRY, AlgorithmEntry, AlgorithmRegistry
 from repro.engine.result import (
@@ -72,6 +78,10 @@ __all__ = [
     "GameSpec",
     "GridRunner",
     "GridSpec",
+    "GuaranteeCheck",
+    "GuaranteeReport",
+    "GuaranteeSpec",
+    "evaluate_guarantees",
     "ListColoringConfig",
     "LowRandomConfig",
     "NaiveConfig",

@@ -1,0 +1,163 @@
+"""Guarantee oracles: machine-checkable forms of the paper's theorem bounds.
+
+Every registry entry may declare a :class:`GuaranteeSpec` — the
+quantitative claims of the theorem it reproduces, as concrete bound
+functions of ``(n, delta, config)``:
+
+- ``colors``: maximum colors the output may use;
+- ``passes``: maximum streaming passes;
+- ``space_bits``: maximum peak working space (optionally including
+  randomness, Theorem 4's accounting);
+- ``random_bits``: maximum random bits consumed (0 = deterministic, an
+  exact check).
+
+Asymptotic theorem statements are turned into checkable bounds by fixing
+constants calibrated with slack against the reproduction (documented per
+entry in ``repro.engine.registry``); exact statements (palette sizes,
+single-pass, zero randomness) are enforced exactly.  The oracle's verdict
+is a :class:`GuaranteeReport`: one :class:`GuaranteeCheck` per claim, with
+the observed value, the bound, and a pass/fail flag.  The runner attaches
+reports to result extras when ``RunSpec.verify`` is set; the ``repro
+verify`` sweep and the property suites turn violations into exit codes
+and test failures.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.exceptions import GuaranteeViolationError
+from repro.engine.result import ColoringResult
+
+__all__ = [
+    "GuaranteeCheck",
+    "GuaranteeReport",
+    "GuaranteeSpec",
+    "evaluate_guarantees",
+]
+
+#: A bound function ``(n, delta, config) -> int | None`` (None = skip).
+BoundFn = Callable[[int, int, dict], "int | None"]
+
+
+@dataclass(frozen=True)
+class GuaranteeSpec:
+    """The checkable guarantees one algorithm entry claims.
+
+    Bound functions receive ``(n, delta, config)`` with ``config`` the
+    round-tripped config dict of the run, and return an inclusive upper
+    bound (or ``None`` to skip the check for that configuration).  They
+    must be module-level functions so entries stay picklable.
+    """
+
+    colors: BoundFn | None = None
+    passes: BoundFn | None = None
+    space_bits: BoundFn | None = None
+    random_bits: BoundFn | None = None
+    #: Human-readable bound statements, keyed like the fields above;
+    #: rendered in the README guarantee table and CLI output.
+    claims: dict = field(default_factory=dict)
+    #: False for algorithms that may legitimately emit improper colorings
+    #: (the non-robust strawman); properness is then measured, not checked.
+    proper: bool = True
+    #: True when the final coloring is promised to be identical under any
+    #: permutation of the edge stream (checked metamorphically).
+    order_invariant: bool = False
+    #: True when the space bound covers randomness too (Theorem 4).
+    space_includes_randomness: bool = False
+
+
+@dataclass(frozen=True)
+class GuaranteeCheck:
+    """One verified claim: observed value vs bound."""
+
+    name: str
+    ok: bool
+    observed: int
+    bound: int
+    claim: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "observed": self.observed,
+            "bound": self.bound,
+            "claim": self.claim,
+        }
+
+
+@dataclass
+class GuaranteeReport:
+    """The oracle's verdict on one run."""
+
+    algorithm: str
+    checks: list
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def violations(self) -> list:
+        return [c for c in self.checks if not c.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "ok": self.ok,
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+    def raise_on_violation(self) -> None:
+        if not self.ok:
+            raise GuaranteeViolationError(self.algorithm, self.violations)
+
+
+def evaluate_guarantees(
+    result: ColoringResult, spec: GuaranteeSpec
+) -> GuaranteeReport:
+    """Check one run's result against its entry's guarantee spec."""
+    n, delta, config = result.n, result.delta, result.config
+    checks: list[GuaranteeCheck] = []
+
+    def bound_check(name: str, observed: int, fn: BoundFn | None) -> None:
+        if fn is None:
+            return
+        bound = fn(n, delta, config)
+        if bound is None:
+            return
+        checks.append(GuaranteeCheck(
+            name=name,
+            ok=observed <= bound,
+            observed=int(observed),
+            bound=int(bound),
+            claim=spec.claims.get(name, ""),
+        ))
+
+    if spec.proper:
+        checks.append(GuaranteeCheck(
+            name="proper",
+            ok=bool(result.proper),
+            observed=int(bool(result.proper)),
+            bound=1,
+            claim="output coloring is proper and total",
+        ))
+    if result.palette_bound is not None:
+        # The declared palette is part of the contract whether or not a
+        # colors-bound function is present: a shrunk palette claim (or a
+        # run exceeding its own declaration) is a violation.
+        checks.append(GuaranteeCheck(
+            name="palette",
+            ok=result.colors_used <= result.palette_bound,
+            observed=int(result.colors_used),
+            bound=int(result.palette_bound),
+            claim="colors fit the declared palette",
+        ))
+    bound_check("colors", result.colors_used, spec.colors)
+    bound_check("passes", result.passes, spec.passes)
+    space = result.peak_space_bits
+    if spec.space_includes_randomness:
+        space = space + result.random_bits
+    bound_check("space_bits", space, spec.space_bits)
+    bound_check("random_bits", result.random_bits, spec.random_bits)
+    return GuaranteeReport(algorithm=result.algorithm, checks=checks)

@@ -13,6 +13,8 @@ from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 from repro.common.exceptions import ReproError
+from repro.common.integer_math import ceil_log2
+from repro.engine.guarantees import GuaranteeSpec
 from repro.engine.config import (
     ACS22Config,
     AlgorithmConfig,
@@ -45,6 +47,9 @@ class AlgorithmEntry:
     collect_extras: Callable[[StreamingColorer], dict] = field(
         default=lambda algo: {}
     )
+    #: The paper-stated guarantees this entry is verified against
+    #: (``repro verify`` / ``RunSpec.verify``); None = no oracle.
+    guarantee: GuaranteeSpec | None = None
 
     def make_config(self, options: dict | None) -> AlgorithmConfig:
         """Build and validate this entry's config from a plain dict."""
@@ -186,6 +191,117 @@ def _make_palette_sparsification(n, delta, seed, cfg):
     )
 
 
+# ----------------------------------------------------------------------
+# Guarantee bound functions (module-level for picklability).
+#
+# Exact statements (palette sizes, single-pass, zero randomness) are
+# enforced exactly.  Asymptotic statements become concrete bounds by
+# fixing constants with documented slack: each constant is calibrated at
+# >= 2x the maximum observed over the full verification sweep
+# (registry x zoo x orders x chunk sizes), so the oracle flags real
+# regressions — a palette blowup, an extra pass loop, superlinear state —
+# without tripping on the reproduction's own constants.
+# ----------------------------------------------------------------------
+
+def _log_term(x: int) -> int:
+    """``ceil(log2(x + 4))``, floored at 1 — the polylog building block."""
+    return max(1, ceil_log2(x + 4))
+
+
+def _loglog_term(delta: int) -> int:
+    """``ceil(log Delta) * ceil(log log Delta)`` (Theorem 1/2 pass shape)."""
+    log = max(1, ceil_log2(delta + 2))
+    return log * max(1, ceil_log2(log + 2))
+
+
+def _zero_random_bits(n, delta, config):
+    return 0
+
+
+def _one_pass(n, delta, config):
+    return 1
+
+
+def _det_colors(n, delta, config):
+    return delta + 1
+
+
+def _det_passes(n, delta, config):
+    return 3 * _loglog_term(delta) + 6
+
+
+def _det_space(n, delta, config):
+    return 64 * (n + 4) * _log_term(n) ** 2
+
+
+def _list_colors(n, delta, config):
+    universe = config.get("universe")
+    return universe if universe is not None else 2 * (delta + 1)
+
+
+def _list_passes(n, delta, config):
+    return 3 * _loglog_term(delta) + 10
+
+
+def _robust_colors(n, delta, config):
+    beta = float(config.get("beta", 0.0))
+    return int(4 * round(delta ** ((5.0 - 3.0 * beta) / 2.0)) + 8)
+
+
+def _robust_space(n, delta, config):
+    beta = float(config.get("beta", 0.0))
+    buffer_scale = max(1, round(delta**beta))
+    return 32 * (n + 8) * buffer_scale * _log_term(n)
+
+
+def _robust_random(n, delta, config):
+    return 8 * n * (delta + 2) * _log_term(n)
+
+
+def _lowrandom_space(n, delta, config):
+    return 64 * (n + 8) * _log_term(n) ** 2 * _log_term(delta)
+
+
+def _lowrandom_random(n, delta, config):
+    return 32 * (delta + 2) * _log_term(n) ** 3
+
+
+def _naive_space(n, delta, config):
+    return 16 * (n + 16) * _log_term(n)
+
+
+def _naive_random(n, delta, config):
+    return 4 * n * _log_term(n * (delta + 2) ** 2) + 64
+
+
+def _acs22_passes(n, delta, config):
+    if config.get("variant", "two_pass") == "color_reduction":
+        return 2 * _log_term(max(2, n // (delta + 1))) + 8
+    return 4
+
+
+def _acs22_space(n, delta, config):
+    return 16 * (n + 8) * (delta + 2) * _log_term(n)
+
+
+def _cgs22_space(n, delta, config):
+    return 32 * (n + 8) * (delta + 2) * _log_term(n)
+
+
+def _cgs22_random(n, delta, config):
+    # The additive term covers the Delta-independent floor: ~log n sketch
+    # repetitions are seeded even when Delta = 1 (empty/degenerate inputs).
+    return 16 * (delta + 4) * _log_term(n) ** 2 + 512
+
+
+def _sparsification_space(n, delta, config):
+    return 32 * (n + 8) * _log_term(delta) * _log_term(n)
+
+
+def _sparsification_random(n, delta, config):
+    return 8 * n * _log_term(delta) * _log_term(n) + 64
+
+
 def _stats_extras(algo) -> dict:
     """Epoch/stage diagnostics from instrumented multipass runs."""
     stats = getattr(algo, "stats", None)
@@ -241,6 +357,19 @@ REGISTRY = AlgorithmRegistry([
         config_cls=DeterministicConfig,
         factory=_make_deterministic,
         collect_extras=_stats_extras,
+        guarantee=GuaranteeSpec(
+            colors=_det_colors,
+            passes=_det_passes,
+            space_bits=_det_space,
+            random_bits=_zero_random_bits,
+            claims={
+                "colors": "Delta + 1 colors exactly (Theorem 1)",
+                "passes": "O(log Delta * log log Delta) passes "
+                          "(3*ceil(lg)*ceil(lglg) + 6)",
+                "space_bits": "O(n log^2 n) bits (64x slack constant)",
+                "random_bits": "deterministic: exactly 0 random bits",
+            },
+        ),
     ),
     AlgorithmEntry(
         name="list_coloring",
@@ -252,6 +381,20 @@ REGISTRY = AlgorithmRegistry([
         needs_lists=True,
         enforce_palette=False,  # validated against per-vertex lists instead
         collect_extras=_stats_extras,
+        guarantee=GuaranteeSpec(
+            colors=_list_colors,
+            passes=_list_passes,
+            space_bits=_det_space,
+            random_bits=_zero_random_bits,
+            order_invariant=True,
+            claims={
+                "colors": "colors stay inside the declared universe "
+                          "(per-vertex lists checked by the runner)",
+                "passes": "O(log Delta * log log Delta) passes (Theorem 2)",
+                "space_bits": "O(n log^2 n) bits (64x slack constant)",
+                "random_bits": "deterministic: exactly 0 random bits",
+            },
+        ),
     ),
     AlgorithmEntry(
         name="robust",
@@ -263,6 +406,20 @@ REGISTRY = AlgorithmRegistry([
         randomized=True,
         enforce_palette=False,  # guarantee is asymptotic, not an exact bound
         collect_extras=_robust_extras,
+        guarantee=GuaranteeSpec(
+            colors=_robust_colors,
+            passes=_one_pass,
+            space_bits=_robust_space,
+            random_bits=_robust_random,
+            claims={
+                "colors": "O(Delta^{(5-3beta)/2}) colors "
+                          "(Theorem 3 / Corollary 4.7; 4x + 8 slack)",
+                "passes": "single pass exactly",
+                "space_bits": "O(n Delta^beta log n) bits excl. oracle "
+                              "randomness",
+                "random_bits": "O(n Delta log n) oracle bits",
+            },
+        ),
     ),
     AlgorithmEntry(
         name="robust_lowrandom",
@@ -273,6 +430,19 @@ REGISTRY = AlgorithmRegistry([
         factory=_make_lowrandom,
         randomized=True,
         collect_extras=_lowrandom_extras,
+        guarantee=GuaranteeSpec(
+            passes=_one_pass,
+            space_bits=_lowrandom_space,
+            random_bits=_lowrandom_random,
+            space_includes_randomness=True,
+            claims={
+                "colors": "(Delta+1) * l^2 <= O(Delta^3) palette, enforced "
+                          "exactly via the declared palette",
+                "passes": "single pass exactly",
+                "space_bits": "~O(n) bits INCLUDING randomness (Theorem 4)",
+                "random_bits": "O(Delta log^3 n) seed bits",
+            },
+        ),
     ),
     AlgorithmEntry(
         name="naive",
@@ -284,6 +454,20 @@ REGISTRY = AlgorithmRegistry([
         randomized=True,
         enforce_palette=False,  # adaptive adversaries force improper output
         collect_extras=_naive_extras,
+        guarantee=GuaranteeSpec(
+            passes=_one_pass,
+            space_bits=_naive_space,
+            random_bits=_naive_random,
+            proper=False,
+            claims={
+                "colors": "Delta^2-range palette, enforced via the "
+                          "declared palette",
+                "passes": "single pass exactly",
+                "space_bits": "O(n log n) bits (capacity buffer)",
+                "random_bits": "O(n log Delta) bits (one draw per vertex)",
+                "proper": "NOT guaranteed (the non-robust strawman)",
+            },
+        ),
     ),
     AlgorithmEntry(
         name="acs22",
@@ -292,6 +476,21 @@ REGISTRY = AlgorithmRegistry([
         reference="Assadi-Chen-Sun 2022 (baseline)",
         config_cls=ACS22Config,
         factory=_make_acs22,
+        guarantee=GuaranteeSpec(
+            passes=_acs22_passes,
+            space_bits=_acs22_space,
+            random_bits=_zero_random_bits,
+            order_invariant=True,
+            claims={
+                "colors": "O(Delta^2) (two_pass) / 4(Delta+1) "
+                          "(color_reduction), enforced via the declared "
+                          "palette",
+                "passes": "4 passes (two_pass) / O(log(n/Delta)) "
+                          "(color_reduction)",
+                "space_bits": "O(n Delta log n) bits",
+                "random_bits": "deterministic: exactly 0 random bits",
+            },
+        ),
     ),
     AlgorithmEntry(
         name="cgs22",
@@ -301,6 +500,18 @@ REGISTRY = AlgorithmRegistry([
         config_cls=CGS22Config,
         factory=_make_cgs22,
         randomized=True,
+        guarantee=GuaranteeSpec(
+            passes=_one_pass,
+            space_bits=_cgs22_space,
+            random_bits=_cgs22_random,
+            claims={
+                "colors": "O(Delta^2) palette, enforced via the declared "
+                          "palette",
+                "passes": "single pass exactly",
+                "space_bits": "O(n Delta log n) bits (sketch switching)",
+                "random_bits": "O(Delta log^2 n) seed bits",
+            },
+        ),
     ),
     AlgorithmEntry(
         name="palette_sparsification",
@@ -310,5 +521,18 @@ REGISTRY = AlgorithmRegistry([
         config_cls=PaletteSparsificationConfig,
         factory=_make_palette_sparsification,
         randomized=True,
+        guarantee=GuaranteeSpec(
+            passes=_one_pass,
+            space_bits=_sparsification_space,
+            random_bits=_sparsification_random,
+            order_invariant=True,
+            claims={
+                "colors": "Delta + 1 colors, enforced via the declared "
+                          "palette (ACK19)",
+                "passes": "single pass exactly",
+                "space_bits": "O(n log Delta log n) bits (sampled lists)",
+                "random_bits": "O(n log Delta log n) sampling bits",
+            },
+        ),
     ),
 ])

@@ -152,6 +152,11 @@ class RunSpec:
     chunk_size: int | None = None
     validate: bool = True
     keep_coloring: bool = False
+    #: Guarantee-oracle mode: False (off), True (evaluate the entry's
+    #: :class:`~repro.engine.guarantees.GuaranteeSpec` and record the
+    #: verdict under ``extras["guarantees"]``), or ``"strict"`` (record
+    #: and raise :class:`GuaranteeViolationError` on any violation).
+    verify: bool | str = False
     tags: dict = field(default_factory=dict)
 
 
@@ -393,6 +398,11 @@ def run(
     """
     registry = registry if registry is not None else REGISTRY
     entry = registry.get(spec.algorithm)
+    if spec.verify not in (False, True, "strict"):
+        raise ReproError(
+            f"RunSpec.verify must be False, True, or 'strict', "
+            f"got {spec.verify!r}"
+        )
     config = entry.make_config(spec.config)
     owns_stream = stream is None
     if stream is None:
@@ -450,7 +460,7 @@ def _run_on_stream(spec, entry, config, stream) -> ColoringResult:
                 stream.edge_count() * len(pass_times) / scan_seconds, 1
             )
     extras.update(entry.collect_extras(algo))
-    return ColoringResult(
+    result = ColoringResult(
         algorithm=entry.name,
         mode="stream",
         n=spec.n,
@@ -468,6 +478,14 @@ def _run_on_stream(spec, entry, config, stream) -> ColoringResult:
         extras=extras,
         coloring=coloring if spec.keep_coloring else None,
     )
+    if spec.verify and entry.guarantee is not None:
+        from repro.engine.guarantees import evaluate_guarantees
+
+        report = evaluate_guarantees(result, entry.guarantee)
+        result.extras["guarantees"] = report.to_dict()
+        if spec.verify == "strict":
+            report.raise_on_violation()
+    return result
 
 
 def run_game(

@@ -22,10 +22,22 @@ from repro.graph.degeneracy import (
 )
 from repro.graph.graph import Graph
 from repro.graph.independent_set import turan_independent_set
+from repro.graph.zoo import (
+    ZOO_FAMILIES,
+    ZOO_ORDERS,
+    arrange_edges,
+    workload_delta,
+    workload_edges,
+)
 
 __all__ = [
     "CSRGraph",
     "Graph",
+    "ZOO_FAMILIES",
+    "ZOO_ORDERS",
+    "arrange_edges",
+    "workload_delta",
+    "workload_edges",
     "degeneracy",
     "degeneracy_coloring",
     "degeneracy_ordering",

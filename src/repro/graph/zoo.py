@@ -1,0 +1,265 @@
+"""The adversarial workload zoo: stress families for the verification layer.
+
+The experiment suite's classic workloads (``random_max_degree``,
+``near_regular``) are benign: near-regular degrees, uniformly random edge
+placement.  The paper's guarantees are worst-case, so the verification
+sweep (:mod:`repro.verify`) exercises every algorithm on a spread of
+structurally extreme families instead:
+
+- ``power_law`` — heavy-tailed (Chung-Lu style) degrees: a few hubs far
+  above the median degree, the regime where Delta-parameterized palettes
+  are loosest and bucket-by-degree logic (robust levels, ACS22 classes)
+  is most skewed.
+- ``bipartite`` — chromatic number 2 but large Delta: maximal gap between
+  what is achievable and what the Delta-bounds promise.
+- ``planted_clique`` — a sparse background plus a clique on ~sqrt(n)
+  vertices: degeneracy jumps inside one small vertex subset.
+- ``cliques_paths`` — disjoint cliques interleaved with disjoint paths:
+  many components, slack 1 inside cliques vs huge slack on paths.
+- ``near_star`` — one hub adjacent to everything plus a sprinkling of
+  chords among the leaves: Delta = n - 1, the extreme of the
+  Delta-vs-n parameter corner.
+- ``empty`` — no edges at all (every algorithm must still emit a total
+  coloring).
+- ``singleton`` — the one-vertex graph, the smallest legal instance.
+
+Every family is a deterministic function of ``(n, seed)`` returning a
+sorted, deduplicated ``(m, 2)`` int64 edge array, so lazy stream sources
+can regenerate the identical stream on every pass.  :func:`arrange_edges`
+then rearranges a family into one of the zoo's edge orders — ``random``,
+``degree_sorted``, ``bfs`` (locality), ``adversarial`` (locality-destroying
+interleave) — again deterministically.
+"""
+
+import numpy as np
+
+from repro.common.exceptions import ReproError
+from repro.graph.csr import dedupe_edges
+
+__all__ = [
+    "ZOO_FAMILIES",
+    "ZOO_ORDERS",
+    "arrange_edges",
+    "workload_delta",
+    "workload_edges",
+    "zoo_degrees",
+]
+
+
+def _sorted_unique(n: int, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Canonicalize endpoint arrays: drop loops, dedupe, sort."""
+    keep = u != v
+    if not keep.any():
+        return np.empty((0, 2), dtype=np.int64)
+    edges = np.stack([u[keep], v[keep]], axis=1).astype(np.int64)
+    return dedupe_edges(n, edges)
+
+
+def power_law_edges(n: int, seed: int) -> np.ndarray:
+    """Chung-Lu style heavy-tailed graph: endpoint i drawn ~ (i+1)^-0.8."""
+    if n < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** -0.8
+    weights /= weights.sum()
+    m_target = 2 * n
+    u = rng.choice(n, size=m_target, p=weights)
+    v = rng.choice(n, size=m_target, p=weights)
+    return _sorted_unique(n, u, v)
+
+
+def bipartite_edges(n: int, seed: int) -> np.ndarray:
+    """Random bipartite graph on halves [0, n/2) and [n/2, n)."""
+    half = n // 2
+    if half < 1 or n - half < 1:
+        return np.empty((0, 2), dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    m_target = 2 * n
+    u = rng.integers(0, half, size=m_target, dtype=np.int64)
+    v = rng.integers(half, n, size=m_target, dtype=np.int64)
+    return _sorted_unique(n, u, v)
+
+
+def planted_clique_edges(n: int, seed: int) -> np.ndarray:
+    """Sparse G(n, m=n) background plus a clique on ~sqrt(n) random vertices."""
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, size=2 * n, dtype=np.int64)
+    v = rng.integers(0, n, size=2 * n, dtype=np.int64)
+    k = max(2, int(round(n**0.5)))
+    members = rng.permutation(n)[:k].astype(np.int64)
+    cu, cv = np.meshgrid(members, members)
+    mask = cu < cv
+    u = np.concatenate([u, cu[mask]])
+    v = np.concatenate([v, cv[mask]])
+    return _sorted_unique(n, u, v)
+
+
+def cliques_paths_edges(n: int, seed: int) -> np.ndarray:
+    """Disjoint cliques (size 5) alternating with disjoint paths (size 7).
+
+    ``seed`` is unused (the family is rigid); it stays in the signature so
+    every family is callable uniformly.
+    """
+    del seed
+    chunks = []
+    start, use_clique = 0, True
+    while start < n:
+        size = min(5 if use_clique else 7, n - start)
+        members = np.arange(start, start + size, dtype=np.int64)
+        if use_clique:
+            cu, cv = np.meshgrid(members, members)
+            mask = cu < cv
+            if mask.any():
+                chunks.append(np.stack([cu[mask], cv[mask]], axis=1))
+        elif size >= 2:
+            chunks.append(np.stack([members[:-1], members[1:]], axis=1))
+        start += size
+        use_clique = not use_clique
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    edges = np.concatenate(chunks)
+    return dedupe_edges(n, edges)
+
+
+def near_star_edges(n: int, seed: int) -> np.ndarray:
+    """Star with hub 0 (Delta = n - 1) plus ~n/4 random chords among leaves."""
+    if n < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    hub_u = np.zeros(n - 1, dtype=np.int64)
+    hub_v = np.arange(1, n, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    chords = max(0, n // 4)
+    cu = rng.integers(1, n, size=chords, dtype=np.int64)
+    cv = rng.integers(1, n, size=chords, dtype=np.int64)
+    return _sorted_unique(
+        n, np.concatenate([hub_u, cu]), np.concatenate([hub_v, cv])
+    )
+
+
+def empty_edges(n: int, seed: int) -> np.ndarray:
+    """The edgeless graph on n vertices."""
+    del seed
+    return np.empty((0, 2), dtype=np.int64)
+
+
+def singleton_edges(n: int, seed: int) -> np.ndarray:
+    """The one-vertex graph; ``n`` is ignored (always 1 vertex, 0 edges)."""
+    del n, seed
+    return np.empty((0, 2), dtype=np.int64)
+
+
+#: name -> builder(n, seed) -> sorted (m, 2) int64 edge array.
+ZOO_FAMILIES = {
+    "power_law": power_law_edges,
+    "bipartite": bipartite_edges,
+    "planted_clique": planted_clique_edges,
+    "cliques_paths": cliques_paths_edges,
+    "near_star": near_star_edges,
+    "empty": empty_edges,
+    "singleton": singleton_edges,
+}
+
+#: The zoo's edge orders (``insertion`` is the canonical sorted order).
+ZOO_ORDERS = ("insertion", "random", "degree_sorted", "bfs", "adversarial")
+
+
+def workload_edges(family: str, n: int, seed: int) -> tuple[np.ndarray, int]:
+    """``(edges, n_actual)`` for a zoo family; degenerate families shrink n."""
+    try:
+        builder = ZOO_FAMILIES[family]
+    except KeyError:
+        raise ReproError(
+            f"unknown zoo family {family!r}; valid: {sorted(ZOO_FAMILIES)}"
+        ) from None
+    if family == "singleton":
+        return builder(n, seed), 1
+    if n < 1:
+        raise ReproError(f"zoo workloads need n >= 1, got {n}")
+    return builder(n, seed), n
+
+
+def zoo_degrees(n: int, edges: np.ndarray) -> np.ndarray:
+    """Per-vertex degrees of an edge array."""
+    deg = np.zeros(max(1, n), dtype=np.int64)
+    if len(edges):
+        deg += np.bincount(edges.ravel(), minlength=len(deg))
+    return deg
+
+
+def workload_delta(n: int, edges: np.ndarray) -> int:
+    """The Delta parameter for a workload: max degree, floored at 1.
+
+    Algorithms require ``delta >= 1`` even on edgeless instances; using the
+    true max degree (not a loose cap) makes the guarantee oracles as tight
+    as the paper's statements allow.
+    """
+    return max(1, int(zoo_degrees(n, edges).max()))
+
+
+def arrange_edges(
+    n: int, edges: np.ndarray, order: str, seed: int
+) -> np.ndarray:
+    """Deterministically rearrange a zoo edge array into a stream order.
+
+    - ``insertion``: the canonical sorted order, as built.
+    - ``random``: a seeded uniform permutation.
+    - ``degree_sorted``: highest-degree endpoints first (hub edges lead).
+    - ``bfs``: breadth-first locality — edges sorted by the BFS discovery
+      rank of their earlier-discovered endpoint, so consecutive edges share
+      neighborhoods (the cache-friendly / buffer-friendly extreme).
+    - ``adversarial``: locality-destroying — edges sorted by *ascending*
+      degree, then dealt round-robin across sqrt(m) stripes, so consecutive
+      edges are as unrelated as possible and every vertex's edges are
+      spread across the whole stream (the buffering/epoch worst case).
+    """
+    if order not in ZOO_ORDERS:
+        raise ReproError(
+            f"unknown zoo order {order!r}; valid: {list(ZOO_ORDERS)}"
+        )
+    m = len(edges)
+    if m <= 1 or order == "insertion":
+        return edges
+    if order == "random":
+        perm = np.random.default_rng(seed).permutation(m)
+        return edges[perm]
+    deg = zoo_degrees(n, edges)
+    if order == "degree_sorted":
+        key = np.maximum(deg[edges[:, 0]], deg[edges[:, 1]])
+        return edges[np.argsort(-key, kind="stable")]
+    if order == "bfs":
+        rank = _bfs_ranks(n, edges)
+        key = np.minimum(rank[edges[:, 0]], rank[edges[:, 1]])
+        return edges[np.argsort(key, kind="stable")]
+    # adversarial: ascending-degree base order, perfect-shuffled.
+    base = np.argsort(deg[edges[:, 0]] + deg[edges[:, 1]], kind="stable")
+    stripes = max(2, int(round(m**0.5)))
+    position = np.arange(m)
+    deal = np.argsort(
+        position % stripes * m + position // stripes, kind="stable"
+    )
+    return edges[base[deal]]
+
+
+def _bfs_ranks(n: int, edges: np.ndarray) -> np.ndarray:
+    """BFS discovery rank of every vertex (components in index order)."""
+    from repro.graph.csr import CSRGraph
+
+    csr = CSRGraph.from_edge_array(n, edges)
+    rank = np.full(n, -1, dtype=np.int64)
+    counter = 0
+    for root in range(n):
+        if rank[root] >= 0:
+            continue
+        rank[root] = counter
+        counter += 1
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in csr.neighbors(u).tolist():
+                    if rank[v] < 0:
+                        rank[v] = counter
+                        counter += 1
+                        nxt.append(v)
+            frontier = nxt
+    return rank

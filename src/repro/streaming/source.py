@@ -30,12 +30,13 @@ Binary edge-file format (little-endian): 8-byte magic ``REPROED1``,
 """
 
 import abc
+import os
 import struct
 import time
 
 import numpy as np
 
-from repro.common.exceptions import StreamProtocolError
+from repro.common.exceptions import EdgeFileError, StreamProtocolError
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken, ListToken
 
@@ -353,13 +354,52 @@ def write_edge_file(path, n: int, edges) -> int:
 
 
 def read_edge_file_header(path) -> tuple[int, int]:
-    """The ``(n, m)`` header of a binary edge file (validates the magic)."""
+    """The ``(n, m)`` header of a binary edge file.
+
+    Raises :class:`EdgeFileError` (a :class:`ValueError`) on a wrong
+    magic or a header shorter than the fixed 24 bytes, so probing an
+    arbitrary file never surfaces a struct/numpy internal error.
+    """
     with open(path, "rb") as fh:
         magic = fh.read(len(_MAGIC))
         if magic != _MAGIC:
-            raise StreamProtocolError(f"{path}: not a repro edge file")
-        n, m = _HEADER.unpack(fh.read(_HEADER.size))
+            raise EdgeFileError(
+                f"{path}: not a repro edge file (magic {magic!r}, "
+                f"expected {_MAGIC!r})"
+            )
+        header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise EdgeFileError(
+                f"{path}: truncated header ({len(magic) + len(header)} "
+                f"bytes; a valid edge file has at least "
+                f"{len(_MAGIC) + _HEADER.size})"
+            )
+        n, m = _HEADER.unpack(header)
     return int(n), int(m)
+
+
+def _validate_edge_file_payload(path, m: int) -> None:
+    """Check the payload length against the header before mapping it.
+
+    Without this, a truncated or odd-length file surfaces as a numpy
+    ``memmap``/reshape error deep inside the first pass; the verification
+    layer (and any user pointing ``FileSource`` at a damaged file) wants
+    a clean :class:`EdgeFileError` at construction time instead.
+    """
+    offset = len(_MAGIC) + _HEADER.size
+    payload = os.path.getsize(path) - offset
+    expected = 16 * m  # two little-endian int64 endpoints per edge
+    if payload < expected:
+        raise EdgeFileError(
+            f"{path}: truncated edge file: header claims m={m} edges "
+            f"({expected} payload bytes) but only {max(0, payload)} are "
+            "present"
+        )
+    if payload % 16:
+        raise EdgeFileError(
+            f"{path}: payload of {payload} bytes is not a whole number of "
+            "16-byte edge records"
+        )
 
 
 class FileSource(StreamSource):
@@ -372,6 +412,7 @@ class FileSource(StreamSource):
 
     def __init__(self, path, chunk_size: int = DEFAULT_CHUNK_SIZE):
         n, m = read_edge_file_header(path)
+        _validate_edge_file_payload(path, m)
         super().__init__(n, chunk_size)
         self.path = path
         self.m = m

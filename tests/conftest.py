@@ -1,0 +1,27 @@
+"""Shared test configuration: pinned hypothesis profiles.
+
+The property suites (``test_verify_properties``, ``test_hashing_properties``)
+run under a named profile so CI is deterministic and bounded:
+
+- ``ci``: more examples, derandomized (fixed seed), no per-example
+  deadline (cold numpy/JIT effects would otherwise flake).
+- ``dev`` (default): a quick local profile with the same determinism.
+
+Select with ``HYPOTHESIS_PROFILE=ci python -m pytest ...``.
+"""
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pass
+else:
+    _COMMON = dict(
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("ci", max_examples=30, **_COMMON)
+    settings.register_profile("dev", max_examples=12, **_COMMON)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

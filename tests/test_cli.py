@@ -33,6 +33,21 @@ class TestAlgorithms:
         for name in REGISTRY.names():
             assert name in out
 
+    def test_lists_exactly_the_eight_registered_algorithms(self, capsys):
+        # The full roster, pinned: a silently dropped (or renamed)
+        # registration must fail loudly here.
+        from repro.engine import REGISTRY
+
+        expected = [
+            "acs22", "cgs22", "deterministic", "list_coloring", "naive",
+            "palette_sparsification", "robust", "robust_lowrandom",
+        ]
+        assert REGISTRY.names() == expected
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in expected:
+            assert name in out
+
 
 class TestErrorHandling:
     def test_bad_int_list_exits_2_without_traceback(self, capsys):
@@ -66,6 +81,63 @@ class TestErrorHandling:
         with pytest.raises(SystemExit) as excinfo:
             main(["run", "zzz"])
         assert excinfo.value.code == 2
+
+    def test_verify_bad_family_exits_2(self, capsys):
+        assert main(["verify", "--family", "petersen"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown family" in err
+        assert "Traceback" not in err
+
+    def test_verify_bad_order_exits_2(self, capsys):
+        assert main(["verify", "--order", "sideways"]) == 2
+        assert "unknown order" in capsys.readouterr().err
+
+    def test_verify_bad_algorithm_exits_2(self, capsys):
+        assert main(["verify", "--algorithms", "quantum"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_verify_bad_chunk_sizes_exit_2(self, capsys):
+        assert main(["verify", "--chunk-sizes", "0"]) == 2
+        assert "chunk sizes" in capsys.readouterr().err
+        assert main(["verify", "--chunk-sizes", "x,y"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_verify_bad_n_exits_2(self, capsys):
+        assert main(["verify", "--n", "0"]) == 2
+        assert "--n" in capsys.readouterr().err
+
+    def test_verify_all_conflicts_with_algorithms(self, capsys):
+        assert main(["verify", "--all", "--algorithms", "naive"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_small_verify_run_is_clean(self, capsys):
+        assert main([
+            "verify", "--algorithms", "naive,cgs22", "--family",
+            "power_law,empty", "--order", "random", "--chunk-sizes", "16",
+            "--n", "20", "--smoke",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "guarantee verification" in out
+        assert "all guarantees hold" in out
+
+    def test_injected_violation_exits_2(self, capsys, monkeypatch):
+        # A deliberately shrunk palette claim must be caught and turned
+        # into exit code 2 (the ISSUE 4 acceptance path).
+        from test_verify import registry_with_shrunk_palette
+
+        monkeypatch.setattr(
+            "repro.cli.REGISTRY", registry_with_shrunk_palette("naive")
+        )
+        assert main([
+            "verify", "--algorithms", "naive", "--family", "power_law",
+            "--order", "random", "--chunk-sizes", "16", "--n", "20",
+            "--smoke",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "violation" in err
+        assert "colors" in err
 
 
 class TestRun:

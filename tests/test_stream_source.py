@@ -173,6 +173,54 @@ class TestFileSource:
             read_edge_file_header(path)
 
 
+class TestFileSourceHardening:
+    """Malformed edge files fail cleanly at construction, as ValueError.
+
+    Without the payload validation a damaged file only surfaced as a
+    numpy memmap/reshape error deep inside the first pass.
+    """
+
+    def write_valid(self, path, n=5, edges=((0, 1), (1, 2), (3, 4))):
+        write_edge_file(path, n, list(edges))
+        return path
+
+    def test_wrong_magic_is_value_error(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"WRONGMAG" + b"\x00" * 16)
+        with pytest.raises(ValueError, match="not a repro edge file"):
+            FileSource(path)
+
+    def test_truncated_header_is_value_error(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"REPROED1" + b"\x00" * 7)  # header needs 16
+        with pytest.raises(ValueError, match="truncated header"):
+            FileSource(path)
+
+    def test_truncated_payload_is_value_error(self, tmp_path):
+        path = self.write_valid(tmp_path / "trunc.bin")
+        data = path.read_bytes()
+        path.write_bytes(data[:-16])  # drop one whole edge record
+        with pytest.raises(ValueError, match="truncated edge file"):
+            FileSource(path)
+
+    def test_odd_byte_length_is_value_error(self, tmp_path):
+        path = self.write_valid(tmp_path / "odd.bin")
+        data = path.read_bytes()
+        path.write_bytes(data + b"\x01\x02\x03")  # trailing partial record
+        with pytest.raises(ValueError, match="16-byte edge records"):
+            FileSource(path)
+
+    def test_errors_are_also_repro_errors(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"WRONGMAG" + b"\x00" * 16)
+        with pytest.raises(StreamProtocolError):
+            FileSource(path)
+
+    def test_valid_file_still_loads(self, tmp_path):
+        path = self.write_valid(tmp_path / "ok.bin")
+        assert FileSource(path).edge_count() == 3
+
+
 class TestSourceTokenStream:
     def test_yields_tokens_and_counts_passes(self):
         source = GeneratorSource(lambda: [(0, 1), (1, 2)], n=3)
