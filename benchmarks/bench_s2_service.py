@@ -1,0 +1,128 @@
+"""S2 — the coloring session service under concurrent load.
+
+Spins up the TCP service in-process and sweeps concurrency levels from 1
+to 256 simultaneous sessions, each streaming its own workload-zoo
+instance (``robust``, heavy-tailed power-law graphs, randomized order)
+through the full create → feed → finalize lifecycle with
+``verify="strict"`` — every session's result passes the paper-bound
+guarantee oracles or the benchmark fails.  Residency is capped at 32
+sessions, so the 64- and 256-way levels additionally exercise LRU
+eviction to ``REPROCK1`` checkpoints and transparent restore on the hot
+path.  Records sessions/sec and edges/sec per level in
+``BENCH_s2_service.json`` (uploaded and completeness-checked by CI).
+"""
+
+import asyncio
+import time
+
+from conftest import run_once
+
+from repro.graph.zoo import arrange_edges, workload_delta, workload_edges
+from repro.service import ColoringService, ServiceClient
+
+CONCURRENCY_LEVELS = (1, 4, 16, 64, 256)
+REQUIRED_CONCURRENCY = 64
+MAX_RESIDENT = 32
+ALGORITHM = "robust"
+FAMILY = "power_law"
+N = 64
+FEED_EDGES = 48
+
+
+def _instance(seed: int):
+    edges, n = workload_edges(FAMILY, N, seed)
+    delta = max(1, workload_delta(n, edges))
+    return arrange_edges(n, edges, "random", seed), n, delta
+
+
+async def _one_session(port: int, seed: int) -> dict:
+    arranged, n, delta = _instance(seed)
+    spec = {
+        "algorithm": ALGORITHM, "n": n, "delta": delta, "seed": seed,
+        "verify": "strict",
+    }
+    async with await ServiceClient.connect("127.0.0.1", port) as client:
+        result = await client.run_session(spec, arranged,
+                                          feed_edges=FEED_EDGES)
+    result["_edges"] = len(arranged)
+    return result
+
+
+async def _sweep() -> dict:
+    service = ColoringService(
+        max_sessions=2 * max(CONCURRENCY_LEVELS),
+        max_resident=MAX_RESIDENT,
+    )
+    server = await service.serve_tcp("127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    levels = []
+    try:
+        for concurrency in CONCURRENCY_LEVELS:
+            start = time.perf_counter()
+            results = await asyncio.gather(*[
+                _one_session(port, seed) for seed in range(concurrency)
+            ])
+            elapsed = time.perf_counter() - start
+            verified = sum(
+                1 for r in results
+                if r["proper"] and r["extras"]["guarantees"]["ok"]
+            )
+            stats = service.manager.stats()
+            levels.append({
+                "concurrency": concurrency,
+                "sessions": len(results),
+                "verified": verified,
+                "wall_s": round(elapsed, 4),
+                "sessions_per_sec": round(len(results) / elapsed, 2),
+                "edges_per_sec": round(
+                    sum(r["_edges"] for r in results) / elapsed, 1
+                ),
+                "evictions_total": stats["evictions"],
+                "restores_total": stats["restores"],
+            })
+    finally:
+        server.close()
+        await server.wait_closed()
+        service.manager.close()
+    return {
+        "algorithm": ALGORITHM,
+        "family": FAMILY,
+        "n": N,
+        "verify": "strict",
+        "max_resident": MAX_RESIDENT,
+        "required_concurrency": REQUIRED_CONCURRENCY,
+        "levels": levels,
+        "max_concurrency_verified": max(
+            level["concurrency"] for level in levels
+            if level["verified"] == level["sessions"]
+        ),
+    }
+
+
+def run_service_bench():
+    payload = asyncio.run(_sweep())
+    headers = ["concurrency", "sessions/s", "edges/s", "verified",
+               "evictions", "restores"]
+    rows = [
+        [level["concurrency"], level["sessions_per_sec"],
+         f"{level['edges_per_sec']:.3e}",
+         f"{level['verified']}/{level['sessions']}",
+         level["evictions_total"], level["restores_total"]]
+        for level in payload["levels"]
+    ]
+    return (headers, rows), payload
+
+
+def test_s2_service(benchmark, record_table, record_json):
+    (headers, rows), payload = run_once(benchmark, run_service_bench)
+    record_table("s2_service", headers, rows,
+                 title="S2: concurrent coloring session service")
+    record_json("s2_service", payload)
+    # Every session at every level must finalize verified.
+    for level in payload["levels"]:
+        assert level["verified"] == level["sessions"], level
+        assert level["sessions_per_sec"] > 0
+    # The acceptance floor: >= 64 concurrent strict-verified sessions.
+    assert payload["max_concurrency_verified"] >= REQUIRED_CONCURRENCY
+    # Residency pressure really engaged the persist layer at high levels.
+    assert payload["levels"][-1]["evictions_total"] > 0

@@ -23,6 +23,12 @@ self-contained machinery (DESIGN.md section 2.3):
   reduction).  ``O(log Delta)`` reduction rounds; buckets whose stored
   edges would exceed the space budget are deferred to extra passes, so the
   measured pass count is data dependent (reported by experiments T9).
+
+Block-path execution runs on the resumable pass machine of
+:mod:`repro.streaming.machine`: every cross-pass quantity (the selected
+``(a*, b*)``, the conflicted set, the round's bucket state) lives in
+``self._mach``, so runs are suspend/restorable at pass boundaries; the
+token path below is the unchanged reference implementation.
 """
 
 import time
@@ -31,16 +37,156 @@ import numpy as np
 
 from repro.common.exceptions import ReproError
 from repro.common.integer_math import ceil_div, ceil_log2, next_prime
+from repro.streaming.machine import PassConsumer, drive_blocks, require_machine
 from repro.streaming.model import MultipassStreamingAlgorithm
 from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken
 
 
+class _PartCountsConsumer(PassConsumer):
+    """Pass 1 (blocks): aggregate collision counts by edge difference.
+
+    The per-edge collision vector depends on the edge only through
+    ``(v - u) mod p``, so one ``bincount`` of differences per block
+    followed by a single (difference x part) reduction replaces the
+    per-edge ``O(p)`` update — exact int64 arithmetic throughout.
+    """
+
+    def __init__(self, algo):
+        self.algo = algo
+        self.diff_counts = np.zeros(algo.p, dtype=np.int64)
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        p = self.algo.p
+        diffs = (item[:, 1] - item[:, 0]) % p
+        self.diff_counts += np.bincount(diffs, minlength=p)
+
+    def finish(self, stream):
+        p, r = self.algo.p, self.algo.range_size
+        reduce_start = time.perf_counter()
+        a = np.arange(1, p, dtype=np.int64)
+        totals = np.zeros(p - 1, dtype=np.int64)
+        present = np.flatnonzero(self.diff_counts)
+        batch = max(1, (1 << 22) // max(1, p))
+        for start in range(0, len(present), batch):
+            dvals = present[start : start + batch]
+            d = (dvals[:, None] * a[None, :]) % p
+            collide = (p - d) * (d % r == 0) + d * ((d - p) % r == 0)
+            totals += self.diff_counts[dvals] @ collide
+        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        return totals
+
+
+class _MemberCountsConsumer(PassConsumer):
+    """Pass 2 (blocks): circular-interval difference counting.
+
+    A member ``b`` sees edge ``(u, v)`` collide iff ``t = (a* u + b)
+    mod p`` lands in ``[0, p - d)`` with ``r | d``, or in ``[p - d, p)``
+    with ``r | (d - p)`` (``d = a*(v - u) mod p``).  Edges with neither
+    divisibility (the vast majority) contribute to no member at all;
+    each contributing edge becomes one circular ``b``-interval in a
+    difference array — ``O(1)`` per edge instead of ``O(p)``.
+    """
+
+    def __init__(self, algo, a_star: int):
+        self.algo = algo
+        self.a_star = a_star
+        self.diff = np.zeros(algo.p + 1, dtype=np.int64)
+
+    def _add_intervals(self, starts, lengths) -> None:
+        p = self.algo.p
+        ends = starts + lengths
+        np.add.at(self.diff, starts, 1)
+        np.add.at(self.diff, np.minimum(ends, p), -1)
+        wrap = ends > p
+        if wrap.any():
+            self.diff[0] += int(wrap.sum())
+            np.add.at(self.diff, ends[wrap] - p, -1)
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        p, r = self.algo.p, self.algo.range_size
+        a_star = self.a_star
+        d = (a_star * ((item[:, 1] - item[:, 0]) % p)) % p
+        t0 = (a_star * item[:, 0]) % p
+        low = d % r == 0  # t in [0, p - d)
+        if low.any():
+            self._add_intervals((-t0[low]) % p, p - d[low])
+        high = ((d - p) % r == 0) & (d > 0)  # t in [p - d, p)
+        if high.any():
+            self._add_intervals((p - d[high] - t0[high]) % p, d[high])
+
+    def finish(self, stream):
+        return np.cumsum(self.diff[: self.algo.p])
+
+
+class _MonoEdgesConsumer(PassConsumer):
+    """Pass 3 (blocks): the monochromatic edges of ``f`` -> conflicted set."""
+
+    def __init__(self, algo, a_star: int, b_star: int):
+        self.algo = algo
+        self.a_star = a_star
+        self.b_star = b_star
+        self.conflicted: set[int] = set()
+        self.mono = 0
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        fb = ((self.a_star * item + self.b_star) % self.algo.p) % self.algo.range_size
+        mask = fb[:, 0] == fb[:, 1]
+        self.mono += int(mask.sum())
+        if mask.any():
+            self.conflicted.update(np.unique(item[mask]).tolist())
+
+    def finish(self, stream):
+        return self.conflicted, self.mono
+
+
+class _RepairAdjacencyConsumer(PassConsumer):
+    """Pass 4 (blocks): gather directed incidences, group by sort."""
+
+    def __init__(self, algo, conflicted: set):
+        self.conflicted = conflicted
+        conf = np.zeros(algo.n, dtype=bool)
+        if conflicted:
+            conf[list(conflicted)] = True
+        self.conf = conf
+        self.chunks: list = []
+        self.stored = 0
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        mu = self.conf[item[:, 0]]
+        mv = self.conf[item[:, 1]]
+        self.stored += int(mu.sum()) + int(mv.sum())
+        if mu.any():
+            self.chunks.append(item[mu])
+        if mv.any():
+            self.chunks.append(item[mv][:, ::-1])
+
+    def finish(self, stream):
+        adjacency: dict[int, set[int]] = {v: set() for v in self.conflicted}
+        reduce_start = time.perf_counter()
+        if self.chunks:
+            from repro.streaming.blocks import group_pairs
+
+            for x, ys in group_pairs(np.concatenate(self.chunks)):
+                adjacency[x] = set(ys.tolist())
+        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        return adjacency, self.stored
+
+
 class TwoPassQuadraticColoring(MultipassStreamingAlgorithm):
     """Deterministic ``O(Delta^2)``-coloring in four streaming passes."""
 
     supports_blocks = True
+    supports_checkpoint = True
 
     def __init__(self, n: int, delta: int, range_multiplier: int = 4):
         super().__init__()
@@ -89,126 +235,62 @@ class TwoPassQuadraticColoring(MultipassStreamingAlgorithm):
         return counts
 
     # ------------------------------------------------------------------
-    # vectorized block passes (same counts, same gauges)
+    # pass machine (block path)
     # ------------------------------------------------------------------
-    def _edge_blocks(self, stream):
-        for item in stream.new_pass():
-            if isinstance(item, np.ndarray):
-                yield item
+    def blocks_start(self) -> None:
+        self._mach = {"phase": "parts"}
 
-    def _part_collision_counts_blocks(self, stream) -> np.ndarray:
-        """Block twin of pass 1: aggregate by edge difference.
+    def blocks_consumer(self):
+        mach = require_machine(self)
+        phase = mach["phase"]
+        if phase == "parts":
+            return _PartCountsConsumer(self)
+        if phase == "members":
+            return _MemberCountsConsumer(self, mach["a_star"])
+        if phase == "mono":
+            return _MonoEdgesConsumer(self, mach["a_star"], mach["b_star"])
+        if phase == "repair":
+            return _RepairAdjacencyConsumer(self, mach["conflicted"])
+        return None
 
-        The per-edge collision vector depends on the edge only through
-        ``(v - u) mod p``, so one ``bincount`` of differences per block
-        followed by a single (difference x part) reduction replaces the
-        per-edge ``O(p)`` update — exact int64 arithmetic throughout.
-        """
-        p, r = self.p, self.range_size
-        diff_counts = np.zeros(p, dtype=np.int64)
-        for block in self._edge_blocks(stream):
-            diffs = (block[:, 1] - block[:, 0]) % p
-            diff_counts += np.bincount(diffs, minlength=p)
-        reduce_start = time.perf_counter()
-        a = np.arange(1, p, dtype=np.int64)
-        totals = np.zeros(p - 1, dtype=np.int64)
-        present = np.flatnonzero(diff_counts)
-        batch = max(1, (1 << 22) // max(1, p))
-        for start in range(0, len(present), batch):
-            dvals = present[start : start + batch]
-            d = (dvals[:, None] * a[None, :]) % p
-            collide = (p - d) * (d % r == 0) + d * ((d - p) % r == 0)
-            totals += diff_counts[dvals] @ collide
-        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
-        self.meter.set_gauge("part accumulators", (p - 1) * 2 * ceil_log2(max(2, self.n)))
-        return totals
-
-    def _member_collision_counts_blocks(self, stream, a_star: int) -> np.ndarray:
-        """Block twin of pass 2: circular-interval difference counting.
-
-        A member ``b`` sees edge ``(u, v)`` collide iff ``t = (a* u + b)
-        mod p`` lands in ``[0, p - d)`` with ``r | d``, or in ``[p - d, p)``
-        with ``r | (d - p)`` (``d = a*(v - u) mod p``).  Edges with neither
-        divisibility (the vast majority) contribute to no member at all;
-        each contributing edge becomes one circular ``b``-interval in a
-        difference array — ``O(1)`` per edge instead of ``O(p)``.
-        """
-        p, r = self.p, self.range_size
-        diff = np.zeros(p + 1, dtype=np.int64)
-
-        def add_intervals(starts, lengths):
-            ends = starts + lengths
-            np.add.at(diff, starts, 1)
-            np.add.at(diff, np.minimum(ends, p), -1)
-            wrap = ends > p
-            if wrap.any():
-                diff[0] += int(wrap.sum())
-                np.add.at(diff, ends[wrap] - p, -1)
-
-        for block in self._edge_blocks(stream):
-            d = (a_star * ((block[:, 1] - block[:, 0]) % p)) % p
-            t0 = (a_star * block[:, 0]) % p
-            low = d % r == 0  # t in [0, p - d)
-            if low.any():
-                add_intervals((-t0[low]) % p, p - d[low])
-            high = ((d - p) % r == 0) & (d > 0)  # t in [p - d, p)
-            if high.any():
-                add_intervals((p - d[high] - t0[high]) % p, d[high])
-        return np.cumsum(diff[:p])
-
-    # ------------------------------------------------------------------
-    def run(self, stream: TokenStream) -> dict[int, int]:
+    def blocks_deliver(self, result, stream) -> None:
+        mach = require_machine(self)
+        phase = mach["phase"]
         n = self.n
-        use_blocks = isinstance(stream, StreamSource)
-        if use_blocks:
-            parts = self._part_collision_counts_blocks(stream)
-        else:
-            parts = self._part_collision_counts(stream)
-        a_star = int(np.argmin(parts)) + 1
-        if use_blocks:
-            members = self._member_collision_counts_blocks(stream, a_star)
-        else:
-            members = self._member_collision_counts(stream, a_star)
-        b_star = int(np.argmin(members))
-        self.meter.clear_gauge("part accumulators")
+        if phase == "parts":
+            self.meter.set_gauge(
+                "part accumulators", (self.p - 1) * 2 * ceil_log2(max(2, n))
+            )
+            mach["a_star"] = int(np.argmin(result)) + 1
+            mach["phase"] = "members"
+        elif phase == "members":
+            mach["b_star"] = int(np.argmin(result))
+            self.meter.clear_gauge("part accumulators")
+            mach["phase"] = "mono"
+        elif phase == "mono":
+            conflicted, mono = result
+            mach["conflicted"] = conflicted
+            self.meter.set_gauge("mono edges", mono * 2 * ceil_log2(max(2, n)))
+            mach["phase"] = "repair"
+        elif phase == "repair":
+            adjacency, stored = result
+            self.meter.set_gauge("repair edges", stored * 2 * ceil_log2(max(2, n)))
+            coloring = self._repair(
+                mach["a_star"], mach["b_star"], mach["conflicted"], adjacency
+            )
+            self.meter.clear_gauge("mono edges")
+            self.meter.clear_gauge("repair edges")
+            self._mach = {"phase": "done", "coloring": coloring}
+
+    # ------------------------------------------------------------------
+    def _repair(self, a_star, b_star, conflicted, adjacency) -> dict[int, int]:
+        """Unconflicted vertices keep ``f(v)+1``; conflicted ones are
+        repaired greedily inside the fresh block ``[R+1, R+Delta+1]``."""
 
         def f(x: int) -> int:
             return ((a_star * x + b_star) % self.p) % self.range_size
 
-        # Pass 3: the monochromatic edges of f -> conflicted vertices.
-        conflicted: set[int] = set()
-        mono = 0
-        if use_blocks:
-            for block in self._edge_blocks(stream):
-                fb = ((a_star * block + b_star) % self.p) % self.range_size
-                mask = fb[:, 0] == fb[:, 1]
-                mono += int(mask.sum())
-                if mask.any():
-                    conflicted.update(np.unique(block[mask]).tolist())
-        else:
-            for u, v in self._edge_list(stream):
-                if f(u) == f(v):
-                    conflicted.add(u)
-                    conflicted.add(v)
-                    mono += 1
-        self.meter.set_gauge("mono edges", mono * 2 * ceil_log2(max(2, n)))
-        # Pass 4: all edges incident to conflicted vertices.
-        if use_blocks:
-            adjacency, stored = self._repair_adjacency_blocks(stream, conflicted)
-        else:
-            adjacency = {v: set() for v in conflicted}
-            stored = 0
-            for u, v in self._edge_list(stream):
-                if u in conflicted:
-                    adjacency[u].add(v)
-                    stored += 1
-                if v in conflicted:
-                    adjacency[v].add(u)
-                    stored += 1
-        self.meter.set_gauge("repair edges", stored * 2 * ceil_log2(max(2, n)))
-        # Unconflicted vertices keep color f(v)+1 in [R]; conflicted ones are
-        # repaired greedily inside the fresh block [R+1, R+Delta+1].
-        coloring = {v: f(v) + 1 for v in range(n)}
+        coloring = {v: f(v) + 1 for v in range(self.n)}
         for x in sorted(conflicted):
             used = {coloring[y] for y in adjacency[x] if y not in conflicted}
             used |= {
@@ -222,40 +304,87 @@ class TwoPassQuadraticColoring(MultipassStreamingAlgorithm):
             if c > self.palette_size:
                 raise ReproError("repair block exhausted; delta promise violated?")
             coloring[x] = c
+        return coloring
+
+    # ------------------------------------------------------------------
+    def run(self, stream: TokenStream) -> dict[int, int]:
+        if isinstance(stream, StreamSource):
+            return drive_blocks(self, stream)
+        n = self.n
+        parts = self._part_collision_counts(stream)
+        a_star = int(np.argmin(parts)) + 1
+        members = self._member_collision_counts(stream, a_star)
+        b_star = int(np.argmin(members))
+        self.meter.clear_gauge("part accumulators")
+
+        def f(x: int) -> int:
+            return ((a_star * x + b_star) % self.p) % self.range_size
+
+        # Pass 3: the monochromatic edges of f -> conflicted vertices.
+        conflicted: set[int] = set()
+        mono = 0
+        for u, v in self._edge_list(stream):
+            if f(u) == f(v):
+                conflicted.add(u)
+                conflicted.add(v)
+                mono += 1
+        self.meter.set_gauge("mono edges", mono * 2 * ceil_log2(max(2, n)))
+        # Pass 4: all edges incident to conflicted vertices.
+        adjacency = {v: set() for v in conflicted}
+        stored = 0
+        for u, v in self._edge_list(stream):
+            if u in conflicted:
+                adjacency[u].add(v)
+                stored += 1
+            if v in conflicted:
+                adjacency[v].add(u)
+                stored += 1
+        self.meter.set_gauge("repair edges", stored * 2 * ceil_log2(max(2, n)))
+        coloring = self._repair(a_star, b_star, conflicted, adjacency)
         self.meter.clear_gauge("mono edges")
         self.meter.clear_gauge("repair edges")
         return coloring
 
-    def _repair_adjacency_blocks(self, stream, conflicted):
-        """Block twin of pass 4: gather directed incidences, group by sort."""
-        conf = np.zeros(self.n, dtype=bool)
-        if conflicted:
-            conf[list(conflicted)] = True
-        chunks = []
-        stored = 0
-        for block in self._edge_blocks(stream):
-            mu = conf[block[:, 0]]
-            mv = conf[block[:, 1]]
-            stored += int(mu.sum()) + int(mv.sum())
-            if mu.any():
-                chunks.append(block[mu])
-            if mv.any():
-                chunks.append(block[mv][:, ::-1])
-        adjacency: dict[int, set[int]] = {v: set() for v in conflicted}
-        reduce_start = time.perf_counter()
-        if chunks:
-            from repro.streaming.blocks import group_pairs
 
-            for x, ys in group_pairs(np.concatenate(chunks)):
-                adjacency[x] = set(ys.tolist())
-        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
-        return adjacency, stored
+class _ReductionPassConsumer(PassConsumer):
+    """One reduction pass: admit pending buckets, evict at the edge budget.
+
+    The (state-independent) intra-bucket filter is vectorized per block;
+    the budget/eviction state machine on the surviving pairs is the
+    token path's, run sequentially in stream order.
+    """
+
+    def __init__(self, algo, bucket_arr: np.ndarray, pending: set):
+        self.algo = algo
+        self.bucket_arr = bucket_arr
+        self.batch = set(pending)
+        self.stored_edges: dict[int, list] = {b: [] for b in self.batch}
+        self.stored = 0
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        bu_arr = self.bucket_arr[item[:, 0]]
+        keep = bu_arr == self.bucket_arr[item[:, 1]]
+        for (u, v), bu in zip(item[keep].tolist(), bu_arr[keep].tolist()):
+            if bu not in self.batch:
+                continue
+            if self.stored >= self.algo.space_budget_edges:
+                self.batch.discard(bu)
+                self.stored -= len(self.stored_edges.pop(bu, []))
+                continue
+            self.stored_edges[bu].append((u, v))
+            self.stored += 1
+
+    def finish(self, stream):
+        return self.stored_edges, self.stored, self.batch
 
 
 class ColorReductionColoring(MultipassStreamingAlgorithm):
     """Deterministic ``O(Delta)``-coloring via iterated palette halving."""
 
     supports_blocks = True
+    supports_checkpoint = True
 
     def __init__(self, n: int, delta: int, space_budget_edges=None):
         super().__init__()
@@ -272,7 +401,84 @@ class ColorReductionColoring(MultipassStreamingAlgorithm):
     def palette_bound(self) -> int:
         return self.final_palette_bound
 
+    # ------------------------------------------------------------------
+    # pass machine (block path): base stage, then reduction rounds
+    # ------------------------------------------------------------------
+    def blocks_start(self) -> None:
+        self.base.blocks_start()
+        self._mach = {"phase": "base"}
+
+    def blocks_consumer(self):
+        mach = require_machine(self)
+        phase = mach["phase"]
+        if phase == "base":
+            return self.base.blocks_consumer()
+        if phase == "reduce":
+            return _ReductionPassConsumer(self, mach["bucket_arr"], mach["pending"])
+        return None
+
+    def blocks_deliver(self, result, stream) -> None:
+        mach = require_machine(self)
+        phase = mach["phase"]
+        if phase == "base":
+            self.base.blocks_deliver(result, stream)
+            if self.base.blocks_consumer() is None:
+                coloring = self.base.blocks_result()
+                # Merge the base meter so peak space reflects the pipeline.
+                self.meter.set_gauge("base stage peak", self.base.meter.peak_bits)
+                self.meter.clear_gauge("base stage peak")
+                mach["coloring"] = coloring
+                mach["palette"] = max(coloring.values())
+                self._next_round()
+        elif phase == "reduce":
+            stored_edges, stored, batch = result
+            self.meter.set_gauge(
+                "reduction edges", stored * 2 * ceil_log2(max(2, self.n))
+            )
+            for b in batch:
+                self._recolor_bucket(
+                    b, mach["bucket_width"], mach["coloring"],
+                    mach["new_coloring"], stored_edges[b],
+                )
+            mach["pending"] -= batch
+            if not batch:
+                raise ReproError(
+                    "a single bucket exceeds the space budget; "
+                    "raise space_budget_edges"
+                )
+            if not mach["pending"]:
+                mach["coloring"] = mach["new_coloring"]
+                mach["palette"] = ceil_div(
+                    mach["palette"], mach["bucket_width"]
+                ) * (self.delta + 1)
+                self.meter.clear_gauge("reduction edges")
+                self._next_round()
+
+    def _next_round(self) -> None:
+        """Enter the next reduction round, or finish below the bound."""
+        mach = self._mach
+        if mach["palette"] <= self.final_palette_bound:
+            self._mach = {"phase": "done", "coloring": mach["coloring"]}
+            return
+        bucket_width = 2 * (self.delta + 1)
+        coloring = mach["coloring"]
+        color_arr = np.zeros(self.n, dtype=np.int64)
+        for v, c in coloring.items():
+            color_arr[v] = c
+        self._mach = {
+            "phase": "reduce",
+            "coloring": coloring,
+            "palette": mach["palette"],
+            "bucket_width": bucket_width,
+            "pending": set(range(ceil_div(mach["palette"], bucket_width))),
+            "new_coloring": dict(coloring),
+            "bucket_arr": (color_arr - 1) // bucket_width,
+        }
+
+    # ------------------------------------------------------------------
     def run(self, stream: TokenStream) -> dict[int, int]:
+        if isinstance(stream, StreamSource):
+            return drive_blocks(self, stream)
         n, delta = self.n, self.delta
         coloring = self.base.run(stream)
         # Merge the base meter so peak space reflects the whole pipeline.
@@ -288,37 +494,15 @@ class ColorReductionColoring(MultipassStreamingAlgorithm):
 
             pending = set(range(num_buckets))
             new_coloring = dict(coloring)
-            use_blocks = isinstance(stream, StreamSource)
-            if use_blocks:
-                # One color/bucket array per reduction round: the
-                # intra-bucket filter for a whole block is two gathers.
-                color_arr = np.zeros(n, dtype=np.int64)
-                for v, c in coloring.items():
-                    color_arr[v] = c
-                bucket_arr = (color_arr - 1) // bucket_width
-            def intra_bucket_edges():
-                """One pass of ``((u, v), bucket)`` for same-bucket edges.
 
-                The (state-independent) intra-bucket filter is the only
-                part that differs per data plane; the budget/eviction
-                state machine below is shared.
-                """
-                if use_blocks:
-                    for item in stream.new_pass():
-                        if not isinstance(item, np.ndarray):
-                            continue
-                        bu_arr = bucket_arr[item[:, 0]]
-                        keep = bu_arr == bucket_arr[item[:, 1]]
-                        yield from zip(
-                            item[keep].tolist(), bu_arr[keep].tolist()
-                        )
-                else:
-                    for token in stream.new_pass():
-                        if not isinstance(token, EdgeToken):
-                            continue
-                        bu = bucket_of(coloring[token.u])
-                        if bu == bucket_of(coloring[token.v]):
-                            yield (token.u, token.v), bu
+            def intra_bucket_edges():
+                """One pass of ``((u, v), bucket)`` for same-bucket edges."""
+                for token in stream.new_pass():
+                    if not isinstance(token, EdgeToken):
+                        continue
+                    bu = bucket_of(coloring[token.u])
+                    if bu == bucket_of(coloring[token.v]):
+                        yield (token.u, token.v), bu
 
             while pending:
                 # Admit every pending bucket, then evict whole buckets as

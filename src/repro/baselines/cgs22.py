@@ -40,6 +40,11 @@ class SketchSwitchingQuadraticColoring(OnePassAlgorithm):
     """[CGS22]-style robust ``O(Delta^2)``-coloring at the ``n sqrt(Delta)`` space point."""
 
     supports_blocks = True
+    # The per-vertex hash memo is re-derived from the stored coefficients.
+    _snapshot_skip_ = ("_hash_cache",)
+
+    def _snapshot_init_(self) -> None:
+        self._hash_cache = {}
 
     def __init__(self, n: int, delta: int, seed: int, repetitions=None):
         super().__init__()

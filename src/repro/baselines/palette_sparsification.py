@@ -16,22 +16,64 @@ paper's existence proof is non-constructive; [ACK19] give a poly-time
 completion, and greedy-with-retries is the standard practical stand-in).
 """
 
+import time
+
 import numpy as np
 
 from repro.common.exceptions import AlgorithmFailure, ReproError
 from repro.common.integer_math import ceil_log2
 from repro.common.rng import SeededRng
 from repro.graph.graph import Graph
+from repro.streaming.machine import PassConsumer, drive_blocks, require_machine
 from repro.streaming.model import MultipassStreamingAlgorithm
 from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken
 
 
+class _ConflictCollectConsumer(PassConsumer):
+    """The single streaming pass: keep edges whose endpoint lists intersect.
+
+    Lists are held as one boolean membership matrix so the intersection
+    test for a whole block is a single vectorized ``any()``; the
+    surviving edges become one CSR build (same dedup, n, m, and neighbor
+    sets as ``Graph.add_edge``, so the completion is identical).
+    """
+
+    def __init__(self, algo):
+        self.algo = algo
+        mask = np.zeros((algo.n, algo.delta + 2), dtype=bool)
+        for v, colors in algo.lists.items():
+            mask[v, list(colors)] = True
+        self.mask = mask
+        self.chunks: list = []
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        hit = (self.mask[item[:, 0]] & self.mask[item[:, 1]]).any(axis=1)
+        if hit.any():
+            self.chunks.append(item[hit])
+
+    def finish(self, stream):
+        from repro.graph.csr import CSRGraph
+
+        reduce_start = time.perf_counter()
+        conflict = CSRGraph.from_edge_array(
+            self.algo.n,
+            np.concatenate(self.chunks)
+            if self.chunks
+            else np.empty((0, 2), dtype=np.int64),
+        )
+        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        return conflict
+
+
 class PaletteSparsificationColoring(MultipassStreamingAlgorithm):
     """Single-pass randomized ``(Delta+1)``-coloring for oblivious streams."""
 
     supports_blocks = True
+    supports_checkpoint = True
 
     def __init__(
         self,
@@ -58,50 +100,42 @@ class PaletteSparsificationColoring(MultipassStreamingAlgorithm):
         self.conflict_edge_count = 0
 
     def run(self, stream: TokenStream) -> dict[int, int]:
-        import time
-
-        n = self.n
         if isinstance(stream, StreamSource):
-            # Lists as one boolean membership matrix: the intersection test
-            # for a whole block is a single vectorized any(); the surviving
-            # edges become one CSR build (same dedup, n, m, and neighbor
-            # sets as Graph.add_edge, so the completion is identical).
-            from repro.graph.csr import CSRGraph
+            return drive_blocks(self, stream)
+        conflict = Graph(self.n)
+        for token in stream.new_pass():
+            if not isinstance(token, EdgeToken):
+                continue
+            u, v = token.u, token.v
+            if self.lists[u] & self.lists[v]:
+                conflict.add_edge(u, v)
+        return self._complete(conflict)
 
-            mask = np.zeros((n, self.delta + 2), dtype=bool)
-            for v, colors in self.lists.items():
-                mask[v, list(colors)] = True
-            chunks = []
-            for item in stream.new_pass():
-                if not isinstance(item, np.ndarray):
-                    continue
-                hit = (mask[item[:, 0]] & mask[item[:, 1]]).any(axis=1)
-                if hit.any():
-                    chunks.append(item[hit])
-            reduce_start = time.perf_counter()
-            conflict = CSRGraph.from_edge_array(
-                n,
-                np.concatenate(chunks)
-                if chunks
-                else np.empty((0, 2), dtype=np.int64),
-            )
-            stream.pass_seconds[-1] += time.perf_counter() - reduce_start
-        else:
-            conflict = Graph(n)
-            for token in stream.new_pass():
-                if not isinstance(token, EdgeToken):
-                    continue
-                u, v = token.u, token.v
-                if self.lists[u] & self.lists[v]:
-                    conflict.add_edge(u, v)
+    # ------------------------------------------------------------------
+    # pass machine (block path): one collection pass, then completion
+    # ------------------------------------------------------------------
+    def blocks_start(self) -> None:
+        self._mach = {"phase": "collect"}
+
+    def blocks_consumer(self):
+        if require_machine(self)["phase"] == "collect":
+            return _ConflictCollectConsumer(self)
+        return None
+
+    def blocks_deliver(self, result, stream) -> None:
+        mach = require_machine(self)
+        if mach["phase"] == "collect":
+            self._mach = {"phase": "done", "coloring": self._complete(result)}
+
+    # ------------------------------------------------------------------
+    def _complete(self, conflict) -> dict[int, int]:
+        """Greedy list coloring of the conflict graph, retrying with fresh
+        random orders (and most-constrained-first as a last attempt)."""
         self.conflict_edge_count = conflict.m
         self.meter.set_gauge(
-            "conflict edges", conflict.m * 2 * ceil_log2(max(2, n))
+            "conflict edges", conflict.m * 2 * ceil_log2(max(2, self.n))
         )
-        # Complete: greedy list coloring of the conflict graph, retrying
-        # with fresh random orders (and most-constrained-first as a last
-        # attempt) until one succeeds.
-        order = list(range(n))
+        order = list(range(self.n))
         for attempt in range(self.completion_attempts):
             if attempt == self.completion_attempts - 1:
                 order.sort(key=lambda v: len(self.lists[v]))

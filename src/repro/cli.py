@@ -127,8 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one experiment and print its table")
     run.add_argument("experiment", choices=sorted(EXPERIMENT_TABLE),
-                     metavar="experiment",
-                     help="experiment id (see 'repro list')")
+                     metavar="experiment", nargs="?", default=None,
+                     help="experiment id (see 'repro list'); omit with "
+                     "--resume")
+    run.add_argument("--resume", default=None, metavar="CKPT",
+                     help="resume a checkpointed engine run (REPROCK1 file "
+                     "written via run(..., checkpoint_every=...)) and print "
+                     "its result row")
     run.add_argument("--n", type=int, default=96)
     run.add_argument("--delta", type=int, default=8)
     run.add_argument("--deltas", default="2,4,8,16")
@@ -175,6 +180,49 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--smoke", action="store_true",
                         help="CI-sized sweep: the same grid and checks "
                         "(incl. metamorphic) at n capped to 32")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the concurrent coloring session service "
+        "(newline-JSON protocol; see repro.service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port to listen on (0 = ephemeral)")
+    serve.add_argument("--stdio", action="store_true",
+                       help="serve one client over stdin/stdout instead "
+                       "of TCP")
+    serve.add_argument("--max-sessions", type=int, default=256,
+                       help="total session limit (default 256)")
+    serve.add_argument("--max-resident", type=int, default=64,
+                       help="in-memory sessions before LRU eviction to "
+                       "checkpoints (default 64)")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       help="where evicted sessions are checkpointed "
+                       "(default: a managed temp dir)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="stream one workload-zoo instance through a running service",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, required=True)
+    submit.add_argument("--algorithm", default="robust",
+                        help="registered algorithm name (see 'repro "
+                        "algorithms')")
+    submit.add_argument("--family", default="power_law",
+                        help="workload-zoo family (see repro.graph.zoo)")
+    submit.add_argument("--order", default="insertion",
+                        help="zoo edge order (insertion | random | "
+                        "degree_sorted | bfs | adversarial)")
+    submit.add_argument("--n", type=int, default=64)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--chunk-size", type=int, default=None)
+    submit.add_argument("--feed-edges", type=int, default=2048,
+                        help="edges per feed request (default 2048)")
+    submit.add_argument("--no-verify", action="store_true",
+                        help="skip the strict guarantee oracle on the "
+                        "session's result")
 
     report = sub.add_parser("report", help="assemble markdown from archived tables")
     report.add_argument("--results", default="benchmarks/results")
@@ -231,6 +279,119 @@ def _run_verify(args) -> int:
     return 0
 
 
+def _result_row(result: dict, title: str) -> str:
+    """One result record as a printed single-row table."""
+    headers = [
+        "algorithm", "n", "delta", "colors", "palette", "passes",
+        "space_bits", "random_bits", "proper", "verified",
+    ]
+    guarantees = result.get("extras", {}).get("guarantees")
+    rows = [[
+        result["algorithm"], result["n"], result["delta"],
+        result["colors_used"], result["palette_bound"], result["passes"],
+        result["peak_space_bits"], result["random_bits"], result["proper"],
+        guarantees["ok"] if guarantees else "-",
+    ]]
+    return format_table(headers, rows, title=title)
+
+
+def _run_resume(args) -> int:
+    from repro.engine import resume
+
+    try:
+        if args.experiment is not None:
+            raise ReproError(
+                "--resume resumes a checkpoint; do not also name an "
+                "experiment"
+            )
+        result = resume(args.resume)
+    except ReproError as error:
+        print(f"repro run --resume: error: {error}", file=sys.stderr)
+        return 2
+    print(_result_row(result.to_dict(), f"resumed from {args.resume}"))
+    return 0
+
+
+def _run_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ColoringService
+
+    try:
+        if args.stdio and args.port is not None:
+            raise ReproError("--stdio and --port are mutually exclusive")
+        if not args.stdio and args.port is None:
+            raise ReproError("serve needs --port (or --stdio)")
+        if args.port is not None and not 0 <= args.port <= 65535:
+            raise ReproError(f"--port must be in [0, 65535], got {args.port}")
+        service = ColoringService(
+            max_sessions=args.max_sessions,
+            max_resident=args.max_resident,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    except ReproError as error:
+        print(f"repro serve: error: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.stdio:
+            asyncio.run(service.serve_stdio())
+        else:
+            asyncio.run(
+                service.serve_tcp_until_shutdown(args.host, args.port)
+            )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.manager.close()
+    return 0
+
+
+def _run_submit(args) -> int:
+    from repro.graph.zoo import ZOO_FAMILIES, ZOO_ORDERS
+    from repro.service import submit_workload
+
+    try:
+        if args.algorithm not in REGISTRY:
+            raise ReproError(
+                f"unknown algorithm {args.algorithm!r}; registered: "
+                f"{REGISTRY.names()}"
+            )
+        if args.family not in ZOO_FAMILIES:
+            raise ReproError(
+                f"unknown family {args.family!r}; valid: {list(ZOO_FAMILIES)}"
+            )
+        if args.order != "insertion" and args.order not in ZOO_ORDERS:
+            raise ReproError(
+                f"unknown order {args.order!r}; valid: "
+                f"{['insertion', *ZOO_ORDERS]}"
+            )
+        if args.n < 1:
+            raise ReproError(f"--n must be >= 1, got {args.n}")
+        if args.chunk_size is not None and args.chunk_size < 1:
+            raise ReproError(
+                f"chunk size must be >= 1, got {args.chunk_size}"
+            )
+        if args.feed_edges < 1:
+            raise ReproError(
+                f"--feed-edges must be >= 1, got {args.feed_edges}"
+            )
+        result = submit_workload(
+            args.host, args.port, args.algorithm, args.family, args.n,
+            order=args.order, seed=args.seed,
+            verify=False if args.no_verify else "strict",
+            chunk_size=args.chunk_size, feed_edges=args.feed_edges,
+        )
+    except ReproError as error:
+        print(f"repro submit: error: {error}", file=sys.stderr)
+        return 2
+    print(_result_row(
+        result,
+        f"{args.algorithm} on {args.family}/{args.order} via "
+        f"{args.host}:{args.port}",
+    ))
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -242,7 +403,17 @@ def main(argv=None) -> int:
         print(format_table(headers, rows,
                            title="registered algorithms (repro.engine)"))
         return 0
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
     if args.command == "run":
+        if args.resume is not None:
+            return _run_resume(args)
+        if args.experiment is None:
+            print("repro run: error: name an experiment (see 'repro list') "
+                  "or pass --resume CKPT", file=sys.stderr)
+            return 2
         description, dispatch = EXPERIMENT_TABLE[args.experiment]
         try:
             if args.workers < 1:

@@ -56,6 +56,20 @@ class EdgeFileError(StreamProtocolError, ValueError):
     """
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, parsed, or applied.
+
+    Raised for wrong-magic / truncated / corrupt ``REPROCK1`` files, for
+    snapshot payloads that do not match the algorithm they are loaded
+    into, and for resume requests the checkpoint cannot satisfy (e.g. a
+    checkpoint of a caller-supplied stream resumed without one).
+    """
+
+
+class ServiceError(ReproError):
+    """A coloring-service request was invalid or hit a dead session."""
+
+
 class GuaranteeViolationError(ReproError):
     """A run broke a paper-stated guarantee its registry entry declares.
 

@@ -24,6 +24,16 @@ Structure (Section 3.1-3.3):
 ``selection="greedy_slack"`` swaps the family search for the max-slack
 heuristic (1 pass per stage, no Lemma 3.5 guarantee) — see DESIGN.md,
 faithfulness note 1.
+
+The block path runs on the resumable pass machine of
+:mod:`repro.streaming.machine`: every cross-pass quantity — the partial
+coloring, the uncolored set, the subcube PCCs, per-stage slack counters,
+the registered selector, the committed proposals — lives in ``self._mach``
+between passes (and is therefore snapshot-complete for
+``repro.persist``); the intra-pass accumulators live in the three
+consumer classes below, rebuilt by deterministic replay on restore.  The
+token path is the unchanged reference implementation; the two are locked
+together by the block-equivalence suite.
 """
 
 import time
@@ -42,6 +52,7 @@ from repro.core.selector import SlackWeightedSelector
 from repro.core.subcube import Subcube
 from repro.graph.graph import Graph
 from repro.graph.independent_set import turan_independent_set
+from repro.streaming.machine import PassConsumer, drive_blocks, require_machine
 from repro.streaming.model import MultipassStreamingAlgorithm
 from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
@@ -105,20 +116,176 @@ def choose_family_prime(n: int, policy: str, override=None) -> int:
     raise ReproError(f"unknown prime policy {policy!r}")
 
 
+class _SlackPassConsumer(PassConsumer):
+    """Stage pass 1 over edge blocks: ``np.bincount`` instead of per-token dicts.
+
+    Within an epoch every uncolored vertex's subcube shares ``(b, fixed)``
+    and differs only in ``value``, so membership and ``pattern_of`` reduce
+    to branch-free bit arithmetic on arrays.  Flat ``(vertex, pattern)``
+    keys are batched and flushed into the histogram at ``_FLUSH_KEYS``:
+    O(m + n*s*flushes) work with peak memory bounded by the batch, not the
+    stream length, so the O(chunk_size)-memory promise of lazy sources
+    survives this pass.
+    """
+
+    def __init__(self, algo, chi, uncolored, cubes, kk, members):
+        self.algo = algo
+        self.members = members
+        self.kk = kk
+        self.s = 1 << kk
+        self.fixed = cubes[members[0]].fixed
+        chi_arr, unc, cube_value = algo._state_arrays(chi, uncolored, cubes)
+        self.chi_arr = chi_arr
+        self.unc = unc
+        self.cube_value = cube_value
+        self.low_mask = (1 << self.fixed) - 1
+        self.counts = np.zeros(algo.n * self.s, dtype=np.int64)
+        self.key_chunks: list = []
+        self.pending = 0
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        s = self.s
+        for x, y in ((item[:, 0], item[:, 1]), (item[:, 1], item[:, 0])):
+            cy = self.chi_arr[y]
+            sel = (
+                self.unc[x]
+                & (cy > 0)
+                & (((cy - 1) & self.low_mask) == self.cube_value[x])
+            )
+            if not sel.any():
+                continue
+            pattern = ((cy[sel] - 1) >> self.fixed) & (s - 1)
+            self.key_chunks.append(x[sel] * s + pattern)
+            self.pending += len(self.key_chunks[-1])
+            if self.pending >= _FLUSH_KEYS:
+                self.counts += np.bincount(
+                    np.concatenate(self.key_chunks), minlength=len(self.counts)
+                )
+                self.key_chunks.clear()
+                self.pending = 0
+
+    def finish(self, stream):
+        # The deferred histogram replaces counting work the token path does
+        # inside its (timed) loop; charge it to the pass it belongs to.
+        n, delta = self.algo.n, self.algo.delta
+        s, kk, fixed = self.s, self.kk, self.fixed
+        reduce_start = time.perf_counter()
+        if self.key_chunks:
+            self.counts += np.bincount(
+                np.concatenate(self.key_chunks), minlength=n * s
+            )
+        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        used = self.counts.reshape(n, s)[self.members]
+        # base[i, j] = |restrict(j, kk) ∩ [1, delta+1]| in closed form.
+        hi = delta + 1
+        step = 1 << (fixed + kk)
+        values = self.cube_value[self.members][:, None] | (
+            np.arange(s, dtype=np.int64)[None, :] << fixed
+        )
+        base = np.where(values >= hi, 0, (hi - 1 - values) // step + 1)
+        slack_matrix = np.maximum(0, base - used)
+        return {x: slack_matrix[i] for i, x in enumerate(self.members)}
+
+
+class _ConflictEdgesConsumer(PassConsumer):
+    """Block twin of :meth:`DeterministicColoring._collect_conflict_edges`.
+
+    Returns the identical conflict-edge sequence as a ``(k, 2)`` array:
+    unique and in first-occurrence stream order, matching the token
+    path's list exactly.  Order matters — the selector accumulates
+    float potentials per edge, and near-ties under a different
+    summation order could flip the argmin.
+    """
+
+    def __init__(self, algo, uncolored, cubes):
+        self.algo = algo
+        _, unc, cube_value = algo._state_arrays({}, uncolored, cubes)
+        self.unc = unc
+        self.cube_value = cube_value
+        self.chunks: list = []
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        u, v = item[:, 0], item[:, 1]
+        sel = self.unc[u] & self.unc[v] & (self.cube_value[u] == self.cube_value[v])
+        if sel.any():
+            self.chunks.append(item[sel])
+
+    def finish(self, stream):
+        from repro.graph.csr import dedupe_edges
+
+        if not self.chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        # Deferred dedup mirrors the token path's (timed) in-loop seen-set.
+        reduce_start = time.perf_counter()
+        edges = dedupe_edges(
+            self.algo.n, np.concatenate(self.chunks), keep_order=True
+        )
+        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        return edges
+
+
+class _FinalAdjacencyConsumer(PassConsumer):
+    """Block twin of the final-pass edge collection.
+
+    Gathers the unique directed pairs ``(x, y)`` with ``x`` uncolored
+    (exactly what the token path's per-vertex sets hold), then groups
+    them into adjacency lists with one sort.
+    """
+
+    def __init__(self, algo, uncolored):
+        self.algo = algo
+        self.uncolored = uncolored
+        _, unc = algo._state_arrays({}, uncolored)
+        self.unc = unc
+        self.chunks: list = []
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        keep = self.unc[item[:, 0]] | self.unc[item[:, 1]]
+        if keep.any():
+            self.chunks.append(item[keep])
+
+    def finish(self, stream):
+        adjacency: dict[int, list] = {x: [] for x in self.uncolored}
+        if not self.chunks:
+            return adjacency, 0
+        # Deferred grouping mirrors the token path's (timed) in-loop
+        # adjacency-set building.
+        from repro.streaming.blocks import group_pairs
+
+        n, unc = self.algo.n, self.unc
+        reduce_start = time.perf_counter()
+        arr = np.concatenate(self.chunks)
+        fwd = arr[unc[arr[:, 0]]]
+        rev = arr[unc[arr[:, 1]]][:, ::-1]
+        pairs = np.concatenate([fwd, rev])
+        keys = np.unique(pairs[:, 0] * n + pairs[:, 1])
+        for x, ys in group_pairs(np.stack([keys // n, keys % n], axis=1)):
+            adjacency[x] = ys.tolist()
+        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
+        return adjacency, len(keys)
+
+
 class DeterministicColoring(MultipassStreamingAlgorithm):
     """Deterministic multipass ``(Delta+1)``-coloring (Theorem 1).
 
     Consumes either data-plane view.  Given a :class:`TokenStream`, every
     pass is the original token-at-a-time loop; given a
-    :class:`~repro.streaming.source.StreamSource`, the counting passes
-    (slack counters, conflict-edge collection, the end-of-epoch F pass,
-    and the final stored-edges pass) run vectorized over ``(k, 2)`` edge
-    blocks with ``np.bincount``-style updates.  Both paths take the same
+    :class:`~repro.streaming.source.StreamSource`, the run executes on the
+    pass machine with the counting passes (slack counters, conflict-edge
+    collection, the end-of-epoch F pass, and the final stored-edges pass)
+    vectorized over ``(k, 2)`` edge blocks.  Both paths take the same
     passes, charge the same :class:`SpaceMeter` gauges, and produce the
     identical coloring (locked by the block-equivalence test suite).
     """
 
     supports_blocks = True
+    supports_checkpoint = True
 
     def __init__(
         self,
@@ -149,8 +316,9 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
 
     # ------------------------------------------------------------------
     def run(self, stream: TokenStream) -> dict[int, int]:
+        if isinstance(stream, StreamSource):
+            return drive_blocks(self, stream)
         n, delta = self.n, self.delta
-        use_blocks = isinstance(stream, StreamSource)
         chi: dict[int, int] = {v: None for v in range(n)}
         if delta == 0:
             for v in range(n):
@@ -163,11 +331,239 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
             epoch += 1
             if epoch > self.max_epochs:
                 break  # heuristic mode may stall; the final pass still finishes
-            self._run_epoch(stream, chi, uncolored, epoch, use_blocks)
-        self._final_pass(stream, chi, uncolored, use_blocks)
+            self._run_epoch(stream, chi, uncolored, epoch)
+        self._final_pass(stream, chi, uncolored)
         self.stats.passes = stream.passes_used
         self.stats.epochs = epoch
         return chi
+
+    # ------------------------------------------------------------------
+    # pass machine (block path)
+    # ------------------------------------------------------------------
+    def blocks_start(self) -> None:
+        n, delta = self.n, self.delta
+        chi: dict[int, int] = {v: None for v in range(n)}
+        if delta == 0:
+            for v in range(n):
+                chi[v] = 1
+            self._mach = {"phase": "done", "coloring": chi}
+            return
+        uncolored = set(range(n))
+        self.meter.set_gauge("partial coloring", n * (ceil_log2(delta + 2) + 1))
+        self._mach = {
+            "phase": "epoch_check",
+            "chi": chi,
+            "uncolored": uncolored,
+            "epoch": 0,
+        }
+        self._machine_advance()
+
+    def blocks_consumer(self):
+        mach = require_machine(self)
+        phase = mach["phase"]
+        if phase == "stage_slacks":
+            return _SlackPassConsumer(
+                self, mach["chi"], mach["uncolored"], mach["cubes"],
+                mach["kk"], mach["members"],
+            )
+        if phase in ("stage_parts", "stage_members", "epoch_f"):
+            return _ConflictEdgesConsumer(self, mach["uncolored"], mach["cubes"])
+        if phase == "final":
+            return _FinalAdjacencyConsumer(self, mach["uncolored"])
+        return None
+
+    def blocks_deliver(self, result, stream) -> None:
+        mach = require_machine(self)
+        phase = mach["phase"]
+        if phase == "stage_slacks":
+            self._deliver_slacks(result, stream)
+        elif phase == "stage_parts":
+            selector = mach["selector"]
+            mach["a_star"] = (
+                int(np.argmin(selector.part_sums(result))) if len(result) else 0
+            )
+            mach["phase"] = "stage_members"
+        elif phase == "stage_members":
+            selector = mach["selector"]
+            member = selector.member_sums(mach["a_star"], result)
+            b_star = int(np.argmin(member)) if len(result) else 0
+            proposals = {
+                x: selector.proposal_for(x, mach["a_star"], b_star)
+                for x in mach["members"]
+            }
+            self.meter.clear_gauge("part accumulators")
+            del mach["selector"]
+            self._tighten_stage(proposals, stream)
+            self._machine_advance()
+        elif phase == "epoch_f":
+            self._deliver_epoch_f(result)
+            self._machine_advance()
+        elif phase == "final":
+            self._deliver_final(result, stream)
+
+    # -- machine transitions -------------------------------------------
+    def _machine_advance(self) -> None:
+        """Advance through compute-only phases until a pass is needed."""
+        mach = self._mach
+        while True:
+            phase = mach["phase"]
+            if phase == "epoch_check":
+                if len(mach["uncolored"]) * self.delta > self.n:
+                    mach["epoch"] += 1
+                    if mach["epoch"] > self.max_epochs:
+                        # heuristic mode may stall; the final pass finishes
+                        mach["phase"] = "final"
+                        return
+                    self._enter_epoch()
+                    continue
+                mach["phase"] = "final"
+                return
+            if phase == "stage_check":
+                if mach["fixed"] < mach["b"]:
+                    self._enter_stage()
+                else:
+                    self._enter_epoch_f()
+                return
+            return
+
+    def _enter_epoch(self) -> None:
+        """COLORING-EPOCH prologue: trivial PCCs, epoch gauges."""
+        mach = self._mach
+        n, delta = self.n, self.delta
+        uncolored = mach["uncolored"]
+        b = ceil_log2(delta + 1)
+        mach["b"] = b
+        mach["k"] = 1 + floor_log2(max(1, n // len(uncolored)))
+        mach["cubes"] = {x: Subcube.full(b) for x in uncolored}
+        self.meter.set_gauge(
+            "pcc", len(uncolored) * (b + ceil_log2(max(2, b)) + 1)
+        )
+        mach["u_before"] = len(uncolored)
+        mach["fixed"] = 0
+        mach["stage_index"] = 0
+        mach["phase"] = "stage_check"
+
+    def _enter_stage(self) -> None:
+        """Stage prologue (lines 12-14): counters gauge, next-k bookkeeping."""
+        mach = self._mach
+        mach["stage_index"] += 1
+        kk = min(mach["k"], mach["b"] - mach["fixed"])
+        mach["kk"] = kk
+        members = sorted(mach["uncolored"])
+        mach["members"] = members
+        self.meter.set_gauge(
+            "stage counters",
+            len(members) * (1 << kk) * ceil_log2(max(2, self.delta + 2)),
+        )
+        mach["phase"] = "stage_slacks"
+
+    def _enter_epoch_f(self) -> None:
+        """End-of-epoch: cubes are singletons; their colors are the proposals."""
+        mach = self._mach
+        cubes = mach["cubes"]
+        mach["proposals"] = {
+            x: cubes[x].sole_color for x in mach["uncolored"]
+        }
+        mach["phase"] = "epoch_f"
+
+    def _deliver_slacks(self, slacks, stream) -> None:
+        """Post slack pass: selection (greedy, or begin the family search)."""
+        mach = self._mach
+        mach["potential_before"] = None
+        if self.instrument:
+            mach["potential_before"] = self._measure_potential(
+                stream, mach["chi"], mach["uncolored"], mach["cubes"], slacks=None
+            )
+        if self.selection == "greedy_slack":
+            proposals = {x: int(np.argmax(slacks[x])) for x in mach["members"]}
+            mach["slacks"] = slacks
+            self._tighten_stage(proposals, stream)
+            self._machine_advance()
+            return
+        p = choose_family_prime(self.n, self.prime_policy, self.prime_override)
+        selector = SlackWeightedSelector(p, self.n, cid_space=1 << mach["kk"])
+        for x in mach["members"]:
+            selector.register_vertex(x, np.arange(1 << mach["kk"]), slacks[x])
+        self.meter.set_gauge("part accumulators", selector.accumulator_bits())
+        mach["selector"] = selector
+        mach["slacks"] = slacks
+        mach["phase"] = "stage_parts"
+
+    def _tighten_stage(self, proposals, stream) -> None:
+        """Line 27: fix the chosen pattern of every PCC, close the stage."""
+        mach = self._mach
+        slacks = mach.pop("slacks")
+        cubes = mach["cubes"]
+        kk = mach["kk"]
+        for x in mach["members"]:
+            j = proposals[x]
+            if slacks[x][j] <= 0:
+                raise ReproError(
+                    f"stage selected a zero-slack pattern for vertex {x}; "
+                    "Lemma 3.6 invariant violated"
+                )
+            cubes[x] = cubes[x].restrict(j, kk)
+        self.meter.clear_gauge("stage counters")
+        if self.instrument:
+            potential_after = self._measure_potential(
+                stream, mach["chi"], mach["uncolored"], cubes, slacks=None
+            )
+            self.stats.stage_stats.append(
+                StageStats(
+                    epoch=mach["epoch"],
+                    stage=mach["stage_index"],
+                    k=kk,
+                    potential_before=mach["potential_before"],
+                    potential_after=potential_after,
+                    uncolored=len(mach["uncolored"]),
+                )
+            )
+        mach["fixed"] += kk
+        mach["phase"] = "stage_check"
+
+    def _deliver_epoch_f(self, conflict_edges) -> None:
+        """Lines 29-33: gauge F, commit proposals on a Turán independent set."""
+        mach = self._mach
+        n = self.n
+        chi, uncolored = mach["chi"], mach["uncolored"]
+        proposals = mach.pop("proposals")
+        self.meter.set_gauge(
+            "epoch conflict edges F",
+            len(conflict_edges) * 2 * ceil_log2(max(2, n)),
+        )
+        members = sorted(uncolored)
+        index = {x: i for i, x in enumerate(members)}
+        conflict_graph = Graph(len(members))
+        for u, v in conflict_edges:
+            conflict_graph.add_edge(index[u], index[v])
+        independent = turan_independent_set(conflict_graph)
+        for i in independent:
+            x = members[i]
+            chi[x] = proposals[x]
+            uncolored.discard(x)
+        self.meter.clear_gauge("epoch conflict edges F")
+        self.meter.clear_gauge("pcc")
+        if self.instrument:
+            self.stats.epoch_stats.append(
+                EpochStats(
+                    epoch=mach["epoch"],
+                    uncolored_before=mach["u_before"],
+                    uncolored_after=len(uncolored),
+                    conflict_edges=len(conflict_edges),
+                    stages=mach["stage_index"],
+                )
+            )
+        mach["phase"] = "epoch_check"
+
+    def _deliver_final(self, result, stream) -> None:
+        """Line 6-7 epilogue: greedy-finish U from its stored adjacency."""
+        mach = self._mach
+        adjacency, stored = result
+        chi, uncolored = mach["chi"], mach["uncolored"]
+        self._finish_greedy(chi, uncolored, adjacency, stored)
+        self.stats.passes = stream.passes_used
+        self.stats.epochs = mach["epoch"]
+        self._mach = {"phase": "done", "coloring": chi}
 
     # ------------------------------------------------------------------
     # block-path state snapshots (derived per pass; O(n) << O(m) scan cost)
@@ -188,9 +584,9 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
         return chi_arr, unc, cube_value
 
     # ------------------------------------------------------------------
-    # epoch logic (Algorithm 1, COLORING-EPOCH)
+    # epoch logic (Algorithm 1, COLORING-EPOCH) — token path
     # ------------------------------------------------------------------
-    def _run_epoch(self, stream, chi, uncolored, epoch, use_blocks) -> None:
+    def _run_epoch(self, stream, chi, uncolored, epoch) -> None:
         n, delta = self.n, self.delta
         b = ceil_log2(delta + 1)
         k = 1 + floor_log2(max(1, n // len(uncolored)))
@@ -203,29 +599,22 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
             stage_index += 1
             kk = min(k, b - fixed)
             self._run_stage(
-                stream, chi, uncolored, cubes, kk, epoch, stage_index, use_blocks
+                stream, chi, uncolored, cubes, kk, epoch, stage_index
             )
             fixed += kk
         # --- end-of-epoch pass: collect F (line 29) ---
-        # Cubes are singletons here, so "equal proposals" is exactly "equal
-        # cube values"; the block path reuses the conflict-edge collector.
         proposals = {x: cubes[x].sole_color for x in uncolored}
-        if use_blocks:
-            conflict_edges = self._collect_conflict_edges_blocks(
-                stream, uncolored, cubes
-            )
-        else:
-            conflict_edges = []
-            seen = set()
-            for token in stream.new_pass():
-                if not isinstance(token, EdgeToken):
-                    continue
-                u, v = token.u, token.v
-                if u in uncolored and v in uncolored and proposals[u] == proposals[v]:
-                    key = (min(u, v), max(u, v))
-                    if key not in seen:
-                        seen.add(key)
-                        conflict_edges.append(key)
+        conflict_edges = []
+        seen = set()
+        for token in stream.new_pass():
+            if not isinstance(token, EdgeToken):
+                continue
+            u, v = token.u, token.v
+            if u in uncolored and v in uncolored and proposals[u] == proposals[v]:
+                key = (min(u, v), max(u, v))
+                if key not in seen:
+                    seen.add(key)
+                    conflict_edges.append(key)
         self.meter.set_gauge(
             "epoch conflict edges F",
             len(conflict_edges) * 2 * ceil_log2(max(2, n)),
@@ -255,10 +644,10 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
             )
 
     # ------------------------------------------------------------------
-    # stage logic (Algorithm 1, lines 12-27)
+    # stage logic (Algorithm 1, lines 12-27) — token path
     # ------------------------------------------------------------------
     def _run_stage(
-        self, stream, chi, uncolored, cubes, kk, epoch, stage_index, use_blocks
+        self, stream, chi, uncolored, cubes, kk, epoch, stage_index
     ) -> None:
         n, delta = self.n, self.delta
         s = 1 << kk
@@ -267,25 +656,22 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
         self.meter.set_gauge(
             "stage counters", len(members) * s * ceil_log2(max(2, delta + 2))
         )
-        if use_blocks:
-            slacks = self._stage_slacks_blocks(stream, chi, uncolored, cubes, kk, members)
-        else:
-            used = {x: np.zeros(s, dtype=np.int64) for x in members}
-            for token in stream.new_pass():
-                if not isinstance(token, EdgeToken):
-                    continue
-                for x, y in ((token.u, token.v), (token.v, token.u)):
-                    if x in uncolored:
-                        color = chi.get(y)
-                        if color is not None and cubes[x].contains(color):
-                            used[x][cubes[x].pattern_of(color, kk)] += 1
-            slacks = {}
-            for x in members:
-                base = np.array(
-                    [cubes[x].subpattern_count(delta + 1, j, kk) for j in range(s)],
-                    dtype=np.int64,
-                )
-                slacks[x] = np.maximum(0, base - used[x])
+        used = {x: np.zeros(s, dtype=np.int64) for x in members}
+        for token in stream.new_pass():
+            if not isinstance(token, EdgeToken):
+                continue
+            for x, y in ((token.u, token.v), (token.v, token.u)):
+                if x in uncolored:
+                    color = chi.get(y)
+                    if color is not None and cubes[x].contains(color):
+                        used[x][cubes[x].pattern_of(color, kk)] += 1
+        slacks = {}
+        for x in members:
+            base = np.array(
+                [cubes[x].subpattern_count(delta + 1, j, kk) for j in range(s)],
+                dtype=np.int64,
+            )
+            slacks[x] = np.maximum(0, base - used[x])
         potential_before = None
         if self.instrument:
             potential_before = self._measure_potential(stream, chi, uncolored, cubes, slacks=None)
@@ -300,17 +686,12 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
             for x in members:
                 selector.register_vertex(x, np.arange(s), slacks[x])
             self.meter.set_gauge("part accumulators", selector.accumulator_bits())
-            collect = (
-                self._collect_conflict_edges_blocks
-                if use_blocks
-                else self._collect_conflict_edges
-            )
             # --- pass 2: part sums over the sqrt(|H|) parts (lines 20-23) ---
-            conflict_edges = collect(stream, uncolored, cubes)
+            conflict_edges = self._collect_conflict_edges(stream, uncolored, cubes)
             part = selector.part_sums(conflict_edges)
             a_star = int(np.argmin(part)) if len(conflict_edges) else 0
             # --- pass 3: members of the best part (lines 24-26) ---
-            conflict_edges = collect(stream, uncolored, cubes)
+            conflict_edges = self._collect_conflict_edges(stream, uncolored, cubes)
             member = selector.member_sums(a_star, conflict_edges)
             b_star = int(np.argmin(member)) if len(conflict_edges) else 0
             proposals = {
@@ -366,107 +747,22 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
         return edges
 
     # ------------------------------------------------------------------
-    # vectorized block passes (same passes, same counts, same gauges)
-    # ------------------------------------------------------------------
-    def _stage_slacks_blocks(self, stream, chi, uncolored, cubes, kk, members):
-        """Pass 1 over edge blocks: ``np.bincount`` instead of per-token dicts.
-
-        Within an epoch every uncolored vertex's subcube shares ``(b,
-        fixed)`` and differs only in ``value``, so membership and
-        ``pattern_of`` reduce to branch-free bit arithmetic on arrays.
-        """
-        n, delta = self.n, self.delta
-        s = 1 << kk
-        fixed = cubes[members[0]].fixed
-        chi_arr, unc, cube_value = self._state_arrays(chi, uncolored, cubes)
-        low_mask = (1 << fixed) - 1
-        # Batch flat (vertex, pattern) keys and flush into the histogram
-        # whenever the batch tops _FLUSH_KEYS: O(m + n*s*flushes) work with
-        # peak memory bounded by the batch, not the stream length, so the
-        # O(chunk_size)-memory promise of lazy sources survives this pass.
-        counts = np.zeros(n * s, dtype=np.int64)
-        key_chunks: list = []
-        pending = 0
-        for item in stream.new_pass():
-            if not isinstance(item, np.ndarray):
-                continue
-            for x, y in ((item[:, 0], item[:, 1]), (item[:, 1], item[:, 0])):
-                cy = chi_arr[y]
-                sel = unc[x] & (cy > 0) & (((cy - 1) & low_mask) == cube_value[x])
-                if not sel.any():
-                    continue
-                pattern = ((cy[sel] - 1) >> fixed) & (s - 1)
-                key_chunks.append(x[sel] * s + pattern)
-                pending += len(key_chunks[-1])
-                if pending >= _FLUSH_KEYS:
-                    counts += np.bincount(
-                        np.concatenate(key_chunks), minlength=n * s
-                    )
-                    key_chunks.clear()
-                    pending = 0
-        # The deferred histogram replaces counting work the token path does
-        # inside its (timed) loop; charge it to the pass it belongs to.
-        reduce_start = time.perf_counter()
-        if key_chunks:
-            counts += np.bincount(np.concatenate(key_chunks), minlength=n * s)
-        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
-        used = counts.reshape(n, s)[members]
-        # base[i, j] = |restrict(j, kk) ∩ [1, delta+1]| in closed form.
-        hi = delta + 1
-        step = 1 << (fixed + kk)
-        values = cube_value[members][:, None] | (
-            np.arange(s, dtype=np.int64)[None, :] << fixed
-        )
-        base = np.where(values >= hi, 0, (hi - 1 - values) // step + 1)
-        slack_matrix = np.maximum(0, base - used)
-        return {x: slack_matrix[i] for i, x in enumerate(members)}
-
-    def _collect_conflict_edges_blocks(self, stream, uncolored, cubes):
-        """Block twin of :meth:`_collect_conflict_edges`.
-
-        Returns the identical conflict-edge sequence as a ``(k, 2)`` array:
-        unique and in first-occurrence stream order, matching the token
-        path's list exactly.  Order matters — the selector accumulates
-        float potentials per edge, and near-ties under a different
-        summation order could flip the argmin.
-        """
-        from repro.graph.csr import dedupe_edges
-
-        _, unc, cube_value = self._state_arrays({}, uncolored, cubes)
-        chunks = []
-        for item in stream.new_pass():
-            if not isinstance(item, np.ndarray):
-                continue
-            u, v = item[:, 0], item[:, 1]
-            sel = unc[u] & unc[v] & (cube_value[u] == cube_value[v])
-            if sel.any():
-                chunks.append(item[sel])
-        if not chunks:
-            return np.empty((0, 2), dtype=np.int64)
-        # Deferred dedup mirrors the token path's (timed) in-loop seen-set.
-        reduce_start = time.perf_counter()
-        edges = dedupe_edges(self.n, np.concatenate(chunks), keep_order=True)
-        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
-        return edges
-
-    # ------------------------------------------------------------------
-    def _final_pass(self, stream, chi, uncolored, use_blocks=False) -> None:
+    def _final_pass(self, stream, chi, uncolored) -> None:
         """Line 6-7: collect all edges incident to U, then finish greedily."""
+        adjacency = {x: set() for x in uncolored}
+        stored = 0
+        for token in stream.new_pass():
+            if not isinstance(token, EdgeToken):
+                continue
+            for x, y in ((token.u, token.v), (token.v, token.u)):
+                if x in uncolored and y not in adjacency.get(x, ()):
+                    adjacency[x].add(y)
+                    stored += 1
+        self._finish_greedy(chi, uncolored, adjacency, stored)
+
+    def _finish_greedy(self, chi, uncolored, adjacency, stored) -> None:
+        """Shared final-pass epilogue: gauge the store, first-fit U."""
         n = self.n
-        if use_blocks:
-            adjacency, stored = self._collect_final_adjacency_blocks(
-                stream, uncolored
-            )
-        else:
-            adjacency = {x: set() for x in uncolored}
-            stored = 0
-            for token in stream.new_pass():
-                if not isinstance(token, EdgeToken):
-                    continue
-                for x, y in ((token.u, token.v), (token.v, token.u)):
-                    if x in uncolored and y not in adjacency.get(x, ()):
-                        adjacency[x].add(y)
-                        stored += 1
         self.meter.set_gauge("final edges", stored * 2 * ceil_log2(max(2, n)))
         palette = set(range(1, self.delta + 2))
         for x in sorted(uncolored):
@@ -477,40 +773,6 @@ class DeterministicColoring(MultipassStreamingAlgorithm):
             chi[x] = free[0]
         uncolored.clear()
         self.meter.clear_gauge("final edges")
-
-    def _collect_final_adjacency_blocks(self, stream, uncolored):
-        """Block twin of the final-pass edge collection.
-
-        Gathers the unique directed pairs ``(x, y)`` with ``x`` uncolored
-        (exactly what the token path's per-vertex sets hold), then groups
-        them into adjacency lists with one sort.
-        """
-        _, unc = self._state_arrays({}, uncolored)
-        chunks = []
-        for item in stream.new_pass():
-            if not isinstance(item, np.ndarray):
-                continue
-            u, v = item[:, 0], item[:, 1]
-            keep = unc[u] | unc[v]
-            if keep.any():
-                chunks.append(item[keep])
-        adjacency: dict[int, list] = {x: [] for x in uncolored}
-        if not chunks:
-            return adjacency, 0
-        # Deferred grouping mirrors the token path's (timed) in-loop
-        # adjacency-set building.
-        from repro.streaming.blocks import group_pairs
-
-        reduce_start = time.perf_counter()
-        arr = np.concatenate(chunks)
-        fwd = arr[unc[arr[:, 0]]]
-        rev = arr[unc[arr[:, 1]]][:, ::-1]
-        pairs = np.concatenate([fwd, rev])
-        keys = np.unique(pairs[:, 0] * self.n + pairs[:, 1])
-        for x, ys in group_pairs(np.stack([keys // self.n, keys % self.n], axis=1)):
-            adjacency[x] = ys.tolist()
-        stream.pass_seconds[-1] += time.perf_counter() - reduce_start
-        return adjacency, len(keys)
 
     # ------------------------------------------------------------------
     def _measure_potential(self, stream, chi, uncolored, cubes, slacks) -> float:

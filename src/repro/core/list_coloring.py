@@ -29,6 +29,13 @@ Differences from Algorithm 1 (Section 3.5):
 
 ``P_x`` is represented by its *chain*: the per-stage class indices under
 the globally chosen partitions — the paper's ``O(log n)``-bit encoding.
+
+As with Algorithm 1, the block path executes on the resumable pass
+machine of :mod:`repro.streaming.machine`: the epoch state (chains,
+partitions, proposals), the partition-search candidates, the slack
+counters, and the registered selector all live in ``self._mach`` between
+passes, making runs snapshot/restorable at every pass boundary; the
+token path below is the unchanged reference implementation.
 """
 
 from dataclasses import dataclass, field
@@ -44,6 +51,7 @@ from repro.graph.csr import dedupe_edges
 from repro.graph.graph import Graph
 from repro.graph.independent_set import turan_independent_set
 from repro.hashing.partitions import PartitionFamily
+from repro.streaming.machine import PassConsumer, drive_blocks, require_machine
 from repro.streaming.model import MultipassStreamingAlgorithm
 from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
@@ -83,20 +91,326 @@ class _EpochState:
         return self.chain[u] == self.chain[v]
 
 
+# ----------------------------------------------------------------------
+# block-path pass consumers (vectorized twins of the token-path passes)
+# ----------------------------------------------------------------------
+
+class _ListMassConsumer(PassConsumer):
+    """The Lemma 3.10 decay quantity ``sum_x (|P_x ∩ L_x| - 1)``."""
+
+    def __init__(self, algo, uncolored, state):
+        self.algo = algo
+        self.uncolored = uncolored
+        self.state = state
+        self.seen: set = set()
+        self.total = 0
+
+    def feed(self, item) -> None:
+        if not isinstance(item, ListToken):
+            return
+        x = item.x
+        if x in self.uncolored and x not in self.seen:
+            self.seen.add(x)
+            colors = self.algo._token_colors(item)
+            count = int(self.algo._contains_colors(self.state, x, colors).sum())
+            self.total += max(0, count - 1)
+
+    def finish(self, stream):
+        return self.total
+
+
+class _PartitionScoreConsumer(PassConsumer):
+    """Group-scoring pass of the Lemma 3.10 partition search.
+
+    All candidate members are scored at once against the family's
+    precomputed class table: per list token, one occupancy bincount over
+    ``(member, class)`` keys yields every member's ``a_R`` value, then a
+    grouped sum.  Scores are integer-valued float sums, exactly as the
+    token path accumulates them.
+    """
+
+    def __init__(self, algo, uncolored, state, family, groups):
+        self.algo = algo
+        self.uncolored = uncolored
+        self.state = state
+        self.s = family.s
+        table = family.class_table()
+        row_of = {key: i for i, key in enumerate(family.members())}
+        cand_keys = [key for group in groups for key in group]
+        self.rows = np.fromiter(
+            (row_of[key] for key in cand_keys), dtype=np.int64,
+            count=len(cand_keys),
+        )
+        self.group_ids = np.repeat(
+            np.arange(len(groups)), [len(group) for group in groups]
+        )
+        self.sub_table = table[self.rows]  # (M, universe + 1)
+        self.offsets = np.arange(len(self.rows), dtype=np.int64)[:, None] * self.s
+        self.scores = np.zeros(len(groups))
+        self.num_groups = len(groups)
+        self.seen: set = set()
+
+    def feed(self, item) -> None:
+        if not isinstance(item, ListToken) or item.x not in self.uncolored:
+            return
+        x = item.x
+        if x in self.seen:
+            return
+        self.seen.add(x)
+        colors = self.algo._token_colors(item)
+        survivors = colors[self.algo._contains_colors(self.state, x, colors)]
+        if not len(survivors):
+            return
+        occupancy = np.bincount(
+            (self.sub_table[:, survivors] + self.offsets).ravel(),
+            minlength=len(self.rows) * self.s,
+        ).reshape(len(self.rows), self.s)
+        per_member = np.maximum(0, occupancy.max(axis=1) - 1)
+        self.scores += np.bincount(
+            self.group_ids, weights=per_member, minlength=self.num_groups
+        )
+
+    def finish(self, stream):
+        return self.scores
+
+
+class _ListSlackConsumer(PassConsumer):
+    """The slack counter pass (both base and used, per class).
+
+    List tokens contribute to per-vertex ``base`` histograms via one
+    masked ``np.add.at`` each; edge blocks accumulate ``used`` with a
+    flat ``np.bincount`` over ``(vertex, class)`` keys, exactly as the
+    deterministic algorithm's stage pass does.
+    """
+
+    def __init__(self, algo, chi, uncolored, state, partition_arr, s):
+        self.algo = algo
+        self.uncolored = uncolored
+        self.state = state
+        self.partition_arr = partition_arr
+        self.s = s
+        self.members = state.members
+        member_mask, chain_matrix = algo._chain_arrays(state)
+        self.member_mask = member_mask
+        self.chain_matrix = chain_matrix
+        self.chi_arr = coloring_array(algo.n, chi)
+        self.base = {x: np.zeros(s, dtype=np.int64) for x in self.members}
+        self.used_counts = np.zeros(algo.n * s, dtype=np.int64)
+        self.seen_lists: set = set()
+
+    def feed(self, item) -> None:
+        s = self.s
+        if isinstance(item, ListToken):
+            x = item.x
+            if x in self.uncolored and x not in self.seen_lists:
+                self.seen_lists.add(x)
+                colors = self.algo._token_colors(item)
+                colors = colors[self.algo._contains_colors(self.state, x, colors)]
+                np.add.at(self.base[x], self.partition_arr[colors], 1)
+        elif isinstance(item, np.ndarray):
+            for xs, ys in ((item[:, 0], item[:, 1]), (item[:, 1], item[:, 0])):
+                cy = self.chi_arr[ys]
+                sel = self.member_mask[xs] & (cy > 0)
+                if not sel.any():
+                    continue
+                xs_s, cy_s = xs[sel], cy[sel]
+                inside = self.algo._contains_pairs(
+                    self.state, self.chain_matrix, xs_s, cy_s
+                )
+                if inside.any():
+                    self.used_counts += np.bincount(
+                        xs_s[inside] * s + self.partition_arr[cy_s[inside]],
+                        minlength=self.algo.n * s,
+                    )
+
+    def finish(self, stream):
+        used = self.used_counts.reshape(self.algo.n, self.s)
+        return {
+            x: np.maximum(0, self.base[x] - used[x]) for x in self.members
+        }
+
+
+class _ChainConflictConsumer(PassConsumer):
+    """Edges inside U whose endpoints share the same chain.
+
+    Returns the identical edge sequence as the token path — unique, in
+    first-occurrence stream order — because the selector accumulates
+    float potentials per edge and summation order matters for exact
+    argmin ties.
+    """
+
+    def __init__(self, algo, state):
+        self.algo = algo
+        member_mask, chain_matrix = algo._chain_arrays(state)
+        self.member_mask = member_mask
+        self.chain_matrix = chain_matrix
+        self.stages = len(state.partitions)
+        self.chunks: list = []
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        u, v = item[:, 0], item[:, 1]
+        sel = self.member_mask[u] & self.member_mask[v]
+        for t in range(self.stages):
+            sel &= self.chain_matrix[t, u] == self.chain_matrix[t, v]
+        if sel.any():
+            self.chunks.append(item[sel])
+
+    def finish(self, stream):
+        if not self.chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        return dedupe_edges(self.algo.n, np.concatenate(self.chunks),
+                            keep_order=True)
+
+
+class _RecordConsumer(PassConsumer):
+    """Final-stage recording pass: ``P_x ∩ L_x`` explicitly per vertex."""
+
+    def __init__(self, algo, uncolored, state):
+        self.algo = algo
+        self.uncolored = uncolored
+        self.state = state
+        self.candidates: dict[int, list] = {x: [] for x in state.members}
+        self.seen: set = set()
+
+    def feed(self, item) -> None:
+        if isinstance(item, ListToken) and item.x in self.uncolored:
+            if item.x in self.seen:
+                return
+            self.seen.add(item.x)
+            colors = self.algo._token_colors(item)
+            inside = colors[
+                self.algo._contains_colors(self.state, item.x, colors)
+            ]
+            self.candidates[item.x] = np.sort(inside).tolist()
+
+    def finish(self, stream):
+        return self.candidates
+
+
+class _MarkingConsumer(PassConsumer):
+    """Final-stage marking pass: colors used by already-colored neighbors."""
+
+    def __init__(self, algo, chi, state):
+        self.algo = algo
+        member_mask, _ = algo._chain_arrays(state)
+        self.member_mask = member_mask
+        self.chi_arr = coloring_array(algo.n, chi)
+        self.members = state.members
+        self.key_chunks: list = []
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        for xs, ys in ((item[:, 0], item[:, 1]), (item[:, 1], item[:, 0])):
+            cy = self.chi_arr[ys]
+            sel = self.member_mask[xs] & (cy > 0)
+            if sel.any():
+                self.key_chunks.append(
+                    xs[sel] * (self.algo.universe + 1) + cy[sel]
+                )
+
+    def finish(self, stream):
+        unavailable: dict[int, set[int]] = {x: set() for x in self.members}
+        if self.key_chunks:
+            keys = np.unique(np.concatenate(self.key_chunks))
+            for x, color in zip(
+                (keys // (self.algo.universe + 1)).tolist(),
+                (keys % (self.algo.universe + 1)).tolist(),
+            ):
+                unavailable[x].add(color)
+        return unavailable
+
+
+class _ProposalConflictConsumer(PassConsumer):
+    """End-of-epoch F pass: edges inside U with equal proposals."""
+
+    def __init__(self, algo, state, proposals):
+        self.algo = algo
+        member_mask, _ = algo._chain_arrays(state)
+        self.member_mask = member_mask
+        prop = np.full(algo.n, -1, dtype=np.int64)
+        for x, proposal in proposals.items():
+            prop[x] = proposal
+        self.prop = prop
+        self.chunks: list = []
+
+    def feed(self, item) -> None:
+        if not isinstance(item, np.ndarray):
+            return
+        u, v = item[:, 0], item[:, 1]
+        sel = (
+            self.member_mask[u]
+            & self.member_mask[v]
+            & (self.prop[u] == self.prop[v])
+        )
+        if sel.any():
+            self.chunks.append(item[sel])
+
+    def finish(self, stream):
+        if not self.chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        return dedupe_edges(self.algo.n, np.concatenate(self.chunks),
+                            keep_order=True)
+
+
+class _ListFinalConsumer(PassConsumer):
+    """Final pass: edges incident to U plus U's list tokens."""
+
+    def __init__(self, algo, uncolored):
+        self.algo = algo
+        self.uncolored = uncolored
+        unc = np.zeros(algo.n, dtype=bool)
+        if uncolored:
+            unc[list(uncolored)] = True
+        self.unc = unc
+        self.lists: dict[int, set[int]] = {}
+        self.pair_chunks: list = []
+
+    def feed(self, item) -> None:
+        if isinstance(item, ListToken):
+            if item.x in self.uncolored and item.x not in self.lists:
+                self.lists[item.x] = set(item.colors)
+        elif isinstance(item, np.ndarray):
+            keep = self.unc[item[:, 0]] | self.unc[item[:, 1]]
+            if keep.any():
+                self.pair_chunks.append(item[keep])
+
+    def finish(self, stream):
+        adjacency: dict[int, set[int]] = {x: set() for x in self.uncolored}
+        if self.pair_chunks:
+            from repro.streaming.blocks import group_pairs
+
+            n, unc = self.algo.n, self.unc
+            arr = np.concatenate(self.pair_chunks)
+            fwd = arr[unc[arr[:, 0]]]
+            rev = arr[unc[arr[:, 1]]][:, ::-1]
+            pairs = np.concatenate([fwd, rev])
+            keys = np.unique(pairs[:, 0] * n + pairs[:, 1])
+            for x, ys in group_pairs(
+                np.stack([keys // n, keys % n], axis=1)
+            ):
+                adjacency[x] = set(ys.tolist())
+        return adjacency, self.lists
+
+
 class DeterministicListColoring(MultipassStreamingAlgorithm):
     """Deterministic multipass (deg+1)-list-coloring (Theorem 2).
 
     Consumes either data-plane view.  Given a
     :class:`~repro.streaming.source.StreamSource` (edge blocks with
-    ``ListToken`` items interleaved in place), every pass runs vectorized:
-    list-token work is numpy per token (survivor masks over the chain's
-    partition arrays), edge work is masked block arithmetic, and the
-    Lemma 3.10 partition search scores whole candidate groups against the
-    family's precomputed class table.  Both paths take the same passes,
-    charge the same gauges, and produce the identical coloring.
+    ``ListToken`` items interleaved in place), every pass runs vectorized
+    on the pass machine: list-token work is numpy per token (survivor
+    masks over the chain's partition arrays), edge work is masked block
+    arithmetic, and the Lemma 3.10 partition search scores whole
+    candidate groups against the family's precomputed class table.  Both
+    paths take the same passes, charge the same gauges, and produce the
+    identical coloring.
     """
 
     supports_blocks = True
+    supports_checkpoint = True
 
     def __init__(
         self,
@@ -133,6 +447,8 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
 
     # ------------------------------------------------------------------
     def run(self, stream: TokenStream) -> dict[int, int]:
+        if isinstance(stream, StreamSource):
+            return drive_blocks(self, stream)
         n = self.n
         chi: dict[int, int] = {v: None for v in range(n)}
         uncolored = set(range(n))
@@ -154,29 +470,326 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         return chi
 
     # ------------------------------------------------------------------
-    # epoch
+    # pass machine (block path)
     # ------------------------------------------------------------------
-    def _run_epoch(self, stream, chi, uncolored, epoch) -> None:
+    def blocks_start(self) -> None:
         n = self.n
+        chi: dict[int, int] = {v: None for v in range(n)}
+        uncolored = set(range(n))
+        self.meter.set_gauge(
+            "partial coloring", n * (ceil_log2(max(2, self.universe)) + 1)
+        )
+        if self.delta == 0:
+            # Token path returns before the epoch loop: stats stay unset.
+            self._mach = {
+                "phase": "final", "chi": chi, "uncolored": uncolored,
+                "epoch": None,
+            }
+            return
+        self._mach = {
+            "phase": "epoch_check", "chi": chi, "uncolored": uncolored,
+            "epoch": 0,
+        }
+        self._machine_advance()
+
+    def blocks_consumer(self):
+        mach = require_machine(self)
+        phase = mach["phase"]
+        if phase == "mass":
+            return _ListMassConsumer(self, mach["uncolored"], mach["state"])
+        if phase == "pscore":
+            return _PartitionScoreConsumer(
+                self, mach["uncolored"], mach["state"], mach["family"],
+                mach["groups"],
+            )
+        if phase == "pslack":
+            return _ListSlackConsumer(
+                self, mach["chi"], mach["uncolored"], mach["state"],
+                mach["partition_arr"], mach["s"],
+            )
+        if phase in ("pconf_a", "pconf_b", "fs_conf_a", "fs_conf_b"):
+            return _ChainConflictConsumer(self, mach["state"])
+        if phase == "fs_record":
+            return _RecordConsumer(self, mach["uncolored"], mach["state"])
+        if phase == "fs_mark":
+            return _MarkingConsumer(self, mach["chi"], mach["state"])
+        if phase == "commit":
+            return _ProposalConflictConsumer(
+                self, mach["state"], mach["state"].proposals
+            )
+        if phase == "final":
+            return _ListFinalConsumer(self, mach["uncolored"])
+        return None
+
+    def blocks_deliver(self, result, stream) -> None:
+        mach = require_machine(self)
+        phase = mach["phase"]
+        if phase == "mass":
+            if self.instrument:
+                self.stats.list_mass_per_stage.append((mach["epoch"], result))
+            if result <= len(mach["state"].members):
+                mach["phase"] = "fs_record"
+            else:
+                self._enter_partition_stage()
+                self._machine_advance()
+        elif phase == "pscore":
+            self._deliver_partition_scores(result)
+            self._machine_advance()
+        elif phase == "pslack":
+            self._deliver_slacks(result)
+            self._machine_advance()
+        elif phase == "pconf_a":
+            selector = mach["selector"]
+            mach["a_star"] = (
+                int(np.argmin(selector.part_sums(result))) if len(result) else 0
+            )
+            mach["phase"] = "pconf_b"
+        elif phase == "pconf_b":
+            selector = mach["selector"]
+            member = selector.member_sums(mach["a_star"], result)
+            b_star = int(np.argmin(member)) if len(result) else 0
+            proposals = {
+                x: selector.proposal_for(x, mach["a_star"], b_star)
+                for x in mach["state"].members
+            }
+            self.meter.clear_gauge("part accumulators")
+            del mach["selector"]
+            self._tighten_stage(proposals)
+            self._machine_advance()
+        elif phase == "fs_record":
+            total_ids = sum(len(v) for v in result.values())
+            self.meter.set_gauge(
+                "final-stage candidates",
+                total_ids * ceil_log2(max(2, self.universe)),
+            )
+            mach["fcand"] = result
+            mach["phase"] = "fs_mark"
+        elif phase == "fs_mark":
+            self._deliver_marking(result)
+        elif phase == "fs_conf_a":
+            selector = mach["selector"]
+            mach["a_star"] = (
+                int(np.argmin(selector.part_sums(result))) if len(result) else 0
+            )
+            mach["phase"] = "fs_conf_b"
+        elif phase == "fs_conf_b":
+            selector = mach["selector"]
+            member = selector.member_sums(mach["a_star"], result)
+            b_star = int(np.argmin(member)) if len(result) else 0
+            state = mach["state"]
+            state.proposals = {
+                x: selector.proposal_for(x, mach["a_star"], b_star)
+                for x in state.members
+            }
+            del mach["selector"]
+            self.meter.clear_gauge("final-stage candidates")
+            mach["phase"] = "commit"
+        elif phase == "commit":
+            self._deliver_commit(result.tolist())
+            self._machine_advance()
+        elif phase == "final":
+            self._deliver_final(result, stream)
+
+    # -- machine transitions -------------------------------------------
+    def _machine_advance(self) -> None:
+        mach = self._mach
+        while True:
+            phase = mach["phase"]
+            if phase == "epoch_check":
+                if len(mach["uncolored"]) * self.delta > self.n:
+                    mach["epoch"] += 1
+                    if mach["epoch"] > self.max_epochs:
+                        mach["phase"] = "final"
+                        return
+                    self._enter_epoch()
+                    continue
+                mach["phase"] = "final"
+                return
+            if phase == "mass_check":
+                # The stage loop runs the mass pass before each of its
+                # max_partition_stages iterations; once exhausted, the
+                # final stage begins without another mass measurement.
+                if mach["pstage"] < mach["max_partition_stages"]:
+                    mach["phase"] = "mass"
+                else:
+                    mach["phase"] = "fs_record"
+                return
+            if phase == "psel_next":
+                if self._partition_select_next():
+                    return
+                continue
+            return
+
+    def _enter_epoch(self) -> None:
+        mach = self._mach
+        n = self.n
+        uncolored = mach["uncolored"]
         k = 1 + floor_log2(max(1, n // len(uncolored)))
-        s = 1 << k
         state = _EpochState(uncolored)
         self.meter.set_gauge(
             "pcc chains",
             len(state.members)
-            * (2 * ceil_log2(max(2, self.delta + 1)) + ceil_log2(max(2, self.universe))),
+            * (2 * ceil_log2(max(2, self.delta + 1))
+               + ceil_log2(max(2, self.universe))),
         )
-        max_partition_stages = ceil_div(2 * ceil_log2(self.delta + 1), k) + 2
-        for stage in range(max_partition_stages):
-            mass = self._list_mass(stream, chi, uncolored, state)
-            if self.instrument:
-                self.stats.list_mass_per_stage.append((epoch, mass))
-            if mass <= len(state.members):
-                break
-            self._partition_stage(stream, chi, uncolored, state, s)
-        self._final_stage(stream, chi, uncolored, state)
-        self._commit(stream, chi, uncolored, state)
+        mach["k"] = k
+        mach["s"] = 1 << k
+        mach["state"] = state
+        mach["max_partition_stages"] = (
+            ceil_div(2 * ceil_log2(self.delta + 1), k) + 2
+        )
+        mach["pstage"] = 0
+        mach["phase"] = "mass_check"
+
+    def _enter_partition_stage(self) -> None:
+        """Begin the Lemma 3.10 family search for this stage's partition."""
+        mach = self._mach
+        family = PartitionFamily(self.universe, mach["s"])
+        mach["family"] = family
+        mach["candidates"] = list(family.members())
+        mach["level"] = 0
+        mach["final_select"] = False
+        mach["phase"] = "psel_next"
+
+    def _partition_select_next(self) -> bool:
+        """Set up the next scoring pass; False once a partition is chosen."""
+        mach = self._mach
+        candidates = mach["candidates"]
+        levels = max(1, self.partition_levels)
+        if mach["level"] < levels and len(candidates) > 1:
+            # Group count ~ |candidates|^(1/(levels - level)) so the last
+            # level reaches singletons, mirroring |F|^{1/4} groups per pass.
+            remaining = levels - mach["level"]
+            group_count = max(2, round(len(candidates) ** (1.0 / remaining)))
+            group_size = ceil_div(len(candidates), group_count)
+            mach["groups"] = [
+                candidates[i : i + group_size]
+                for i in range(0, len(candidates), group_size)
+            ]
+        elif len(candidates) > 1:
+            mach["groups"] = [[key] for key in candidates]
+            mach["final_select"] = True
+        else:
+            self._enter_slack_pass(candidates[0])
+            return True
+        self.meter.set_gauge(
+            "partition accumulators",
+            len(mach["groups"]) * 2 * ceil_log2(max(2, self.n)),
+        )
+        mach["phase"] = "pscore"
+        return True
+
+    def _deliver_partition_scores(self, scores) -> None:
+        mach = self._mach
+        self.meter.clear_gauge("partition accumulators")
+        if mach["final_select"]:
+            key = mach["candidates"][int(np.argmin(scores))]
+            del mach["groups"], mach["candidates"]
+            self._enter_slack_pass(key)
+            return
+        mach["candidates"] = mach["groups"][int(np.argmin(scores))]
+        mach["level"] += 1
+        mach["phase"] = "psel_next"
+
+    def _enter_slack_pass(self, key) -> None:
+        mach = self._mach
+        mach["partition_arr"] = self._materialize(mach["family"], key)
+        del mach["family"]
+        mach.pop("candidates", None)
+        self.meter.set_gauge(
+            "stage counters",
+            len(mach["state"].members)
+            * mach["s"] * 2 * ceil_log2(max(2, self.delta + 2)),
+        )
+        mach["phase"] = "pslack"
+
+    def _deliver_slacks(self, slacks) -> None:
+        """Class choice: greedy, or the 3-pass hash-family search."""
+        mach = self._mach
+        members = mach["state"].members
+        mach["slacks"] = slacks
+        if self.selection == "greedy_slack":
+            self._tighten_stage({x: int(np.argmax(slacks[x])) for x in members})
+            return
+        p = choose_family_prime(self.n, self.prime_policy, self.prime_override)
+        selector = SlackWeightedSelector(p, self.n, cid_space=mach["s"])
+        for x in members:
+            selector.register_vertex(x, np.arange(mach["s"]), slacks[x])
+        self.meter.set_gauge("part accumulators", selector.accumulator_bits())
+        mach["selector"] = selector
+        mach["phase"] = "pconf_a"
+
+    def _tighten_stage(self, proposals) -> None:
+        mach = self._mach
+        state = mach["state"]
+        slacks = mach.pop("slacks")
+        for x in state.members:
+            if slacks[x][proposals[x]] <= 0:
+                raise ReproError(
+                    f"list stage chose a zero-slack class for vertex {x}"
+                )
+            state.chain[x] = state.chain[x] + (proposals[x],)
+        state.partitions.append(mach.pop("partition_arr"))
+        self.meter.clear_gauge("stage counters")
+        mach["pstage"] += 1
+        mach["phase"] = "mass_check"
+
+    def _deliver_marking(self, unavailable) -> None:
+        """Final-stage selection from the surviving per-vertex colors."""
+        mach = self._mach
+        state = mach["state"]
+        members = state.members
+        candidates = mach.pop("fcand")
+        avail = {
+            x: [c for c in candidates[x] if c not in unavailable[x]]
+            for x in members
+        }
+        for x in members:
+            if not avail[x]:
+                raise ReproError(
+                    f"vertex {x} has no available color at the final stage; "
+                    "slack invariant violated"
+                )
+        if self.selection == "greedy_slack":
+            state.proposals = {x: avail[x][0] for x in members}
+            self.meter.clear_gauge("final-stage candidates")
+            mach["phase"] = "commit"
+            return
+        p = choose_family_prime(self.n, self.prime_policy, self.prime_override)
+        selector = SlackWeightedSelector(p, self.n, cid_space=self.universe + 1)
+        for x in members:
+            selector.register_vertex(x, avail[x], [1] * len(avail[x]))
+        mach["selector"] = selector
+        mach["phase"] = "fs_conf_a"
+
+    def _deliver_commit(self, conflict_edges) -> None:
+        """End-of-epoch: Turán-commit an independent set of (U, F)."""
+        mach = self._mach
+        state = mach["state"]
+        chi, uncolored = mach["chi"], mach["uncolored"]
+        proposals = state.proposals
+        members = state.members
+        index = {x: i for i, x in enumerate(members)}
+        conflict_graph = Graph(len(members))
+        for u, v in conflict_edges:
+            conflict_graph.add_edge(index[u], index[v])
+        for i in turan_independent_set(conflict_graph):
+            x = members[i]
+            chi[x] = proposals[x]
+            uncolored.discard(x)
         self.meter.clear_gauge("pcc chains")
+        del mach["state"]
+        mach["phase"] = "epoch_check"
+
+    def _deliver_final(self, result, stream) -> None:
+        mach = self._mach
+        adjacency, lists = result
+        chi, uncolored = mach["chi"], mach["uncolored"]
+        self._finish_greedy(chi, uncolored, adjacency, lists)
+        if mach["epoch"] is not None:
+            self.stats.passes = stream.passes_used
+            self.stats.epochs = mach["epoch"]
+        self._mach = {"phase": "done", "coloring": chi}
 
     # ------------------------------------------------------------------
     # block-path state snapshots (derived per pass; O(n) << O(m) scan cost)
@@ -218,21 +831,35 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         return np.fromiter(token.colors, dtype=np.int64, count=len(token.colors))
 
     # ------------------------------------------------------------------
+    # epoch (token path)
+    # ------------------------------------------------------------------
+    def _run_epoch(self, stream, chi, uncolored, epoch) -> None:
+        n = self.n
+        k = 1 + floor_log2(max(1, n // len(uncolored)))
+        s = 1 << k
+        state = _EpochState(uncolored)
+        self.meter.set_gauge(
+            "pcc chains",
+            len(state.members)
+            * (2 * ceil_log2(max(2, self.delta + 1)) + ceil_log2(max(2, self.universe))),
+        )
+        max_partition_stages = ceil_div(2 * ceil_log2(self.delta + 1), k) + 2
+        for stage in range(max_partition_stages):
+            mass = self._list_mass(stream, chi, uncolored, state)
+            if self.instrument:
+                self.stats.list_mass_per_stage.append((epoch, mass))
+            if mass <= len(state.members):
+                break
+            self._partition_stage(stream, chi, uncolored, state, s)
+        self._final_stage(stream, chi, uncolored, state)
+        self._commit(stream, chi, uncolored, state)
+        self.meter.clear_gauge("pcc chains")
+
+    # ------------------------------------------------------------------
     def _list_mass(self, stream, chi, uncolored, state) -> int:
         """One pass: the Lemma 3.10 decay quantity ``sum_x (|P_x ∩ L_x| - 1)``."""
         total = 0
         seen = set()
-        if isinstance(stream, StreamSource):
-            for item in stream.new_pass():
-                if not isinstance(item, ListToken):
-                    continue
-                x = item.x
-                if x in uncolored and x not in seen:
-                    seen.add(x)
-                    colors = self._token_colors(item)
-                    count = int(self._contains_colors(state, x, colors).sum())
-                    total += max(0, count - 1)
-            return total
         for token in stream.new_pass():
             if isinstance(token, ListToken) and token.x in uncolored:
                 if token.x in seen:
@@ -243,7 +870,7 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         return total
 
     # ------------------------------------------------------------------
-    # partition stages
+    # partition stages (token path)
     # ------------------------------------------------------------------
     def _partition_stage(self, stream, chi, uncolored, state, s) -> None:
         family = PartitionFamily(self.universe, s)
@@ -255,29 +882,24 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
             "stage counters",
             len(members) * s * 2 * ceil_log2(max(2, self.delta + 2)),
         )
-        if isinstance(stream, StreamSource):
-            slacks = self._stage_slacks_blocks(
-                stream, chi, uncolored, state, partition_arr, s
-            )
-        else:
-            base = {x: np.zeros(s, dtype=np.int64) for x in members}
-            used = {x: np.zeros(s, dtype=np.int64) for x in members}
-            seen_lists = set()
-            for token in stream.new_pass():
-                if isinstance(token, ListToken):
-                    x = token.x
-                    if x in uncolored and x not in seen_lists:
-                        seen_lists.add(x)
-                        for c in token.colors:
-                            if state.contains(x, c):
-                                base[x][partition_arr[c]] += 1
-                elif isinstance(token, EdgeToken):
-                    for x, y in ((token.u, token.v), (token.v, token.u)):
-                        if x in uncolored:
-                            color = chi.get(y)
-                            if color is not None and state.contains(x, color):
-                                used[x][partition_arr[color]] += 1
-            slacks = {x: np.maximum(0, base[x] - used[x]) for x in members}
+        base = {x: np.zeros(s, dtype=np.int64) for x in members}
+        used = {x: np.zeros(s, dtype=np.int64) for x in members}
+        seen_lists = set()
+        for token in stream.new_pass():
+            if isinstance(token, ListToken):
+                x = token.x
+                if x in uncolored and x not in seen_lists:
+                    seen_lists.add(x)
+                    for c in token.colors:
+                        if state.contains(x, c):
+                            base[x][partition_arr[c]] += 1
+            elif isinstance(token, EdgeToken):
+                for x, y in ((token.u, token.v), (token.v, token.u)):
+                    if x in uncolored:
+                        color = chi.get(y)
+                        if color is not None and state.contains(x, color):
+                            used[x][partition_arr[color]] += 1
+        slacks = {x: np.maximum(0, base[x] - used[x]) for x in members}
         proposals = self._select_classes(stream, uncolored, state, slacks, s)
         for x in members:
             if slacks[x][proposals[x]] <= 0:
@@ -287,45 +909,6 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
             state.chain[x] = state.chain[x] + (proposals[x],)
         state.partitions.append(partition_arr)
         self.meter.clear_gauge("stage counters")
-
-    def _stage_slacks_blocks(self, stream, chi, uncolored, state, partition_arr, s):
-        """Block twin of the slack counter pass.
-
-        List tokens contribute to per-vertex ``base`` histograms via one
-        masked ``np.add.at`` each; edge blocks accumulate ``used`` with a
-        flat ``np.bincount`` over ``(vertex, class)`` keys, exactly as the
-        deterministic algorithm's stage pass does.
-        """
-        n = self.n
-        members = state.members
-        member_mask, chain_matrix = self._chain_arrays(state)
-        chi_arr = coloring_array(n, chi)
-        base = {x: np.zeros(s, dtype=np.int64) for x in members}
-        used_counts = np.zeros(n * s, dtype=np.int64)
-        seen_lists = set()
-        for item in stream.new_pass():
-            if isinstance(item, ListToken):
-                x = item.x
-                if x in uncolored and x not in seen_lists:
-                    seen_lists.add(x)
-                    colors = self._token_colors(item)
-                    colors = colors[self._contains_colors(state, x, colors)]
-                    np.add.at(base[x], partition_arr[colors], 1)
-            elif isinstance(item, np.ndarray):
-                for xs, ys in ((item[:, 0], item[:, 1]), (item[:, 1], item[:, 0])):
-                    cy = chi_arr[ys]
-                    sel = member_mask[xs] & (cy > 0)
-                    if not sel.any():
-                        continue
-                    xs_s, cy_s = xs[sel], cy[sel]
-                    inside = self._contains_pairs(state, chain_matrix, xs_s, cy_s)
-                    if inside.any():
-                        used_counts += np.bincount(
-                            xs_s[inside] * s + partition_arr[cy_s[inside]],
-                            minlength=n * s,
-                        )
-        used = used_counts.reshape(n, s)
-        return {x: np.maximum(0, base[x] - used[x]) for x in members}
 
     def _select_partition(self, stream, uncolored, state, family):
         """The paper's 4-pass group minimization over the Lemma 3.10 family.
@@ -363,12 +946,6 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         self.meter.set_gauge(
             "partition accumulators", len(groups) * 2 * ceil_log2(max(2, self.n))
         )
-        if isinstance(stream, StreamSource):
-            scores = self._score_partition_groups_blocks(
-                stream, uncolored, state, family, groups
-            )
-            self.meter.clear_gauge("partition accumulators")
-            return scores
         scores = np.zeros(len(groups))
         seen = set()
         for token in stream.new_pass():
@@ -388,50 +965,6 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
                         counts[family.class_of(a, b, c)] += 1
                     scores[gi] += max(0, int(counts.max()) - 1)
         self.meter.clear_gauge("partition accumulators")
-        return scores
-
-    def _score_partition_groups_blocks(self, stream, uncolored, state, family, groups):
-        """Block twin of the group-scoring pass.
-
-        All candidate members are scored at once against the family's
-        precomputed color -> class table: per list token, one occupancy
-        bincount over ``(member, class)`` keys yields every member's
-        ``a_R`` value, then a grouped sum.  Scores are integer-valued
-        float sums, exactly as the token path accumulates them.
-        """
-        s = family.s
-        table = family.class_table()
-        row_of = {key: i for i, key in enumerate(family.members())}
-        cand_keys = [key for group in groups for key in group]
-        rows = np.fromiter(
-            (row_of[key] for key in cand_keys), dtype=np.int64, count=len(cand_keys)
-        )
-        group_ids = np.repeat(
-            np.arange(len(groups)), [len(group) for group in groups]
-        )
-        sub_table = table[rows]  # (M, universe + 1)
-        offsets = np.arange(len(rows), dtype=np.int64)[:, None] * s
-        scores = np.zeros(len(groups))
-        seen = set()
-        for item in stream.new_pass():
-            if not isinstance(item, ListToken) or item.x not in uncolored:
-                continue
-            x = item.x
-            if x in seen:
-                continue
-            seen.add(x)
-            colors = self._token_colors(item)
-            survivors = colors[self._contains_colors(state, x, colors)]
-            if not len(survivors):
-                continue
-            occupancy = np.bincount(
-                (sub_table[:, survivors] + offsets).ravel(),
-                minlength=len(rows) * s,
-            ).reshape(len(rows), s)
-            per_member = np.maximum(0, occupancy.max(axis=1) - 1)
-            scores += np.bincount(
-                group_ids, weights=per_member, minlength=len(groups)
-            )
         return scores
 
     def _materialize(self, family, key) -> np.ndarray:
@@ -458,28 +991,7 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         return {x: selector.proposal_for(x, a_star, b_star) for x in members}
 
     def _conflict_edges(self, stream, uncolored, state):
-        """One pass: edges inside U whose endpoints share the same chain.
-
-        The block path returns the identical edge sequence as a ``(k, 2)``
-        array — unique, in first-occurrence stream order — because the
-        selector accumulates float potentials per edge and summation order
-        matters for exact argmin ties.
-        """
-        if isinstance(stream, StreamSource):
-            member_mask, chain_matrix = self._chain_arrays(state)
-            chunks = []
-            for item in stream.new_pass():
-                if not isinstance(item, np.ndarray):
-                    continue
-                u, v = item[:, 0], item[:, 1]
-                sel = member_mask[u] & member_mask[v]
-                for t in range(len(state.partitions)):
-                    sel &= chain_matrix[t, u] == chain_matrix[t, v]
-                if sel.any():
-                    chunks.append(item[sel])
-            if not chunks:
-                return np.empty((0, 2), dtype=np.int64)
-            return dedupe_edges(self.n, np.concatenate(chunks), keep_order=True)
+        """One pass: edges inside U whose endpoints share the same chain."""
         edges = []
         seen = set()
         for token in stream.new_pass():
@@ -494,68 +1006,35 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         return edges
 
     # ------------------------------------------------------------------
-    # final singleton stage
+    # final singleton stage (token path)
     # ------------------------------------------------------------------
     def _final_stage(self, stream, chi, uncolored, state) -> None:
         members = state.members
-        use_blocks = isinstance(stream, StreamSource)
         # Recording pass: P_x ∩ L_x explicitly (<= 2|U| ids total after decay).
         candidates: dict[int, list[int]] = {x: [] for x in members}
         seen = set()
-        if use_blocks:
-            for item in stream.new_pass():
-                if isinstance(item, ListToken) and item.x in uncolored:
-                    if item.x in seen:
-                        continue
-                    seen.add(item.x)
-                    colors = self._token_colors(item)
-                    inside = colors[self._contains_colors(state, item.x, colors)]
-                    candidates[item.x] = np.sort(inside).tolist()
-        else:
-            for token in stream.new_pass():
-                if isinstance(token, ListToken) and token.x in uncolored:
-                    if token.x in seen:
-                        continue
-                    seen.add(token.x)
-                    candidates[token.x] = sorted(
-                        c for c in token.colors if state.contains(token.x, c)
-                    )
+        for token in stream.new_pass():
+            if isinstance(token, ListToken) and token.x in uncolored:
+                if token.x in seen:
+                    continue
+                seen.add(token.x)
+                candidates[token.x] = sorted(
+                    c for c in token.colors if state.contains(token.x, c)
+                )
         total_ids = sum(len(v) for v in candidates.values())
         self.meter.set_gauge(
             "final-stage candidates", total_ids * ceil_log2(max(2, self.universe))
         )
         # Marking pass: drop colors used by already-colored neighbors.
         unavailable: dict[int, set[int]] = {x: set() for x in members}
-        if use_blocks:
-            member_mask, _ = self._chain_arrays(state)
-            chi_arr = coloring_array(self.n, chi)
-            key_chunks = []
-            for item in stream.new_pass():
-                if not isinstance(item, np.ndarray):
-                    continue
-                for xs, ys in ((item[:, 0], item[:, 1]), (item[:, 1], item[:, 0])):
-                    cy = chi_arr[ys]
-                    sel = member_mask[xs] & (cy > 0)
-                    if sel.any():
-                        key_chunks.append(
-                            xs[sel] * (self.universe + 1) + cy[sel]
-                        )
-            if key_chunks:
-                keys = np.unique(np.concatenate(key_chunks))
-                for x, color in zip(
-                    (keys // (self.universe + 1)).tolist(),
-                    (keys % (self.universe + 1)).tolist(),
-                ):
-                    unavailable[x].add(color)
-        else:
-            for token in stream.new_pass():
-                if not isinstance(token, EdgeToken):
-                    continue
-                for x, y in ((token.u, token.v), (token.v, token.u)):
-                    if x in uncolored:
-                        color = chi.get(y)
-                        if color is not None:
-                            unavailable[x].add(color)
+        for token in stream.new_pass():
+            if not isinstance(token, EdgeToken):
+                continue
+            for x, y in ((token.u, token.v), (token.v, token.u)):
+                if x in uncolored:
+                    color = chi.get(y)
+                    if color is not None:
+                        unavailable[x].add(color)
         avail = {
             x: [c for c in candidates[x] if c not in unavailable[x]]
             for x in members
@@ -589,36 +1068,17 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
     def _commit(self, stream, chi, uncolored, state) -> None:
         """End-of-epoch: collect F, Turán-commit an independent set."""
         proposals = state.proposals
-        if isinstance(stream, StreamSource):
-            member_mask, _ = self._chain_arrays(state)
-            prop = np.full(self.n, -1, dtype=np.int64)
-            for x, proposal in proposals.items():
-                prop[x] = proposal
-            chunks = []
-            for item in stream.new_pass():
-                if not isinstance(item, np.ndarray):
-                    continue
-                u, v = item[:, 0], item[:, 1]
-                sel = member_mask[u] & member_mask[v] & (prop[u] == prop[v])
-                if sel.any():
-                    chunks.append(item[sel])
-            conflict_edges = (
-                dedupe_edges(self.n, np.concatenate(chunks), keep_order=True)
-                if chunks
-                else np.empty((0, 2), dtype=np.int64)
-            ).tolist()
-        else:
-            conflict_edges = []
-            seen = set()
-            for token in stream.new_pass():
-                if not isinstance(token, EdgeToken):
-                    continue
-                u, v = token.u, token.v
-                if u in uncolored and v in uncolored and proposals[u] == proposals[v]:
-                    key = (min(u, v), max(u, v))
-                    if key not in seen:
-                        seen.add(key)
-                        conflict_edges.append(key)
+        conflict_edges = []
+        seen = set()
+        for token in stream.new_pass():
+            if not isinstance(token, EdgeToken):
+                continue
+            u, v = token.u, token.v
+            if u in uncolored and v in uncolored and proposals[u] == proposals[v]:
+                key = (min(u, v), max(u, v))
+                if key not in seen:
+                    seen.add(key)
+                    conflict_edges.append(key)
         members = state.members
         index = {x: i for i, x in enumerate(members)}
         conflict_graph = Graph(len(members))
@@ -634,40 +1094,18 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
         """Collect edges incident to U plus U's lists; finish greedily."""
         adjacency: dict[int, set[int]] = {x: set() for x in uncolored}
         lists: dict[int, set[int]] = {}
-        if isinstance(stream, StreamSource):
-            unc = np.zeros(self.n, dtype=bool)
-            if uncolored:
-                unc[list(uncolored)] = True
-            pair_chunks = []
-            for item in stream.new_pass():
-                if isinstance(item, ListToken):
-                    if item.x in uncolored and item.x not in lists:
-                        lists[item.x] = set(item.colors)
-                elif isinstance(item, np.ndarray):
-                    keep = unc[item[:, 0]] | unc[item[:, 1]]
-                    if keep.any():
-                        pair_chunks.append(item[keep])
-            if pair_chunks:
-                from repro.streaming.blocks import group_pairs
+        for token in stream.new_pass():
+            if isinstance(token, ListToken):
+                if token.x in uncolored and token.x not in lists:
+                    lists[token.x] = set(token.colors)
+            elif isinstance(token, EdgeToken):
+                for x, y in ((token.u, token.v), (token.v, token.u)):
+                    if x in uncolored:
+                        adjacency[x].add(y)
+        self._finish_greedy(chi, uncolored, adjacency, lists)
 
-                arr = np.concatenate(pair_chunks)
-                fwd = arr[unc[arr[:, 0]]]
-                rev = arr[unc[arr[:, 1]]][:, ::-1]
-                pairs = np.concatenate([fwd, rev])
-                keys = np.unique(pairs[:, 0] * self.n + pairs[:, 1])
-                for x, ys in group_pairs(
-                    np.stack([keys // self.n, keys % self.n], axis=1)
-                ):
-                    adjacency[x] = set(ys.tolist())
-        else:
-            for token in stream.new_pass():
-                if isinstance(token, ListToken):
-                    if token.x in uncolored and token.x not in lists:
-                        lists[token.x] = set(token.colors)
-                elif isinstance(token, EdgeToken):
-                    for x, y in ((token.u, token.v), (token.v, token.u)):
-                        if x in uncolored:
-                            adjacency[x].add(y)
+    def _finish_greedy(self, chi, uncolored, adjacency, lists) -> None:
+        """Shared final-pass epilogue: gauge the store, first-fit from lists."""
         stored = sum(len(a) for a in adjacency.values())
         self.meter.set_gauge(
             "final edges+lists",

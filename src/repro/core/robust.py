@@ -103,6 +103,13 @@ class RobustColoring(OnePassAlgorithm):
     """Adversarially robust ``O(Delta^{5/2})``-coloring (Algorithm 2)."""
 
     supports_blocks = True
+    # The stacked oracle tables are derived from _h/_g on first use;
+    # snapshots carry the functions, not the stacks.
+    _snapshot_skip_ = ("_h_table", "_g_table")
+
+    def _snapshot_init_(self) -> None:
+        self._h_table = None
+        self._g_table = None
 
     def __init__(self, n: int, delta: int, seed: int, beta: float = 0.0):
         super().__init__()

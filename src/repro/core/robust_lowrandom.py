@@ -33,6 +33,12 @@ class LowRandomnessRobustColoring(OnePassAlgorithm):
     """Robust ``O(Delta^3)``-coloring within semi-streaming space incl. randomness."""
 
     supports_blocks = True
+    # The per-vertex hash memo is a simulation speedup re-derived from the
+    # stored coefficients; snapshots drop it.
+    _snapshot_skip_ = ("_hash_cache",)
+
+    def _snapshot_init_(self) -> None:
+        self._hash_cache = {}
 
     def __init__(self, n: int, delta: int, seed: int, repetitions=None):
         super().__init__()

@@ -48,6 +48,11 @@ class VertexBlocks:
     """The g_w map for one vertex: cids, slacks, and slot-block boundaries."""
 
     __slots__ = ("cids", "slacks", "sizes", "cum", "garr")
+    # The materialized slot->cid array is a derived cache.
+    _snapshot_skip_ = ("garr",)
+
+    def _snapshot_init_(self) -> None:
+        self.garr = None
 
     def __init__(self, cids: np.ndarray, slacks: np.ndarray, sizes: np.ndarray):
         self.cids = cids

@@ -61,6 +61,7 @@ from repro.engine.runner import (
     GameSpec,
     RunSpec,
     make_adversary,
+    resume,
     run,
     run_game,
     set_default_stream,
@@ -94,6 +95,7 @@ __all__ = [
     "StreamingColorer",
     "make_adversary",
     "results_table",
+    "resume",
     "run",
     "run_game",
     "set_default_stream",

@@ -44,6 +44,7 @@ __all__ = [
     "RunSpec",
     "STREAM_BACKENDS",
     "make_adversary",
+    "resume",
     "run",
     "run_game",
     "set_default_stream",
@@ -387,6 +388,9 @@ def run(
     spec: RunSpec,
     stream: TokenStream | None = None,
     registry: AlgorithmRegistry | None = None,
+    *,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
 ) -> ColoringResult:
     """Run one algorithm over one stream and return the uniform result.
 
@@ -395,6 +399,13 @@ def run(
     pass ``validate=False`` in the spec to inspect improper output, in
     which case the result's ``proper`` field reports measured properness
     instead of raising.
+
+    With ``checkpoint_every=k`` the run executes on the resumable driver
+    (:class:`repro.persist.driver.ResumableRun`), writing a ``REPROCK1``
+    snapshot to ``checkpoint_path`` every ``k`` blocks (and at every pass
+    boundary); :func:`resume` continues such a run to an identical
+    result.  Requires a block-source data plane (``stream_backend`` of
+    ``materialized`` / ``generator`` / ``file``).
     """
     registry = registry if registry is not None else REGISTRY
     entry = registry.get(spec.algorithm)
@@ -403,6 +414,23 @@ def run(
             f"RunSpec.verify must be False, True, or 'strict', "
             f"got {spec.verify!r}"
         )
+    if checkpoint_every is not None:
+        from repro.persist.driver import ResumableRun
+
+        if checkpoint_every < 1:
+            raise ReproError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint_path is None:
+            raise ReproError("checkpoint_every requires a checkpoint_path")
+        driver = ResumableRun(spec, stream=stream, registry=registry)
+        try:
+            return driver.run_to_completion(
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+            )
+        finally:
+            driver.close()
     config = entry.make_config(spec.config)
     owns_stream = stream is None
     if stream is None:
@@ -416,6 +444,36 @@ def run(
     finally:
         if owns_stream:
             _dispose_stream(stream)
+
+
+def resume(
+    path,
+    stream: TokenStream | None = None,
+    registry: AlgorithmRegistry | None = None,
+    *,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+) -> ColoringResult:
+    """Resume a checkpointed run from disk and drive it to completion.
+
+    The stream is rebuilt from the checkpointed spec (for runs whose
+    stream the runner built); a run checkpointed over a caller-supplied
+    stream must be handed an equivalent ``stream`` again.  The returned
+    :class:`ColoringResult` is field-for-field identical to the
+    uninterrupted run's (wall-clock timings aside); with
+    ``checkpoint_every`` the resumed run keeps checkpointing (to
+    ``checkpoint_path``, default: overwrite ``path``).
+    """
+    from repro.persist.driver import ResumableRun
+
+    driver = ResumableRun.load(path, stream=stream, registry=registry)
+    try:
+        return driver.run_to_completion(
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path or path,
+        )
+    finally:
+        driver.close()
 
 
 def _dispose_stream(stream) -> None:
@@ -439,7 +497,23 @@ def _run_on_stream(spec, entry, config, stream) -> ColoringResult:
     start = time.perf_counter()
     coloring = algo.color_stream(stream)
     wall_time = time.perf_counter() - start
+    return _package_result(
+        spec, entry, config, stream, algo, coloring, wall_time,
+        passes_before, timings_before,
+    )
 
+
+def _package_result(
+    spec, entry, config, stream, algo, coloring, wall_time,
+    passes_before, timings_before,
+) -> ColoringResult:
+    """Validate the output and pack the uniform result record.
+
+    Shared by the inline path above and the checkpointing
+    :class:`repro.persist.driver.ResumableRun` (and the session service),
+    so a resumed run's validation, extras, and guarantee evaluation are
+    the same code as an uninterrupted one's.
+    """
     palette_bound = algo.palette_bound
     proper = _check_output(spec, stream, coloring, palette_bound, entry)
     extras = {

@@ -27,6 +27,12 @@ from repro.hashing.universal import TwoUniversalFamily
 class PartitionFamily:
     """Partitions of ``{1..universe_size}`` into ``s`` classes, via 2-universal hashing."""
 
+    # The O(|C|^3) class table is a derived cache; snapshots rebuild it.
+    _snapshot_skip_ = ("_class_table",)
+
+    def _snapshot_init_(self) -> None:
+        self._class_table = None
+
     def __init__(self, universe_size: int, s: int):
         if universe_size < 1:
             raise ValueError("universe must be non-empty")

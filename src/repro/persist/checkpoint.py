@@ -1,0 +1,96 @@
+"""The versioned on-disk checkpoint container (magic ``REPROCK1``).
+
+Layout (little-endian)::
+
+    8 bytes   magic b"REPROCK1" (the version: a v2 would bump the digit)
+    8 bytes   uint64 header length H
+    H bytes   UTF-8 JSON header; its "arrays" field lists payload names
+    payloads  one ``.npy``-format block per listed name, in order
+
+Files are written atomically (temp file + ``os.replace``) so a crash
+mid-write never leaves a half-checkpoint behind the final name.  Every
+malformation — wrong magic, truncated header or payload, invalid JSON,
+payload/name mismatch — raises
+:class:`~repro.common.exceptions.CheckpointError` at read time instead of
+surfacing a struct/numpy internal error.
+"""
+
+import json
+import os
+import struct
+
+import numpy as np
+
+from repro.common.exceptions import CheckpointError
+
+__all__ = ["CHECKPOINT_MAGIC", "read_checkpoint", "write_checkpoint"]
+
+CHECKPOINT_MAGIC = b"REPROCK1"
+_LEN = struct.Struct("<Q")
+
+
+def write_checkpoint(path, header: dict, arrays: dict) -> None:
+    """Atomically write a checkpoint file (JSON header + npy payloads)."""
+    header = dict(header)
+    names = list(arrays)
+    header["arrays"] = names
+    try:
+        blob = json.dumps(header).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise CheckpointError(f"checkpoint header is not JSON: {error}") from None
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(CHECKPOINT_MAGIC)
+            fh.write(_LEN.pack(len(blob)))
+            fh.write(blob)
+            for name in names:
+                np.save(fh, np.ascontiguousarray(arrays[name]),
+                        allow_pickle=False)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def read_checkpoint(path) -> tuple[dict, dict]:
+    """Read ``(header, arrays)`` back; fail clean on any malformation."""
+    try:
+        fh = open(path, "rb")
+    except OSError as error:
+        raise CheckpointError(f"cannot open checkpoint {path}: {error}") from None
+    with fh:
+        magic = fh.read(len(CHECKPOINT_MAGIC))
+        if magic != CHECKPOINT_MAGIC:
+            raise CheckpointError(
+                f"{path}: not a repro checkpoint (magic {magic!r}, expected "
+                f"{CHECKPOINT_MAGIC!r})"
+            )
+        raw_len = fh.read(_LEN.size)
+        if len(raw_len) != _LEN.size:
+            raise CheckpointError(f"{path}: truncated checkpoint header length")
+        (header_len,) = _LEN.unpack(raw_len)
+        remaining = os.fstat(fh.fileno()).st_size - fh.tell()
+        if header_len > remaining:
+            raise CheckpointError(
+                f"{path}: header claims {header_len} bytes but only "
+                f"{remaining} remain"
+            )
+        blob = fh.read(header_len)
+        try:
+            header = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CheckpointError(f"{path}: corrupt header JSON: {error}") from None
+        if not isinstance(header, dict) or not isinstance(
+            header.get("arrays"), list
+        ):
+            raise CheckpointError(f"{path}: header is missing the arrays index")
+        arrays = {}
+        for name in header["arrays"]:
+            try:
+                arrays[name] = np.load(fh, allow_pickle=False)
+            except (ValueError, EOFError, OSError) as error:
+                raise CheckpointError(
+                    f"{path}: truncated or corrupt payload {name!r}: {error}"
+                ) from None
+    return header, arrays

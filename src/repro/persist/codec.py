@@ -1,0 +1,294 @@
+"""The snapshot codec: algorithm state <-> JSON tree + numpy payloads.
+
+Algorithms in this repository keep *all* cross-block state in plain object
+attributes (the pass machines of :mod:`repro.streaming.machine` guarantee
+this for the multipass algorithms).  The codec turns such an object into a
+pair ``(tree, arrays)``: a JSON-serializable tree in which every numpy
+array is replaced by a named reference, and a flat ``{name: ndarray}``
+payload dict.  Decoding reverses the mapping bit for bit — including
+``random.Random`` draw positions, ``numpy.random.Generator`` bit-generator
+state, sets/frozensets/tuples (hashability preserved), dicts with
+non-string keys (insertion order preserved), and a closed allowlist of
+repository classes (subcubes, selectors, hash families, space meters, ...)
+rebuilt attribute by attribute.
+
+Two per-class hooks tune the generic object path:
+
+- ``_snapshot_skip_``: attribute names excluded from the snapshot
+  (derived caches — lazily rebuilt tables, memo dicts);
+- ``_snapshot_init_()``: called after a restore to re-initialize exactly
+  those skipped attributes.
+
+The allowlist is deliberate: a checkpoint names classes by import path,
+and decoding instantiates them without ``__init__``; only types audited
+for that treatment may appear (``CheckpointError`` otherwise).
+"""
+
+import base64
+import importlib
+import random
+
+import numpy as np
+
+from repro.common.exceptions import CheckpointError
+
+__all__ = [
+    "SNAPSHOT_CLASSES",
+    "decode_value",
+    "encode_value",
+    "restore_object",
+    "snapshot_object",
+]
+
+_TAG = "__repro__"
+
+#: Classes allowed to appear in snapshots (``module:qualname``).  Every
+#: entry is rebuilt via ``cls.__new__`` + per-attribute decode, so adding
+#: one means auditing that its state is attribute-complete.
+SNAPSHOT_CLASSES = frozenset({
+    # algorithm bases / registered algorithms
+    "repro.core.deterministic:DeterministicColoring",
+    "repro.core.list_coloring:DeterministicListColoring",
+    "repro.core.robust:RobustColoring",
+    "repro.core.robust_lowrandom:LowRandomnessRobustColoring",
+    "repro.baselines.naive:OneShotRandomColoring",
+    "repro.baselines.acs22:TwoPassQuadraticColoring",
+    "repro.baselines.acs22:ColorReductionColoring",
+    "repro.baselines.cgs22:SketchSwitchingQuadraticColoring",
+    "repro.baselines.palette_sparsification:PaletteSparsificationColoring",
+    # state components
+    "repro.common.space:SpaceMeter",
+    "repro.common.rng:SeededRng",
+    "repro.core.subcube:Subcube",
+    "repro.core.selector:SlackWeightedSelector",
+    "repro.core.selector:VertexBlocks",
+    "repro.core.robust:RobustParameters",
+    "repro.core.deterministic:RunStats",
+    "repro.core.deterministic:StageStats",
+    "repro.core.deterministic:EpochStats",
+    "repro.core.list_coloring:ListRunStats",
+    "repro.core.list_coloring:_EpochState",
+    "repro.hashing.random_oracle:RandomOracle",
+    "repro.hashing.random_oracle:OracleFunction",
+    "repro.hashing.kindependent:PolynomialHashFamily",
+    "repro.hashing.kindependent:PolynomialFunction",
+    "repro.hashing.universal:TwoUniversalFamily",
+    "repro.hashing.partitions:PartitionFamily",
+})
+
+
+def _class_key(cls) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _resolve_class(key: str):
+    if key not in SNAPSHOT_CLASSES:
+        raise CheckpointError(f"class {key!r} is not snapshot-allowlisted")
+    module_name, _, qualname = key.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+        cls = module
+        for part in qualname.split("."):
+            cls = getattr(cls, part)
+    except (ImportError, AttributeError) as error:
+        raise CheckpointError(f"cannot resolve class {key!r}: {error}") from None
+    return cls
+
+
+def _object_attrs(obj) -> dict:
+    """The instance's attribute dict, covering both ``__dict__`` and slots."""
+    attrs = {}
+    if hasattr(obj, "__dict__"):
+        attrs.update(vars(obj))
+    for cls in type(obj).__mro__:
+        for name in getattr(cls, "__slots__", ()):
+            if name != "__dict__" and hasattr(obj, name):
+                attrs.setdefault(name, getattr(obj, name))
+    return attrs
+
+
+def _skip_set(cls) -> frozenset:
+    skip: set = set()
+    for klass in cls.__mro__:
+        skip.update(getattr(klass, "_snapshot_skip_", ()))
+    return frozenset(skip)
+
+
+class _ArraySink:
+    """Collects numpy payloads under ``<prefix><index>`` names."""
+
+    def __init__(self, prefix: str = "a"):
+        self.prefix = prefix
+        self.arrays: dict[str, np.ndarray] = {}
+
+    def add(self, arr: np.ndarray) -> str:
+        name = f"{self.prefix}{len(self.arrays)}"
+        self.arrays[name] = arr
+        return name
+
+
+def encode_value(value, sink: _ArraySink):
+    """Encode one value into the JSON tree, collecting arrays in ``sink``."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.ndarray):
+        return {
+            _TAG: "ndarray",
+            "ref": sink.add(value),
+            "w": bool(value.flags.writeable),
+        }
+    if isinstance(value, np.generic):
+        return {
+            _TAG: "npscalar",
+            "dtype": value.dtype.str,
+            "value": value.item(),
+        }
+    if isinstance(value, list):
+        return [encode_value(item, sink) for item in value]
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "items": [encode_value(i, sink) for i in value]}
+    if isinstance(value, (set, frozenset)):
+        try:
+            items = sorted(value)
+        except TypeError:
+            items = list(value)
+        return {
+            _TAG: "frozenset" if isinstance(value, frozenset) else "set",
+            "items": [encode_value(item, sink) for item in items],
+        }
+    if isinstance(value, dict):
+        return {
+            _TAG: "dict",
+            "items": [
+                [encode_value(k, sink), encode_value(v, sink)]
+                for k, v in value.items()
+            ],
+        }
+    if isinstance(value, bytes):
+        return {_TAG: "bytes", "b64": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, random.Random):
+        return {_TAG: "pyrandom", "state": encode_value(value.getstate(), sink)}
+    if isinstance(value, np.random.Generator):
+        bg = value.bit_generator
+        return {
+            _TAG: "npgen",
+            "bitgen": type(bg).__name__,
+            "state": encode_value(bg.state, sink),
+        }
+    key = _class_key(type(value))
+    if key in SNAPSHOT_CLASSES:
+        skip = _skip_set(type(value))
+        state = {
+            name: encode_value(attr, sink)
+            for name, attr in _object_attrs(value).items()
+            if name not in skip
+        }
+        return {_TAG: "obj", "cls": key, "state": state}
+    raise CheckpointError(
+        f"cannot snapshot value of type {type(value).__module__}."
+        f"{type(value).__qualname__}"
+    )
+
+
+def decode_value(tree, arrays: dict):
+    """Decode a tree produced by :func:`encode_value`."""
+    if tree is None or isinstance(tree, (bool, int, float, str)):
+        return tree
+    if isinstance(tree, list):
+        return [decode_value(item, arrays) for item in tree]
+    if not isinstance(tree, dict):
+        raise CheckpointError(f"malformed snapshot node {tree!r}")
+    kind = tree.get(_TAG)
+    if kind == "ndarray":
+        try:
+            arr = arrays[tree["ref"]]
+        except KeyError:
+            raise CheckpointError(
+                f"snapshot references missing array {tree.get('ref')!r}"
+            ) from None
+        arr = np.array(arr, copy=True)
+        arr.flags.writeable = bool(tree.get("w", True))
+        return arr
+    if kind == "npscalar":
+        return np.dtype(tree["dtype"]).type(tree["value"])
+    if kind == "tuple":
+        return tuple(decode_value(item, arrays) for item in tree["items"])
+    if kind in ("set", "frozenset"):
+        items = (decode_value(item, arrays) for item in tree["items"])
+        return frozenset(items) if kind == "frozenset" else set(items)
+    if kind == "dict":
+        return {
+            decode_value(k, arrays): decode_value(v, arrays)
+            for k, v in tree["items"]
+        }
+    if kind == "bytes":
+        return base64.b64decode(tree["b64"])
+    if kind == "pyrandom":
+        rng = random.Random()
+        state = decode_value(tree["state"], arrays)
+        rng.setstate((state[0], tuple(state[1]), state[2]))
+        return rng
+    if kind == "npgen":
+        try:
+            bg_cls = getattr(np.random, tree["bitgen"])
+        except AttributeError:
+            raise CheckpointError(
+                f"unknown bit generator {tree['bitgen']!r}"
+            ) from None
+        bg = bg_cls()
+        bg.state = decode_value(tree["state"], arrays)
+        return np.random.Generator(bg)
+    if kind == "obj":
+        cls = _resolve_class(tree["cls"])
+        obj = cls.__new__(cls)
+        _apply_state(obj, tree["state"], arrays)
+        return obj
+    raise CheckpointError(f"unknown snapshot node kind {kind!r}")
+
+
+def _apply_state(obj, state: dict, arrays: dict) -> None:
+    for name, subtree in state.items():
+        # object.__setattr__ also covers frozen dataclasses and slots.
+        object.__setattr__(obj, name, decode_value(subtree, arrays))
+    init = getattr(obj, "_snapshot_init_", None)
+    if init is not None:
+        init()
+
+
+def snapshot_object(obj, prefix: str = "a") -> dict:
+    """Full snapshot of a registered object: class key, tree, and arrays.
+
+    The inverse of :func:`restore_object`.  ``prefix`` namespaces the
+    payload names so several snapshots can share one checkpoint file.
+    """
+    key = _class_key(type(obj))
+    if key not in SNAPSHOT_CLASSES:
+        raise CheckpointError(
+            f"{type(obj).__qualname__} is not snapshot-allowlisted"
+        )
+    sink = _ArraySink(prefix)
+    skip = _skip_set(type(obj))
+    tree = {
+        name: encode_value(value, sink)
+        for name, value in _object_attrs(obj).items()
+        if name not in skip
+    }
+    return {"class": key, "state": tree, "arrays": sink.arrays}
+
+
+def restore_object(obj, snapshot: dict, arrays: dict | None = None) -> None:
+    """Load a :func:`snapshot_object` payload into an existing instance.
+
+    The instance must be of the snapshotted class (create it first, e.g.
+    via the registry factory with the original spec); ``arrays`` overrides
+    the payload dict when the snapshot was round-tripped through a
+    checkpoint file.
+    """
+    expected = _class_key(type(obj))
+    if snapshot.get("class") != expected:
+        raise CheckpointError(
+            f"snapshot is of {snapshot.get('class')!r}, cannot load into "
+            f"{expected!r}"
+        )
+    _apply_state(obj, snapshot["state"], arrays if arrays is not None
+                 else snapshot.get("arrays", {}))

@@ -1,0 +1,37 @@
+"""repro.service — the concurrent coloring session service.
+
+A *session* is a long-lived streaming coloring run fed incrementally by a
+client: ``create`` (algorithm + instance spec) → ``feed`` (edge blocks)
+→ ``advance`` (multipass algorithms: one streaming pass at a time) →
+``finalize`` → ``result``.  One-pass algorithms consume blocks the
+moment they arrive — the paper's adversarially robust setting with an
+adversary that interacts with a persistent session across reconnects;
+multipass algorithms buffer the sealed stream and run their passes
+through :class:`repro.persist.driver.ResumableRun`.
+
+Layers:
+
+- :mod:`repro.service.manager` — :class:`SessionManager`: the asyncio
+  session table with per-session locks and LRU eviction of idle sessions
+  to ``REPROCK1`` checkpoints (restored transparently on next touch);
+- :mod:`repro.service.protocol` — the newline-delimited JSON request/
+  response framing shared by server and client;
+- :mod:`repro.service.server` — :class:`ColoringService`: the op
+  dispatcher behind ``repro serve`` (TCP and stdio transports);
+- :mod:`repro.service.client` — :class:`ServiceClient`: the thin async
+  client behind ``repro submit`` and the S2 benchmark.
+"""
+
+from repro.service.client import ServiceClient, submit_workload
+from repro.service.manager import SessionManager
+from repro.service.protocol import decode_message, encode_message
+from repro.service.server import ColoringService
+
+__all__ = [
+    "ColoringService",
+    "ServiceClient",
+    "SessionManager",
+    "decode_message",
+    "encode_message",
+    "submit_workload",
+]

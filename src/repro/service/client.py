@@ -1,0 +1,186 @@
+"""`ServiceClient`: the thin async client for the coloring service.
+
+One client = one connection = one in-flight request at a time (the
+protocol is strictly request/response per line); concurrency comes from
+opening many clients, which is exactly what the S2 benchmark and the CLI
+``repro submit`` do.  :func:`submit_workload` is the synchronous
+convenience wrapper streaming a workload-zoo instance through a session.
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.common.exceptions import ServiceError
+from repro.service.protocol import MAX_LINE, decode_message, encode_message
+
+__all__ = ["ServiceClient", "submit_workload"]
+
+#: Edges per feed request: small enough to exercise multiplexing, large
+#: enough that framing overhead stays negligible.
+DEFAULT_FEED_EDGES = 2048
+
+
+class ServiceClient:
+    """Async request/response client over one TCP connection."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        try:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_LINE
+            )
+        except OSError as error:
+            raise ServiceError(
+                f"cannot connect to {host}:{port}: {error}"
+            ) from None
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def request(self, op: str, **params) -> dict:
+        """Send one op; return its payload or raise :class:`ServiceError`."""
+        self._writer.write(encode_message({"op": op, **params}))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError(f"server closed the connection during {op!r}")
+        response = decode_message(line)
+        if not response.get("ok"):
+            raise ServiceError(
+                f"{op} failed: {response.get('error', 'unknown error')} "
+                f"[{response.get('code', '?')}]"
+            )
+        return response
+
+    # -- op helpers -----------------------------------------------------
+    async def ping(self) -> bool:
+        return bool((await self.request("ping")).get("pong"))
+
+    async def create(self, spec: dict, lists=None) -> str:
+        params = {"spec": spec}
+        if lists is not None:
+            params["lists"] = sorted(lists.items())
+        return (await self.request("create", **params))["session"]
+
+    async def feed(self, session: str, edges) -> dict:
+        if isinstance(edges, np.ndarray):
+            edges = edges.tolist()
+        return await self.request("feed", session=session, edges=edges)
+
+    async def advance(self, session: str) -> dict:
+        return await self.request("advance", session=session)
+
+    async def finalize(self, session: str) -> dict:
+        return (await self.request("finalize", session=session))["result"]
+
+    async def result(self, session: str) -> dict:
+        return (await self.request("result", session=session))["result"]
+
+    async def status(self, session: str) -> dict:
+        return await self.request("status", session=session)
+
+    async def checkpoint(self, session: str) -> str:
+        return (await self.request("checkpoint", session=session))["path"]
+
+    async def drop(self, session: str) -> dict:
+        return await self.request("drop", session=session)
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def shutdown(self) -> dict:
+        return await self.request("shutdown")
+
+    # ------------------------------------------------------------------
+    async def run_session(
+        self,
+        spec: dict,
+        edges: np.ndarray,
+        lists=None,
+        feed_edges: int = DEFAULT_FEED_EDGES,
+    ) -> dict:
+        """Full lifecycle: create, stream the edges in blocks, finalize."""
+        sid = await self.create(spec, lists)
+        arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        for start in range(0, len(arr), feed_edges):
+            await self.feed(sid, arr[start : start + feed_edges])
+        return await self.finalize(sid)
+
+
+def submit_workload(
+    host: str,
+    port: int,
+    algorithm: str,
+    family: str,
+    n: int,
+    order: str = "insertion",
+    seed: int = 0,
+    config: dict | None = None,
+    verify="strict",
+    chunk_size: int | None = None,
+    feed_edges: int = DEFAULT_FEED_EDGES,
+) -> dict:
+    """Stream one workload-zoo instance through a service session (sync).
+
+    Builds the ``(family, n, order, seed)`` zoo cell, derives its true
+    max degree for the spec, opens a session with ``verify`` mode, feeds
+    the arranged edges in blocks, and returns the finalized result dict.
+    """
+    from repro.engine.registry import REGISTRY
+    from repro.graph.zoo import arrange_edges, workload_delta, workload_edges
+
+    entry = REGISTRY.get(algorithm)
+    edges, n_actual = workload_edges(family, n, seed)
+    delta = workload_delta(n_actual, edges)
+    arranged = arrange_edges(n_actual, edges, order, seed)
+    spec = {
+        "algorithm": algorithm,
+        "n": n_actual,
+        "delta": max(1, delta),
+        "seed": seed,
+        "verify": verify,
+    }
+    if config:
+        spec["config"] = config
+    if chunk_size is not None:
+        spec["chunk_size"] = chunk_size
+    lists = None
+    if entry.needs_lists:
+        from repro.graph.generators import random_list_assignment
+        from repro.graph.graph import Graph
+
+        universe = 2 * (spec["delta"] + 1)
+        graph = Graph(n_actual, [tuple(e) for e in edges.tolist()])
+        lists = {
+            x: sorted(colors)
+            for x, colors in random_list_assignment(
+                graph, palette_size=universe, seed=seed
+            ).items()
+        }
+        spec["config"] = {**spec.get("config", {}), "universe": universe}
+
+    async def go():
+        client = await ServiceClient.connect(host, port)
+        async with client:
+            return await client.run_session(
+                spec, arranged, lists=lists, feed_edges=feed_edges
+            )
+
+    return asyncio.run(go())

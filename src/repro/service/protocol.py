@@ -1,0 +1,50 @@
+"""Newline-delimited JSON framing for the coloring service.
+
+One request or response per line, UTF-8 JSON, ``\\n``-terminated.
+Requests are objects with an ``op`` field (plus op-specific parameters
+and an optional client-chosen ``id`` echoed back verbatim); responses
+always carry ``ok`` (bool) and, on failure, ``error`` (message) and
+``code`` (the raising exception class name).  Lines are capped at
+:data:`MAX_LINE` bytes so a confused client cannot buffer the server
+into the ground.
+"""
+
+import json
+
+from repro.common.exceptions import ServiceError
+
+__all__ = ["MAX_LINE", "decode_message", "encode_message", "error_response"]
+
+#: Upper bound on one framed line (requests and responses).  Generous
+#: enough for ~1M-edge feed blocks; beyond that, send more blocks.
+MAX_LINE = 64 * 1024 * 1024
+
+
+def encode_message(message: dict) -> bytes:
+    """Frame one message (compact JSON + newline)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse one framed line; :class:`ServiceError` on malformed input."""
+    if len(line) > MAX_LINE:
+        raise ServiceError(f"message exceeds {MAX_LINE} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(f"malformed JSON message: {error}") from None
+    if not isinstance(message, dict):
+        raise ServiceError("message must be a JSON object")
+    return message
+
+
+def error_response(error: Exception, request: dict | None = None) -> dict:
+    """The uniform failure envelope for one request."""
+    response = {
+        "ok": False,
+        "error": str(error),
+        "code": type(error).__name__,
+    }
+    if request and "id" in request:
+        response["id"] = request["id"]
+    return response

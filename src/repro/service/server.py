@@ -1,0 +1,165 @@
+"""`ColoringService`: the op dispatcher and its TCP / stdio transports.
+
+Ops (see :mod:`repro.service.protocol` for framing):
+
+- ``ping`` — liveness probe;
+- ``create`` — open a session (``spec`` object, optional ``lists``);
+- ``feed`` — append an edge block (``session``, ``edges`` = [[u, v], ...]);
+- ``advance`` — seal the stream and run one pass (multipass algorithms);
+- ``finalize`` — run to completion; returns the uniform result record;
+- ``result`` — re-fetch a finalized session's result;
+- ``status`` / ``stats`` — per-session and manager-level introspection;
+- ``checkpoint`` — evict a session to its ``REPROCK1`` file now;
+- ``drop`` — discard a session (and its checkpoint);
+- ``shutdown`` — stop the server loop (used by tests and the bench).
+
+Errors never kill a connection: any :class:`ReproError` (bad spec, edge
+out of range, guarantee violation under ``verify="strict"``, dead
+session) is returned as an ``ok: false`` envelope and the read loop
+continues.
+"""
+
+import asyncio
+import sys
+
+from repro.common.exceptions import ReproError, ServiceError
+from repro.service.manager import SessionManager
+from repro.service.protocol import (
+    MAX_LINE,
+    decode_message,
+    encode_message,
+    error_response,
+)
+
+__all__ = ["ColoringService"]
+
+
+class ColoringService:
+    """Dispatches protocol requests onto a :class:`SessionManager`."""
+
+    def __init__(self, manager: SessionManager | None = None, **manager_kwargs):
+        self.manager = (
+            manager if manager is not None else SessionManager(**manager_kwargs)
+        )
+        self.shutdown_event = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: dict) -> dict:
+        """Handle one request; always returns a response envelope."""
+        try:
+            payload = await self._dispatch(request)
+        except ReproError as error:
+            return error_response(error, request)
+        except (TypeError, ValueError, KeyError) as error:
+            # Unvalidated request shapes (string sizes, unhashable ids,
+            # ...) must produce an envelope, never kill the connection.
+            return error_response(
+                ServiceError(f"bad request: {error}"), request
+            )
+        response = {"ok": True, **payload}
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        manager = self.manager
+        if op == "ping":
+            return {"pong": True}
+        if op == "create":
+            sid = await manager.create(
+                request.get("spec"), request.get("lists")
+            )
+            return {"session": sid}
+        if op == "stats":
+            return manager.stats()
+        if op == "shutdown":
+            self.shutdown_event.set()
+            return {"stopping": True}
+        sid = request.get("session")
+        if op == "feed":
+            return await manager.feed(sid, request.get("edges", []))
+        if op == "advance":
+            return await manager.advance(sid)
+        if op == "finalize":
+            return {"result": await manager.finalize(sid)}
+        if op == "result":
+            return {"result": await manager.result(sid)}
+        if op == "status":
+            return await manager.status(sid)
+        if op == "checkpoint":
+            return {"path": await manager.checkpoint(sid)}
+        if op == "drop":
+            return await manager.drop(sid)
+        raise ServiceError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # transports
+    # ------------------------------------------------------------------
+    async def _serve_stream(self, reader, writer) -> None:
+        """One connection: read framed requests until EOF or shutdown."""
+        try:
+            while not self.shutdown_event.is_set():
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError,
+                        ValueError):
+                    # An over-limit line surfaces as ValueError (readline
+                    # wraps LimitOverrunError); the stream is desynced
+                    # mid-line, so drop the connection cleanly.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_message(line)
+                except ServiceError as error:
+                    writer.write(encode_message(error_response(error)))
+                    await writer.drain()
+                    continue
+                writer.write(encode_message(await self.dispatch(request)))
+                await writer.drain()
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the TCP server; returns the listening ``asyncio.Server``."""
+        return await asyncio.start_server(
+            self._serve_stream, host, port, limit=MAX_LINE
+        )
+
+    async def serve_tcp_until_shutdown(self, host: str, port: int) -> None:
+        """Serve until a ``shutdown`` op (or cancellation)."""
+        server = await self.serve_tcp(host, port)
+        addr = server.sockets[0].getsockname()
+        print(f"repro serve: listening on {addr[0]}:{addr[1]}", flush=True)
+        async with server:
+            await self.shutdown_event.wait()
+
+    async def serve_stdio(self) -> None:
+        """Serve one client over stdin/stdout (newline-JSON, same protocol)."""
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(limit=MAX_LINE)
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+        out = sys.stdout
+        while not self.shutdown_event.is_set():
+            line = await reader.readline()
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                request = decode_message(line)
+            except ServiceError as error:
+                response = error_response(error)
+            else:
+                response = await self.dispatch(request)
+            out.write(encode_message(response).decode("utf-8"))
+            out.flush()

@@ -16,13 +16,54 @@ import abc
 
 import numpy as np
 
+from repro.common.exceptions import CheckpointError
 from repro.common.space import SpaceMeter
+from repro.streaming.machine import OnePassStreamConsumer, drive_blocks, require_machine
 from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken
 
 
-class MultipassStreamingAlgorithm(abc.ABC):
+class SnapshotableAlgorithm:
+    """The ``Snapshotable`` protocol: full algorithm state as plain data.
+
+    ``state_dict()`` captures *every* run-relevant attribute — RNG draw
+    positions, sketch tables, slack counters, buffers, pass-machine
+    phase, and :class:`SpaceMeter` peaks — through the typed codec of
+    :mod:`repro.persist.codec`; ``load_state()`` restores it into a
+    freshly constructed instance (same class, same constructor
+    parameters) bit for bit.  Derived caches named in ``_snapshot_skip_``
+    are excluded and rebuilt by ``_snapshot_init_``.
+    """
+
+    #: Attribute names excluded from snapshots (derived caches).
+    _snapshot_skip_: tuple = ()
+
+    #: True once the class's block path runs on the resumable pass
+    #: machine, i.e. suspend/restore at block boundaries is supported.
+    supports_checkpoint = False
+
+    def _snapshot_init_(self) -> None:
+        """Rebuild the ``_snapshot_skip_`` caches after a restore."""
+
+    def state_dict(self) -> dict:
+        """Serialize the full algorithm state (JSON tree + numpy payloads)."""
+        from repro.persist.codec import snapshot_object
+
+        return snapshot_object(self)
+
+    def load_state(self, state: dict, arrays: dict | None = None) -> None:
+        """Restore a :meth:`state_dict` payload into this instance."""
+        from repro.persist.codec import restore_object
+
+        restore_object(self, state, arrays)
+
+    def blocks_result(self) -> dict[int, int]:
+        """The completed pass machine's coloring."""
+        return require_machine(self)["coloring"]
+
+
+class MultipassStreamingAlgorithm(SnapshotableAlgorithm, abc.ABC):
     """A (possibly multipass) algorithm over a fixed :class:`TokenStream`.
 
     Subclasses implement :meth:`run`, reading the stream only via
@@ -55,6 +96,25 @@ class MultipassStreamingAlgorithm(abc.ABC):
             stream = stream.as_token_stream()
         return self.run(stream)
 
+    # -- pass-machine protocol (repro.streaming.machine) ----------------
+    # Multipass algorithms implement these to run their block path as a
+    # resumable state machine; the default raises so that only audited
+    # classes claim checkpoint support.
+    def blocks_start(self) -> None:
+        raise CheckpointError(
+            f"{type(self).__name__} does not implement the pass machine"
+        )
+
+    def blocks_consumer(self):
+        raise CheckpointError(
+            f"{type(self).__name__} does not implement the pass machine"
+        )
+
+    def blocks_deliver(self, result, stream) -> None:
+        raise CheckpointError(
+            f"{type(self).__name__} does not implement the pass machine"
+        )
+
     @property
     def palette_bound(self):
         """Declared palette size, or ``None`` if only asymptotic."""
@@ -71,7 +131,7 @@ class MultipassStreamingAlgorithm(abc.ABC):
         return self.meter.random_bits
 
 
-class OnePassAlgorithm(abc.ABC):
+class OnePassAlgorithm(SnapshotableAlgorithm, abc.ABC):
     """A single-pass algorithm playing the adversarial game of Section 2.
 
     The adversary (or a static driver) calls :meth:`process` for each edge
@@ -118,17 +178,35 @@ class OnePassAlgorithm(abc.ABC):
         goes through :func:`repro.adversaries.run_adversarial_game` instead.
         Block sources are fed through :meth:`process_block` block by block
         — the same edge order as the token path, vectorized whenever the
-        algorithm overrides it.
+        algorithm overrides it — via the generic one-pass pass machine, so
+        every one-pass algorithm is suspend/restorable at any block
+        boundary for free (its whole state lives in object attributes
+        between ``process_block`` calls).
         """
         if isinstance(stream, StreamSource):
-            for item in stream.new_pass():
-                if isinstance(item, np.ndarray):
-                    self.process_block(item)
-            return self.query()
+            return drive_blocks(self, stream)
         for token in stream.new_pass():
             if isinstance(token, EdgeToken):
                 self.process(token.u, token.v)
         return self.query()
+
+    # -- pass-machine protocol: one streaming pass, then query ----------
+    supports_checkpoint = True
+
+    def blocks_start(self) -> None:
+        self._mach = {"phase": "stream"}
+
+    def blocks_consumer(self):
+        if require_machine(self)["phase"] == "stream":
+            return OnePassStreamConsumer(self)
+        return None
+
+    def blocks_deliver(self, result, stream) -> None:
+        mach = require_machine(self)
+        if mach["phase"] == "stream":
+            # query() may mutate state (e.g. in-place conflict repair), so
+            # its outcome is computed exactly once, here.
+            self._mach = {"phase": "done", "coloring": self.query()}
 
     @property
     def palette_bound(self):

@@ -156,6 +156,53 @@ class StreamSource(abc.ABC):
     def _pass_items(self):
         """One sweep of the input as blocks / list tokens (no accounting)."""
 
+    # -- resumable cursors (repro.persist) ------------------------------
+    def tell(self) -> dict:
+        """Cursor describing the source's replay position (passes started).
+
+        Within-pass offsets are tracked by the consumer driving the pass
+        (a pass is a generator; the source itself has no read head), so a
+        full resume point is ``tell()`` plus the driver's item offset.
+        """
+        return {"passes": self.passes_used}
+
+    def seek(self, cursor: dict) -> None:
+        """Restore a :meth:`tell` cursor (fast-forwards the pass counter).
+
+        Completed passes are not re-timed: :attr:`pass_seconds` keeps only
+        timings observed by this process.
+        """
+        passes = int(cursor["passes"])
+        if passes < 0:
+            raise StreamProtocolError(f"cursor passes must be >= 0, got {passes}")
+        self._seek_passes(passes)
+
+    def _seek_passes(self, passes: int) -> None:
+        self._passes = passes
+
+    def resume_pass(self, offset: int = 0):
+        """Re-enter a pass mid-flight: count it and yield items from ``offset``.
+
+        The first ``offset`` items (blocks / list tokens, as yielded by
+        :meth:`new_pass`) are skipped; sources replay deterministically,
+        so the items yielded are exactly the uninterrupted pass's tail.
+        Used by checkpoint restore for single-pass algorithms whose state
+        already reflects the skipped prefix.
+        """
+        if offset < 0:
+            raise StreamProtocolError(f"resume offset must be >= 0, got {offset}")
+        self._count_pass()
+        start = time.perf_counter()
+        yield from self._pass_items_from(offset)
+        self._record_pass_time(time.perf_counter() - start)
+
+    def _pass_items_from(self, offset: int):
+        """One sweep starting at item ``offset`` (generic skip loop)."""
+        for i, item in enumerate(self._pass_items()):
+            if i >= offset:
+                yield item
+
+    # -------------------------------------------------------------------
     def iter_items(self):
         """One sweep WITHOUT counting a pass (validation / diagnostics only).
 
@@ -256,6 +303,9 @@ class MaterializedSource(StreamSource):
 
     def _count_pass(self) -> None:
         self.stream.passes_used += 1
+
+    def _seek_passes(self, passes: int) -> None:
+        self.stream.passes_used = passes
 
     def _record_pass_time(self, seconds: float) -> None:
         self.stream.pass_seconds.append(seconds)
@@ -426,9 +476,15 @@ class FileSource(StreamSource):
             self._mmap = np.empty((0, 2), dtype=np.int64)
 
     def _pass_items(self):
+        yield from self._pass_items_from(0)
+
+    def _pass_items_from(self, offset: int):
+        # Blocks are uniform chunk_size rows (except the last), so item
+        # offset k maps directly to row k * chunk_size: resuming mid-pass
+        # never re-reads the skipped prefix from disk.
         if self._mmap is None:
             raise StreamProtocolError(f"{self.path}: source is closed")
-        for start in range(0, self.m, self.chunk_size):
+        for start in range(offset * self.chunk_size, self.m, self.chunk_size):
             yield np.asarray(
                 self._mmap[start : start + self.chunk_size], dtype=np.int64
             )

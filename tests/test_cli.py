@@ -183,6 +183,145 @@ class TestRun:
         assert "mass" in capsys.readouterr().out
 
 
+class TestResume:
+    def test_resume_completes_a_checkpointed_run(self, tmp_path, capsys):
+        from repro.engine import RunSpec
+        from repro.persist import ResumableRun
+
+        path = str(tmp_path / "run.ck")
+        spec = RunSpec(algorithm="deterministic", n=32, delta=4, seed=2,
+                       graph_seed=2, stream_backend="materialized",
+                       chunk_size=8, verify=True)
+        driver = ResumableRun(spec)
+        driver.step()
+        driver.save(path)
+        driver.close()
+        assert main(["run", "--resume", path]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic" in out and "resumed from" in out
+
+    def test_resume_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["run", "--resume", str(tmp_path / "nope.ck")]) == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "Traceback" not in err
+
+    def test_resume_wrong_magic_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ck"
+        bad.write_bytes(b"NOTMAGIC" + b"\x00" * 64)
+        assert main(["run", "--resume", str(bad)]) == 2
+        assert "not a repro checkpoint" in capsys.readouterr().err
+
+    def test_resume_corrupt_header_exits_2(self, tmp_path, capsys):
+        from repro.persist import write_checkpoint
+
+        path = tmp_path / "corrupt.ck"
+        write_checkpoint(path, {"kind": "run"}, {})
+        blob = bytearray(path.read_bytes())
+        blob[-4] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert main(["run", "--resume", str(path)]) == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_resume_conflicts_with_experiment(self, tmp_path, capsys):
+        assert main(["run", "t1", "--resume", str(tmp_path / "x.ck")]) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_run_without_experiment_or_resume_exits_2(self, capsys):
+        assert main(["run"]) == 2
+        assert "repro list" in capsys.readouterr().err
+
+
+class TestServeSubmitValidation:
+    def test_serve_needs_port_or_stdio(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_serve_port_and_stdio_conflict(self, capsys):
+        assert main(["serve", "--port", "1", "--stdio"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_bad_port_exits_2(self, capsys):
+        assert main(["serve", "--port", "70000"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_serve_bad_session_limits_exit_2(self, capsys):
+        assert main(["serve", "--port", "0", "--max-sessions", "0"]) == 2
+        assert "max_sessions" in capsys.readouterr().err
+        assert main(["serve", "--port", "0", "--max-resident", "0"]) == 2
+        assert "max_resident" in capsys.readouterr().err
+
+    def test_submit_unknown_algorithm_exits_2(self, capsys):
+        assert main(["submit", "--port", "1", "--algorithm", "quantum"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_submit_unknown_family_exits_2(self, capsys):
+        assert main(["submit", "--port", "1", "--family", "petersen"]) == 2
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_submit_unknown_order_exits_2(self, capsys):
+        assert main(["submit", "--port", "1", "--order", "sideways"]) == 2
+        assert "unknown order" in capsys.readouterr().err
+
+    def test_submit_bad_sizes_exit_2(self, capsys):
+        assert main(["submit", "--port", "1", "--n", "0"]) == 2
+        assert "--n" in capsys.readouterr().err
+        assert main(["submit", "--port", "1", "--chunk-size", "0"]) == 2
+        assert "chunk size" in capsys.readouterr().err
+        assert main(["submit", "--port", "1", "--feed-edges", "0"]) == 2
+        assert "feed-edges" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_exits_2(self, capsys):
+        # Port 1 is never listening in test environments.
+        assert main(["submit", "--port", "1", "--n", "8"]) == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+
+class TestServeSubmitEndToEnd:
+    def test_submit_against_live_server(self, capsys):
+        import asyncio
+        import threading
+
+        from repro.service import ColoringService
+
+        service = ColoringService(max_sessions=8)
+        started = threading.Event()
+        state = {}
+
+        def serve():
+            async def go():
+                server = await service.serve_tcp("127.0.0.1", 0)
+                state["port"] = server.sockets[0].getsockname()[1]
+                started.set()
+                async with server:
+                    await service.shutdown_event.wait()
+
+            asyncio.run(go())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        try:
+            assert main([
+                "submit", "--port", str(state["port"]), "--algorithm",
+                "robust", "--family", "power_law", "--n", "48",
+                "--order", "random",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "robust" in out and "True" in out
+        finally:
+            from repro.service import ServiceClient
+
+            async def stop():
+                async with await ServiceClient.connect(
+                    "127.0.0.1", state["port"]
+                ) as client:
+                    await client.shutdown()
+
+            asyncio.run(stop())
+            thread.join(timeout=10)
+            service.manager.close()
+
+
 class TestReport:
     def test_report_from_dir(self, tmp_path, capsys):
         (tmp_path / "t1_passes_vs_delta.txt").write_text("T1 table\nrow\n")

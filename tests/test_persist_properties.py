@@ -1,0 +1,133 @@
+"""Property fuzz: serialize -> restore -> finish == uninterrupted.
+
+Hypothesis draws (algorithm, zoo family, edge order, chunk size,
+suspend point, seed) cells, runs the cell once uninterrupted and once
+suspended at the drawn block boundary + restored from the serialized
+snapshot, and asserts the two results are field-for-field identical
+(wall-clock aside).  Streams come from the workload zoo's deterministic
+arrangements, so every leg regenerates the identical block sequence.
+Profiles are pinned in tests/conftest.py.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.engine import REGISTRY, RunSpec, resume, run  # noqa: E402
+from repro.persist import ResumableRun, strip_volatile  # noqa: E402
+from repro.streaming.workloads import workload_source, workload_stats  # noqa: E402
+
+# Edge-only algorithms fuzz over zoo families; list_coloring (which needs
+# list tokens) gets its own engine-built-stream fuzz below.
+EDGE_ALGORITHMS = sorted(set(REGISTRY.names()) - {"list_coloring"})
+FAMILIES = ("power_law", "bipartite", "cliques_paths", "near_star", "empty")
+ORDERS = ("random", "degree_sorted", "bfs", "adversarial")
+
+
+def checkpoint_sweep(spec, path, stream_builder=None):
+    """Run with a checkpoint at every block boundary; return the copies."""
+    import repro.persist.driver as driver_mod
+
+    copies = []
+    original = driver_mod.write_checkpoint
+
+    def capture(p, header, arrays):
+        original(p, header, arrays)
+        with open(p, "rb") as fh:
+            copies.append(fh.read())
+
+    driver_mod.write_checkpoint = capture
+    try:
+        driver = ResumableRun(
+            spec, stream=stream_builder() if stream_builder else None
+        )
+        driver.run_to_completion(checkpoint_every=1, checkpoint_path=path)
+        driver.close()
+    finally:
+        driver_mod.write_checkpoint = original
+    return copies
+
+
+def crash_then_restore(spec, path, copies, suspend_index, stream_builder=None):
+    blob = copies[suspend_index % len(copies)]
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    return resume(path, stream=stream_builder() if stream_builder else None)
+
+
+@settings(deadline=None)
+@given(
+    algorithm=st.sampled_from(EDGE_ALGORITHMS),
+    family=st.sampled_from(FAMILIES),
+    order=st.sampled_from(ORDERS),
+    chunk=st.integers(min_value=1, max_value=48),
+    suspend=st.integers(min_value=0, max_value=400),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_fuzzed_suspend_restore_is_bit_identical(
+    algorithm, family, order, chunk, suspend, seed, tmp_path_factory
+):
+    n_actual, delta, _ = workload_stats(family, 28, seed)
+    spec = RunSpec(
+        algorithm=algorithm, n=n_actual, delta=max(1, delta), seed=seed,
+        keep_coloring=True, validate=algorithm != "naive",
+        verify=algorithm != "naive",
+    )
+
+    def source():
+        return workload_source(family, 28, order, seed, chunk_size=chunk)
+
+    reference = run(spec, stream=source())
+    path = str(tmp_path_factory.mktemp("persist-fuzz") / "fuzz.ck")
+    copies = checkpoint_sweep(spec, path, stream_builder=source)
+    assert copies, "no block boundaries were checkpointed"
+    restored = crash_then_restore(spec, path, copies, suspend,
+                                  stream_builder=source)
+    assert strip_volatile(restored) == strip_volatile(reference)
+
+
+@settings(deadline=None)
+@given(
+    chunk=st.integers(min_value=1, max_value=32),
+    suspend=st.integers(min_value=0, max_value=400),
+    seed=st.integers(min_value=0, max_value=4),
+)
+def test_fuzzed_list_coloring_suspend_restore(
+    chunk, suspend, seed, tmp_path_factory
+):
+    spec = RunSpec(
+        algorithm="list_coloring", n=20, delta=4, seed=seed, graph_seed=seed,
+        list_seed=seed + 1, stream_seed=seed + 2,
+        stream_backend="materialized", chunk_size=chunk,
+        keep_coloring=True, verify=True,
+    )
+    reference = run(spec)
+    path = str(tmp_path_factory.mktemp("persist-fuzz-lists") / "fuzz.ck")
+    copies = checkpoint_sweep(spec, path)
+    assert copies
+    restored = crash_then_restore(spec, path, copies, suspend)
+    assert strip_volatile(restored) == strip_volatile(reference)
+
+
+def test_corrupt_snapshot_payload_fails_clean(tmp_path):
+    from repro.common.exceptions import CheckpointError
+    from repro.persist.checkpoint import read_checkpoint, write_checkpoint
+
+    spec = RunSpec(
+        algorithm="robust", n=24, delta=4, seed=3, graph_seed=3,
+        stream_backend="materialized", chunk_size=8,
+    )
+    path = str(tmp_path / "c.ck")
+    driver = ResumableRun(spec)
+    driver.step()
+    driver.save(path)
+    driver.close()
+    # Rewrite the file without its payloads: the header still references
+    # them, so restore must fail with CheckpointError, not a KeyError.
+    header, _ = read_checkpoint(path)
+    header.pop("arrays")
+    write_checkpoint(path, header, {})
+    with pytest.raises(CheckpointError):
+        resume(path)
