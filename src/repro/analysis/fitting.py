@@ -8,6 +8,8 @@ both).
 
 import math
 
+from repro.common.exceptions import ParameterError
+
 
 def fit_power_law(xs, ys) -> tuple[float, float]:
     """Fit ``y = c * x^e`` by least squares in log-log space.
@@ -17,7 +19,7 @@ def fit_power_law(xs, ys) -> tuple[float, float]:
     """
     pts = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
     if len(pts) < 2 or len({x for x, _ in pts}) < 2:
-        raise ValueError("need at least two distinct positive points")
+        raise ParameterError("need at least two distinct positive points")
     lx = [math.log(x) for x, _ in pts]
     ly = [math.log(y) for _, y in pts]
     n = len(pts)

@@ -142,7 +142,7 @@ class SketchSwitchingQuadraticColoring(OnePassAlgorithm):
             raise AlgorithmFailure(
                 f"all {self.repetitions} sketches of epoch {self._curr} overflowed"
             )
-        graph = Graph(self.n)
+        graph = Graph(self.n)  # repro: noqa[R3] sketch contents, not the stream
         for u, v in list(d_curr[k]) + self._buffer:
             if not graph.has_edge(u, v):
                 graph.add_edge(u, v)

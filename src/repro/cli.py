@@ -181,6 +181,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="CI-sized sweep: the same grid and checks "
                         "(incl. metamorphic) at n capped to 32")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST contract checker (repro.staticcheck; exit 2 "
+        "on new findings or stale baseline entries)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: this "
+                      "installed repro package's source tree)")
+    lint.add_argument("--rules", default=None, metavar="LIST",
+                      help="comma-separated rule ids, e.g. R1,R7 "
+                      "(default: all eight)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="grandfathered-findings file (default: "
+                      "lint-baseline.json at the source root, if present)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable report instead of "
+                      "the human one")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline to the current findings "
+                      "and exit 0")
+
     serve = sub.add_parser(
         "serve",
         help="run the concurrent coloring session service "
@@ -392,6 +413,40 @@ def _run_submit(args) -> int:
     return 0
 
 
+def _run_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.staticcheck import run_lint, save_baseline
+
+    try:
+        if args.paths:
+            paths = list(args.paths)
+            root = Path.cwd()
+        else:
+            package_dir = Path(__file__).resolve().parent
+            paths = [package_dir]
+            root = (package_dir.parents[1]
+                    if package_dir.parent.name == "src"
+                    else package_dir.parent)
+        baseline = Path(args.baseline) if args.baseline else None
+        if baseline is None:
+            candidate = root / "lint-baseline.json"
+            baseline = candidate if candidate.exists() else None
+        report = run_lint(paths, rules=_csv(args.rules),
+                          baseline_path=baseline, root=root)
+        if args.update_baseline:
+            target = baseline if baseline is not None \
+                else root / "lint-baseline.json"
+            save_baseline(target, report.findings)
+            print(f"wrote {target} ({len(report.findings)} finding(s))")
+            return 0
+    except ReproError as error:
+        print(f"repro lint: error: {error}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.render())
+    return report.exit_code
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -403,6 +458,8 @@ def main(argv=None) -> int:
         print(format_table(headers, rows,
                            title="registered algorithms (repro.engine)"))
         return 0
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "submit":

@@ -43,6 +43,26 @@ class ListViolationError(ReproError):
         super().__init__(f"vertex {vertex} received color {color} not on its list")
 
 
+class ParameterError(ReproError, ValueError):
+    """An argument was outside its documented domain.
+
+    Subclasses :class:`ValueError` as well so callers validating inputs
+    can keep the standard idiom (``except ValueError``) without importing
+    this package's hierarchy; library code catches it as
+    :class:`ReproError` like everything else.
+    """
+
+
+class GenerationError(ReproError, ValueError):
+    """A randomized generator exhausted its retry budget.
+
+    E.g. the configuration-model regular-graph sampler failing to find a
+    simple matching for the given seed.  Distinct from
+    :class:`ParameterError`: the parameters were legal, the draw was
+    unlucky — retry with a different seed.
+    """
+
+
 class StreamProtocolError(ReproError):
     """The streaming contract was violated (bad token, pass misuse, ...)."""
 

@@ -9,6 +9,8 @@ arithmetic only.
 
 import math
 
+from repro.common.exceptions import ParameterError
+
 _SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
 
 # Deterministic Miller-Rabin witness set, valid for all n < 3.3 * 10^24
@@ -19,28 +21,28 @@ _MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
 def ceil_div(a: int, b: int) -> int:
     """Return ``ceil(a / b)`` for integers with ``b > 0``."""
     if b <= 0:
-        raise ValueError(f"ceil_div requires b > 0, got {b}")
+        raise ParameterError(f"ceil_div requires b > 0, got {b}")
     return -(-a // b)
 
 
 def floor_log2(x: int) -> int:
     """Return ``floor(log2(x))`` for ``x >= 1``."""
     if x < 1:
-        raise ValueError(f"floor_log2 requires x >= 1, got {x}")
+        raise ParameterError(f"floor_log2 requires x >= 1, got {x}")
     return x.bit_length() - 1
 
 
 def ceil_log2(x: int) -> int:
     """Return ``ceil(log2(x))`` for ``x >= 1`` (``ceil_log2(1) == 0``)."""
     if x < 1:
-        raise ValueError(f"ceil_log2 requires x >= 1, got {x}")
+        raise ParameterError(f"ceil_log2 requires x >= 1, got {x}")
     return (x - 1).bit_length()
 
 
 def ceil_sqrt(x: int) -> int:
     """Return ``ceil(sqrt(x))`` for ``x >= 0``."""
     if x < 0:
-        raise ValueError(f"ceil_sqrt requires x >= 0, got {x}")
+        raise ParameterError(f"ceil_sqrt requires x >= 0, got {x}")
     r = math.isqrt(x)
     return r if r * r == x else r + 1
 
@@ -146,5 +148,5 @@ def prime_in_range(lo: int, hi: int) -> int:
     """
     p = next_prime(lo)
     if p > hi:
-        raise ValueError(f"no prime in range [{lo}, {hi}]")
+        raise ParameterError(f"no prime in range [{lo}, {hi}]")
     return p

@@ -14,6 +14,8 @@ would occupy under the paper's accounting.  The meter distinguishes:
   (randomness included) can be reported side by side.
 """
 
+from repro.common.exceptions import ParameterError
+
 
 class SpaceMeter:
     """Tracks working-state bits (peak) and consumed random bits."""
@@ -26,7 +28,7 @@ class SpaceMeter:
     def set_gauge(self, name: str, bits: int) -> None:
         """Set the current size in bits of the named state component."""
         if bits < 0:
-            raise ValueError(f"gauge {name!r} cannot be negative ({bits})")
+            raise ParameterError(f"gauge {name!r} cannot be negative ({bits})")
         self._gauges[name] = bits
         total = self.current_bits
         if total > self._peak_bits:
@@ -50,14 +52,14 @@ class SpaceMeter:
         bit for bit without per-item ``set_gauge`` calls.
         """
         if total_bits < 0:
-            raise ValueError("observed peak cannot be negative")
+            raise ParameterError("observed peak cannot be negative")
         if total_bits > self._peak_bits:
             self._peak_bits = total_bits
 
     def charge_random_bits(self, bits: int) -> None:
         """Record consumption of ``bits`` random bits (monotone)."""
         if bits < 0:
-            raise ValueError("random bits cannot be negative")
+            raise ParameterError("random bits cannot be negative")
         self._random_bits += bits
 
     @property

@@ -356,7 +356,7 @@ class RobustColoring(OnePassAlgorithm):
     def _induced(self, block, edge_pool):
         """Subgraph induced by ``block`` on the given edge multiset."""
         index = {v: i for i, v in enumerate(sorted(block))}
-        sub = Graph(len(index))
+        sub = Graph(len(index))  # repro: noqa[R3] sketch contents, not the stream
         for u, v in edge_pool:
             iu = index.get(u)
             iv = index.get(v)

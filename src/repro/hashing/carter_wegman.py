@@ -18,6 +18,7 @@ lines 20-26 is realized.
 
 from dataclasses import dataclass
 
+from repro.common.exceptions import ParameterError
 from repro.common.integer_math import is_prime, mod_horner_array
 
 
@@ -42,7 +43,7 @@ class CarterWegmanFamily:
 
     def __init__(self, p: int):
         if not is_prime(p):
-            raise ValueError(f"Carter-Wegman modulus must be prime, got {p}")
+            raise ParameterError(f"Carter-Wegman modulus must be prime, got {p}")
         self.p = p
 
     @property
@@ -53,7 +54,7 @@ class CarterWegmanFamily:
     def function(self, a: int, b: int) -> AffineFunction:
         """The member with coefficients ``(a, b)``."""
         if not (0 <= a < self.p and 0 <= b < self.p):
-            raise ValueError(f"coefficients ({a}, {b}) out of F_{self.p}")
+            raise ParameterError(f"coefficients ({a}, {b}) out of F_{self.p}")
         return AffineFunction(a, b, self.p)
 
     def sample(self, rng) -> AffineFunction:

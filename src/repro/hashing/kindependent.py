@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.common.exceptions import ParameterError
 from repro.common.integer_math import horner_fits_int64, is_prime, mod_horner_array
 
 
@@ -52,11 +53,11 @@ class PolynomialHashFamily:
 
     def __init__(self, p: int, k: int, m: int):
         if not is_prime(p):
-            raise ValueError(f"modulus must be prime, got {p}")
+            raise ParameterError(f"modulus must be prime, got {p}")
         if k < 1:
-            raise ValueError(f"independence k must be >= 1, got {k}")
+            raise ParameterError(f"independence k must be >= 1, got {k}")
         if m < 1 or m > p:
-            raise ValueError(f"range size m={m} must be in [1, p]")
+            raise ParameterError(f"range size m={m} must be in [1, p]")
         self.p = p
         self.k = k
         self.m = m
@@ -74,7 +75,7 @@ class PolynomialHashFamily:
         """The member with the given coefficient vector (length k)."""
         coeffs = tuple(int(c) % self.p for c in coeffs)
         if len(coeffs) != self.k:
-            raise ValueError(f"need exactly {self.k} coefficients")
+            raise ParameterError(f"need exactly {self.k} coefficients")
         return PolynomialFunction(coeffs, self.p, self.m)
 
     def sample(self, rng) -> PolynomialFunction:

@@ -20,6 +20,7 @@ universes before streaming).
 
 import numpy as np
 
+from repro.common.exceptions import ParameterError
 from repro.common.integer_math import next_prime
 from repro.hashing.universal import TwoUniversalFamily
 
@@ -35,9 +36,9 @@ class PartitionFamily:
 
     def __init__(self, universe_size: int, s: int):
         if universe_size < 1:
-            raise ValueError("universe must be non-empty")
+            raise ParameterError("universe must be non-empty")
         if s < 1:
-            raise ValueError("partition class count must be >= 1")
+            raise ParameterError("partition class count must be >= 1")
         self.universe_size = universe_size
         self.s = s
         self.p = next_prime(max(universe_size, s, 2))

@@ -11,6 +11,7 @@ working memory).
 
 import numpy as np
 
+from repro.common.exceptions import ParameterError
 from repro.common.integer_math import ceil_log2
 from repro.common.rng import SeededRng, derive_seed
 
@@ -50,7 +51,7 @@ class RandomOracle:
     def function(self, name: str, domain: int, range_size: int) -> OracleFunction:
         """Get (materializing on first use) the uniform function for ``name``."""
         if range_size < 1:
-            raise ValueError(f"range size must be >= 1, got {range_size}")
+            raise ParameterError(f"range size must be >= 1, got {range_size}")
         fn = self._functions.get(name)
         if fn is None:
             rng = SeededRng(derive_seed(self.seed, name))

@@ -9,6 +9,7 @@ coloring function.
 
 from dataclasses import dataclass
 
+from repro.common.exceptions import ParameterError
 from repro.common.integer_math import is_prime, mod_horner_array
 
 
@@ -34,9 +35,9 @@ class TwoUniversalFamily:
 
     def __init__(self, p: int, s: int):
         if not is_prime(p):
-            raise ValueError(f"modulus must be prime, got {p}")
+            raise ParameterError(f"modulus must be prime, got {p}")
         if not 1 <= s:
-            raise ValueError(f"range size must be >= 1, got {s}")
+            raise ParameterError(f"range size must be >= 1, got {s}")
         self.p = p
         self.s = s
 
@@ -48,7 +49,7 @@ class TwoUniversalFamily:
     def function(self, a: int, b: int) -> ModFunction:
         """The member with coefficients ``(a, b)``, ``a != 0``."""
         if not (1 <= a < self.p and 0 <= b < self.p):
-            raise ValueError(f"coefficients ({a}, {b}) invalid for F_{self.p}")
+            raise ParameterError(f"coefficients ({a}, {b}) invalid for F_{self.p}")
         return ModFunction(a, b, self.p, self.s)
 
     def members(self):

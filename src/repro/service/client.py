@@ -8,6 +8,7 @@ convenience wrapper streaming a workload-zoo instance through a session.
 """
 
 import asyncio
+import contextlib
 
 import numpy as np
 
@@ -42,10 +43,8 @@ class ServiceClient:
 
     async def close(self) -> None:
         self._writer.close()
-        try:
+        with contextlib.suppress(ConnectionResetError, OSError):
             await self._writer.wait_closed()
-        except (ConnectionResetError, OSError):
-            pass
 
     async def __aenter__(self) -> "ServiceClient":
         return self

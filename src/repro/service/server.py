@@ -20,6 +20,7 @@ continues.
 """
 
 import asyncio
+import contextlib
 import sys
 
 from repro.common.exceptions import ReproError, ServiceError
@@ -121,11 +122,9 @@ class ColoringService:
                 writer.write(encode_message(await self.dispatch(request)))
                 await writer.drain()
         finally:
-            try:
+            with contextlib.suppress(ConnectionResetError, OSError):
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionResetError, OSError):
-                pass
 
     async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
         """Start the TCP server; returns the listening ``asyncio.Server``."""

@@ -1,0 +1,74 @@
+"""The grandfathered-findings baseline file.
+
+A baseline maps :meth:`Finding.fingerprint` strings to occurrence
+counts.  ``repro lint`` fails on *new* findings (observed more often
+than baselined) and on *stale* entries (baselined more often than
+observed), so the committed file can only ever track the truth — it
+cannot quietly accumulate.  The committed baseline is expected to be
+empty; every deliberate exception lives as an inline
+``# repro: noqa[..]`` annotation instead, visible at the site.
+"""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.common.exceptions import ReproError
+
+__all__ = ["compare_with_baseline", "load_baseline", "save_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path) -> Counter:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise ReproError(f"unreadable baseline {path}: {error}") from None
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ReproError(
+            f"baseline {path} is not a version-{_VERSION} lint baseline"
+        )
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0
+        for k, v in findings.items()
+    ):
+        raise ReproError(f"baseline {path} has a malformed findings table")
+    return Counter(findings)
+
+
+def save_baseline(path, findings) -> None:
+    """Write the current findings as the new baseline (sorted, stable)."""
+    counts = Counter(f.fingerprint() for f in findings)
+    payload = {
+        "version": _VERSION,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def compare_with_baseline(findings, baseline: Counter):
+    """Split findings into (new, stale-fingerprints) against a baseline.
+
+    A fingerprint observed ``k`` times against a baselined count ``b``
+    contributes ``max(0, k - b)`` new findings and is stale when
+    ``b > k`` (the baseline promises more violations than exist).
+    """
+    observed = Counter(f.fingerprint() for f in findings)
+    remaining = dict(baseline)
+    new = []
+    for finding in sorted(findings):
+        fp = finding.fingerprint()
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+        else:
+            new.append(finding)
+    stale = sorted(
+        fp for fp, count in baseline.items() if count > observed.get(fp, 0)
+    )
+    return new, stale

@@ -1,0 +1,35 @@
+"""Findings: what a rule reports, and how findings are fingerprinted.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`fingerprint` deliberately excludes the line *number* and keeps the
+line *text*: baselined findings survive unrelated edits that shift code
+up or down, but disappear (go "stale") as soon as the offending line
+itself changes — the baseline can only shrink honestly.
+"""
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # root-relative posix path
+    line: int  # 1-based
+    col: int  # 0-based, as reported by ast
+    rule: str  # "R1" .. "R8"
+    message: str
+    text: str = ""  # the stripped source line (fingerprint anchor)
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline file."""
+        return f"{self.rule}|{self.path}|{self.text}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        """One human-readable line: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

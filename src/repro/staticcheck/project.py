@@ -1,0 +1,338 @@
+"""Parsed view of the codebase the contract rules run against.
+
+Everything here is *static*: the checker never imports the code it
+checks.  A :class:`ParsedModule` is one file's AST plus the derived
+tables rules need constantly — an import-alias map for resolving dotted
+names, and the ``# repro: noqa[...]`` suppression map.  A
+:class:`Project` is the set of parsed modules plus cross-module indexes:
+a class table (for ancestry walks), the exception taxonomy (everything
+deriving from ``ReproError``), and the snapshot-codec allowlist, which is
+read out of ``repro/persist/codec.py``'s ``SNAPSHOT_CLASSES`` literal so
+rule R2 can never drift from what the codec actually accepts.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+__all__ = ["ClassInfo", "ParsedModule", "Project", "dotted_to_key"]
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa[R1,R7] free-text reason``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+
+def _derive_module(path: Path) -> str:
+    """Dotted module name, anchored at the rightmost ``repro`` directory.
+
+    Files outside any ``repro`` tree (ad-hoc fixtures) get their stem, so
+    package-scoped rules simply do not apply to them.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    else:
+        parts = parts[-1:]
+    return ".".join(parts)
+
+
+def dotted_to_key(dotted: str) -> str:
+    """``repro.core.subcube.Subcube`` -> the codec's ``module:qualname`` form."""
+    module, _, qualname = dotted.rpartition(".")
+    return f"{module}:{qualname}"
+
+
+class ParsedModule:
+    """One source file: AST + import table + suppression map."""
+
+    def __init__(self, path, *, source: str | None = None,
+                 root: Path | None = None, module: str | None = None):
+        self.path = Path(path)
+        if source is None:
+            source = self.path.read_text()
+        self.source = source
+        rel = self.path
+        if root is not None:
+            try:
+                rel = self.path.resolve().relative_to(Path(root).resolve())
+            except ValueError:
+                rel = self.path
+        self.relpath = rel.as_posix()
+        self.module = module if module is not None else _derive_module(self.path)
+        self.tree = ast.parse(source, filename=str(self.path))
+        self.lines = source.splitlines()
+        self.noqa = self._parse_noqa(self.lines)
+        self.imports = self._import_table(self.tree, self.module)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_noqa(lines: list[str]) -> dict[int, frozenset]:
+        table = {}
+        for lineno, line in enumerate(lines, start=1):
+            match = _NOQA_RE.search(line)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                table[lineno] = frozenset({"*"})
+            else:
+                table[lineno] = frozenset(
+                    r.strip() for r in rules.split(",") if r.strip()
+                )
+        return table
+
+    @staticmethod
+    def _import_table(tree: ast.AST, module: str) -> dict[str, str]:
+        """Local name -> absolute dotted target, over the whole file.
+
+        Function-local imports land in the same flat table; for rule
+        resolution that approximation only ever widens matches.
+        """
+        table: dict[str, str] = {}
+        package = module.rpartition(".")[0]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    target = alias.name if alias.asname else alias.name.partition(".")[0]
+                    table[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    prefix_parts = module.split(".")
+                    # one level strips the module name itself, further
+                    # levels strip packages.
+                    prefix_parts = prefix_parts[: len(prefix_parts) - node.level]
+                    if not prefix_parts:
+                        prefix_parts = [package] if package else []
+                    base = ".".join(p for p in (".".join(prefix_parts), base) if p)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    table[local] = f"{base}.{alias.name}" if base else alias.name
+        return table
+
+    # ------------------------------------------------------------------
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted name for a ``Name``/``Attribute`` chain, imports applied.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` when the
+        file holds ``import numpy as np``; unresolvable shapes (calls,
+        subscripts at the head) return ``None``.  Bare local names
+        resolve to themselves, so builtins stay recognizable.
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        target = self.imports.get(parts[0])
+        if target is not None:
+            parts[0:1] = target.split(".")
+        return ".".join(parts)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, lineno: int, rule: str) -> bool:
+        rules = self.noqa.get(lineno)
+        return rules is not None and ("*" in rules or rule in rules)
+
+
+class ClassInfo:
+    """One class definition: location, resolved bases, snapshot hooks."""
+
+    def __init__(self, mod: ParsedModule, node: ast.ClassDef, qualname: str):
+        self.mod = mod
+        self.node = node
+        self.name = node.name
+        self.qualname = qualname
+        self.module = mod.module
+        self.bases = [
+            dotted for dotted in (mod.resolve(b) for b in node.bases)
+            if dotted is not None
+        ]
+        self.decorators = [
+            dotted for dotted in (mod.resolve(_decorator_head(d))
+                                  for d in node.decorator_list)
+            if dotted is not None
+        ]
+
+    @property
+    def key(self) -> str:
+        """The codec-allowlist form, ``module:qualname``."""
+        return f"{self.module}:{self.qualname}"
+
+    @property
+    def dotted(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+    def own_snapshot_skip(self) -> frozenset:
+        """Names listed in this class body's ``_snapshot_skip_`` literal."""
+        names: set = set()
+        for stmt in self.node.body:
+            if (isinstance(stmt, ast.Assign)
+                    and any(isinstance(t, ast.Name) and t.id == "_snapshot_skip_"
+                            for t in stmt.targets)):
+                try:
+                    value = ast.literal_eval(stmt.value)
+                except ValueError:
+                    continue
+                if isinstance(value, (tuple, list, set, frozenset)):
+                    names.update(str(item) for item in value)
+        return frozenset(names)
+
+    def own_init_assigned(self) -> frozenset:
+        """Attributes assigned inside ``_snapshot_init_`` (rebuilt caches)."""
+        for stmt in self.node.body:
+            if (isinstance(stmt, ast.FunctionDef)
+                    and stmt.name == "_snapshot_init_"):
+                return frozenset(
+                    node.attr for node in ast.walk(stmt)
+                    if isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Store)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                )
+        return frozenset()
+
+
+def _decorator_head(node: ast.AST) -> ast.AST:
+    return node.func if isinstance(node, ast.Call) else node
+
+
+class Project:
+    """All parsed modules plus the cross-module indexes rules consult."""
+
+    def __init__(self, modules, *, codec_allowlist=None):
+        self.modules: list[ParsedModule] = list(modules)
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        self.classes_by_dotted: dict[str, ClassInfo] = {}
+        for mod in self.modules:
+            for info in _iter_classes(mod):
+                self.classes_by_name.setdefault(info.name, []).append(info)
+                self.classes_by_dotted[info.dotted] = info
+        if codec_allowlist is None:
+            codec_allowlist = self._extract_codec_allowlist()
+        self.codec_allowlist = frozenset(codec_allowlist)
+        self.taxonomy = self._exception_taxonomy()
+
+    # ------------------------------------------------------------------
+    def _extract_codec_allowlist(self) -> frozenset:
+        """``SNAPSHOT_CLASSES`` parsed out of the scanned codec module."""
+        for mod in self.modules:
+            if not mod.module.endswith("persist.codec"):
+                continue
+            for stmt in mod.tree.body:
+                if not (isinstance(stmt, ast.Assign)
+                        and any(isinstance(t, ast.Name)
+                                and t.id == "SNAPSHOT_CLASSES"
+                                for t in stmt.targets)):
+                    continue
+                value = stmt.value
+                if (isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id == "frozenset" and value.args):
+                    value = value.args[0]
+                try:
+                    items = ast.literal_eval(value)
+                except ValueError:
+                    continue
+                return frozenset(str(item) for item in items)
+        return frozenset()
+
+    def _exception_taxonomy(self) -> frozenset:
+        """Bare names of classes deriving (transitively) from ReproError."""
+        names = {"ReproError"}
+        changed = True
+        while changed:
+            changed = False
+            for infos in self.classes_by_name.values():
+                for info in infos:
+                    if info.name in names:
+                        continue
+                    for base in info.bases:
+                        if base.rpartition(".")[2] in names:
+                            names.add(info.name)
+                            changed = True
+                            break
+        return frozenset(names)
+
+    def is_taxonomy_exception(self, dotted: str) -> bool:
+        """Does ``dotted`` name an exception in the ReproError taxonomy?
+
+        Falls back to the import path for scans that do not include
+        ``repro/common/exceptions.py`` itself (fixture trees).
+        """
+        if dotted.rpartition(".")[2] in self.taxonomy:
+            return True
+        return dotted.startswith("repro.common.exceptions.")
+
+    # ------------------------------------------------------------------
+    def find_class(self, dotted: str) -> ClassInfo | None:
+        """Look a class up by dotted path, falling back to a unique bare name."""
+        info = self.classes_by_dotted.get(dotted)
+        if info is not None:
+            return info
+        candidates = self.classes_by_name.get(dotted.rpartition(".")[2], [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def ancestry(self, info: ClassInfo) -> list[str]:
+        """Resolved dotted names of all (statically reachable) ancestors."""
+        seen: list[str] = []
+        stack = list(info.bases)
+        guard = set()
+        while stack:
+            base = stack.pop()
+            if base in guard:
+                continue
+            guard.add(base)
+            seen.append(base)
+            parent = self.find_class(base)
+            if parent is not None:
+                stack.extend(parent.bases)
+        return seen
+
+    def derives_from(self, info: ClassInfo, dotted_bases) -> bool:
+        """Does ``info`` transitively subclass any of ``dotted_bases``?
+
+        Matches on the full dotted path and, for robustness against
+        re-export indirection, on the bare class name.
+        """
+        wanted_full = set(dotted_bases)
+        wanted_bare = {d.rpartition(".")[2] for d in dotted_bases}
+        for base in self.ancestry(info):
+            if base in wanted_full or base.rpartition(".")[2] in wanted_bare:
+                return True
+        return False
+
+    def snapshot_skip(self, info: ClassInfo) -> frozenset:
+        """``_snapshot_skip_`` + ``_snapshot_init_`` names, ancestors included."""
+        names = set(info.own_snapshot_skip()) | set(info.own_init_assigned())
+        for base in self.ancestry(info):
+            parent = self.find_class(base)
+            if parent is not None:
+                names |= parent.own_snapshot_skip()
+                names |= parent.own_init_assigned()
+        return frozenset(names)
+
+
+def _iter_classes(mod: ParsedModule):
+    def visit(body, prefix):
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                qualname = f"{prefix}{node.name}"
+                yield ClassInfo(mod, node, qualname)
+                yield from visit(node.body, f"{qualname}.")
+
+    yield from visit(mod.tree.body, "")

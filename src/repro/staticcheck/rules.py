@@ -1,0 +1,628 @@
+"""The eight contract rules.
+
+Each rule proves one structural invariant the runtime layers rely on
+implicitly (the guarantee oracles of :mod:`repro.verify`, the snapshot
+codec of :mod:`repro.persist`, the asyncio service).  Rules are pure
+functions of the parsed :class:`~repro.staticcheck.project.Project`:
+``check(mod, project)`` yields :class:`Finding`s for one module.
+
+Suppression (``# repro: noqa[R7] reason``) and the baseline are applied
+by the runner, not here — rules always report what they see.
+"""
+
+import ast
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.project import ParsedModule, Project, dotted_to_key
+
+__all__ = ["ALL_RULES", "Rule", "rules_by_id"]
+
+#: The algorithm base classes (``repro.streaming.model``) whose subclasses
+#: carry the streaming / snapshot contracts.
+_ONEPASS_BASES = ("repro.streaming.model.OnePassAlgorithm",)
+_SNAPSHOT_BASES = (
+    "repro.streaming.model.SnapshotableAlgorithm",
+    "repro.streaming.model.MultipassStreamingAlgorithm",
+    "repro.streaming.model.OnePassAlgorithm",
+)
+
+
+def _in_package(mod: ParsedModule, *prefixes: str) -> bool:
+    return any(mod.module == p or mod.module.startswith(p + ".")
+               for p in prefixes)
+
+
+def _finding(mod: ParsedModule, node: ast.AST, rule: str, message: str) -> Finding:
+    return Finding(
+        path=mod.relpath,
+        line=node.lineno,
+        col=node.col_offset,
+        rule=rule,
+        message=message,
+        text=mod.line_text(node.lineno),
+    )
+
+
+def _scoped_walk(nodes, *, skip_defs: bool = False, skip_classes: bool = False):
+    """Walk statements without descending into nested function/class bodies."""
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        if skip_defs and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if skip_classes and isinstance(node, ast.ClassDef):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``title`` and implement ``check``."""
+
+    id = "R0"
+    title = ""
+
+    def check(self, mod: ParsedModule, project: Project):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# R1 — metered randomness
+# ----------------------------------------------------------------------
+class MeteredRandomnessRule(Rule):
+    """Core/baseline algorithms draw randomness only through metered sources.
+
+    Every random bit an algorithm consumes is charged to its
+    :class:`SpaceMeter` by ``SeededRng`` and the declared hash families.
+    A bare ``random.*`` / ``np.random.*`` call would draw unmetered bits,
+    silently breaking the Theorem 3/4 randomness accounting the guarantee
+    oracles certify.
+    """
+
+    id = "R1"
+    title = "metered-randomness"
+    _BANNED = ("random", "numpy.random")
+
+    def _is_banned(self, dotted: str | None) -> bool:
+        return dotted is not None and any(
+            dotted == b or dotted.startswith(b + ".") for b in self._BANNED
+        )
+
+    def check(self, mod, project):
+        if not _in_package(mod, "repro.core", "repro.baselines"):
+            return
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._is_banned(alias.name):
+                        yield _finding(
+                            mod, node, self.id,
+                            f"import of unmetered randomness module "
+                            f"{alias.name!r}; draw through SeededRng or a "
+                            f"declared hash family",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if self._is_banned(base):
+                    yield _finding(
+                        mod, node, self.id,
+                        f"import from unmetered randomness module {base!r}; "
+                        f"draw through SeededRng or a declared hash family",
+                    )
+            elif isinstance(node, ast.Attribute):
+                dotted = mod.resolve(node)
+                if not self._is_banned(dotted):
+                    continue
+                # flag only the shortest banned prefix, once per chain
+                if self._is_banned(mod.resolve(node.value)):
+                    continue
+                yield _finding(
+                    mod, node, self.id,
+                    f"unmetered randomness {dotted}; draw through SeededRng "
+                    f"or a declared hash family",
+                )
+
+
+# ----------------------------------------------------------------------
+# R2 — snapshot completeness
+# ----------------------------------------------------------------------
+class SnapshotCompletenessRule(Rule):
+    """Snapshot-allowlisted classes keep only codec-representable state.
+
+    For every class in ``persist.codec``'s ``SNAPSHOT_CLASSES`` (and its
+    statically visible ancestors), each ``self.x = ...`` must either be
+    codec-representable or listed in ``_snapshot_skip_`` / rebuilt by
+    ``_snapshot_init_``.  Statically provable violations: lambdas,
+    generator expressions, open file handles, locks/sockets, and
+    constructors of repository classes that are not themselves
+    allowlisted.
+    """
+
+    id = "R2"
+    title = "snapshot-completeness"
+    _BANNED_PREFIXES = ("threading.", "socket.", "subprocess.", "io.")
+    _BANNED_CALLS = ("open", "iter", "asyncio.Lock", "asyncio.Event",
+                     "asyncio.Queue", "tempfile.TemporaryDirectory")
+
+    def _scoped_classes(self, mod, project):
+        """Allowlisted classes in this module, plus ancestors of any
+        allowlisted class that happen to be defined here."""
+        allow = project.codec_allowlist
+        ancestor_dotted: set = set()
+        for info in project.classes_by_dotted.values():
+            if info.key in allow:
+                ancestor_dotted.update(project.ancestry(info))
+        for info in project.classes_by_dotted.values():
+            if info.mod is not mod:
+                continue
+            if info.key in allow or info.dotted in ancestor_dotted \
+                    or info.name in {d.rpartition(".")[2] for d in ancestor_dotted}:
+                yield info
+
+    def _violation(self, mod, project, value) -> str | None:
+        for node in ast.walk(value):
+            if isinstance(node, ast.Lambda):
+                return "a lambda is not codec-representable"
+            if isinstance(node, ast.GeneratorExp):
+                return "a generator expression is not codec-representable"
+            if isinstance(node, ast.Call):
+                dotted = mod.resolve(node.func)
+                if dotted is None:
+                    continue
+                if dotted in self._BANNED_CALLS or dotted.startswith(
+                    self._BANNED_PREFIXES
+                ):
+                    return f"{dotted}(...) is not codec-representable"
+                info = project.find_class(dotted)
+                if info is not None:
+                    if info.key not in project.codec_allowlist:
+                        return (
+                            f"{info.key} is not in persist.codec's "
+                            f"SNAPSHOT_CLASSES allowlist"
+                        )
+                elif (dotted.startswith("repro.")
+                        and dotted.rpartition(".")[2][:1].isupper()
+                        and dotted_to_key(dotted) not in project.codec_allowlist):
+                    return (
+                            f"{dotted_to_key(dotted)} is not in persist.codec's "
+                            f"SNAPSHOT_CLASSES allowlist"
+                        )
+        return None
+
+    def check(self, mod, project):
+        for info in self._scoped_classes(mod, project):
+            exempt = project.snapshot_skip(info)
+            # nested classes get their own ClassInfo pass
+            for node in _scoped_walk(info.node.body, skip_classes=True):
+                targets = ()
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets, value = [node.target], node.value
+                for target in targets:
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    if target.attr in exempt or value is None:
+                        continue
+                    why = self._violation(mod, project, value)
+                    if why is not None:
+                        yield _finding(
+                            mod, node, self.id,
+                            f"self.{target.attr} in snapshotable class "
+                            f"{info.name}: {why}; make it representable or "
+                            f"list it in _snapshot_skip_",
+                        )
+
+
+# ----------------------------------------------------------------------
+# R3 — streaming purity
+# ----------------------------------------------------------------------
+class StreamingPurityRule(Rule):
+    """One-pass algorithms never materialize the stream.
+
+    Classes subclassing ``OnePassAlgorithm`` model the paper's
+    adversarial single-pass setting: state is sublinear in the stream, so
+    calling ``Graph.edges()`` / ``edge_list()`` / ``to_csr()`` or
+    constructing a ``Graph``/``CSRGraph`` inside one is a contract breach
+    even when tests still pass on small inputs.
+    """
+
+    id = "R3"
+    title = "streaming-purity"
+    _BANNED_METHODS = frozenset({"edges", "edge_list", "to_csr"})
+    _BANNED_CLASSES = frozenset({
+        "repro.graph.graph.Graph",
+        "repro.graph.csr.CSRGraph",
+    })
+
+    def check(self, mod, project):
+        for info in project.classes_by_dotted.values():
+            if info.mod is not mod:
+                continue
+            if not project.derives_from(info, _ONEPASS_BASES):
+                continue
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in self._BANNED_METHODS):
+                    yield _finding(
+                        mod, node, self.id,
+                        f".{node.func.attr}() materializes the stream inside "
+                        f"one-pass algorithm {info.name}",
+                    )
+                    continue
+                dotted = mod.resolve(node.func)
+                if dotted is None:
+                    continue
+                resolved = project.find_class(dotted)
+                dotted_full = resolved.dotted if resolved is not None else dotted
+                if dotted_full in self._BANNED_CLASSES:
+                    yield _finding(
+                        mod, node, self.id,
+                        f"{dotted_full} constructed inside one-pass "
+                        f"algorithm {info.name}; one-pass state must stay "
+                        f"sublinear in the stream",
+                    )
+
+
+# ----------------------------------------------------------------------
+# R4 — async bodies never block
+# ----------------------------------------------------------------------
+class AsyncBlockingRule(Rule):
+    """``async def`` bodies in the service never make blocking calls.
+
+    One stalled coroutine stalls every session on the loop.  Blocking
+    work belongs in ``asyncio.to_thread`` (the restore path already does
+    this) or in a sync helper documented as loop-exempt.
+    """
+
+    id = "R4"
+    title = "async-blocking"
+    _BANNED_EXACT = frozenset({
+        "time.sleep", "open", "os.system", "os.popen", "os.unlink",
+        "os.remove", "os.rename", "os.replace", "os.makedirs", "os.rmdir",
+        "os.listdir", "os.stat",
+    })
+    _BANNED_PREFIXES = ("subprocess.", "shutil.", "os.path.")
+    _BANNED_METHODS = frozenset({
+        "read_text", "write_text", "read_bytes", "write_bytes",
+    })
+
+    def check(self, mod, project):
+        if not _in_package(mod, "repro.service"):
+            return
+        for func in ast.walk(mod.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in _scoped_walk(func.body, skip_defs=True):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = mod.resolve(node.func)
+                blocked = dotted is not None and (
+                    dotted in self._BANNED_EXACT
+                    or dotted.startswith(self._BANNED_PREFIXES)
+                )
+                if not blocked and isinstance(node.func, ast.Attribute) \
+                        and node.func.attr in self._BANNED_METHODS:
+                    blocked, dotted = True, f"*.{node.func.attr}"
+                if blocked:
+                    yield _finding(
+                        mod, node, self.id,
+                        f"blocking call {dotted}(...) inside async def "
+                        f"{func.name}; wrap it in asyncio.to_thread or move "
+                        f"it to a sync helper",
+                    )
+
+
+# ----------------------------------------------------------------------
+# R5 — guarantee registration
+# ----------------------------------------------------------------------
+class GuaranteeRegistrationRule(Rule):
+    """Every ``AlgorithmEntry`` declares its guarantee and a real config.
+
+    The ``repro verify`` sweep only certifies entries that declare a
+    ``GuaranteeSpec``; an entry registered without one silently opts out
+    of the paper-bound oracles.  The config class must be a dataclass
+    with the ``from_dict``/``to_dict`` round-trip the engine, service,
+    and checkpoint formats all rely on.
+    """
+
+    id = "R5"
+    title = "guarantee-registration"
+
+    def _config_ok(self, mod, project, value) -> bool:
+        dotted = mod.resolve(value)
+        if dotted is None:
+            return False
+        info = project.find_class(dotted)
+        if info is None:
+            # imported from an unscanned module: accept the engine's own
+            # config package, reject everything else.
+            return dotted.startswith("repro.engine.config.")
+        chain = [info] + [
+            p for p in (project.find_class(b) for b in project.ancestry(info))
+            if p is not None
+        ]
+        is_dataclass = any(
+            dec in ("dataclasses.dataclass", "dataclass")
+            for link in chain for dec in link.decorators
+        )
+        methods = {
+            stmt.name for link in chain for stmt in link.node.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        return is_dataclass and {"from_dict", "to_dict"} <= methods
+
+    def check(self, mod, project):
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = mod.resolve(node.func)
+            if dotted is None or dotted.rpartition(".")[2] != "AlgorithmEntry":
+                continue
+            kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+            guarantee = kwargs.get("guarantee")
+            if guarantee is None or (isinstance(guarantee, ast.Constant)
+                                     and guarantee.value is None):
+                yield _finding(
+                    mod, node, self.id,
+                    "AlgorithmEntry without a GuaranteeSpec: the entry opts "
+                    "out of the verify sweep; declare guarantee=...",
+                )
+            config_cls = kwargs.get("config_cls")
+            if config_cls is None or not self._config_ok(mod, project, config_cls):
+                yield _finding(
+                    mod, node, self.id,
+                    "AlgorithmEntry.config_cls must be a dataclass with the "
+                    "from_dict/to_dict round-trip (subclass AlgorithmConfig)",
+                )
+
+
+# ----------------------------------------------------------------------
+# R6 — CLI exit-code convention
+# ----------------------------------------------------------------------
+class ExitCodeRule(Rule):
+    """CLI error paths follow the exit-2 convention.
+
+    Bad input exits with status 2 and a one-line message on stderr —
+    never a traceback, never a made-up status.  Checked in ``cli``
+    modules: ``sys.exit``/``SystemExit`` use only 0 or 2 with literal
+    statuses, and every ``except <ReproError-family>`` handler both
+    prints to ``sys.stderr`` and returns/exits 2.
+    """
+
+    id = "R6"
+    title = "exit-code-convention"
+
+    @staticmethod
+    def _is_cli(mod: ParsedModule) -> bool:
+        return mod.module.rpartition(".")[2] == "cli"
+
+    @staticmethod
+    def _exit_status(mod, node) -> int | None:
+        """Literal status of a ``sys.exit(...)`` / ``raise SystemExit(...)``."""
+        if isinstance(node, ast.Call):
+            dotted = mod.resolve(node.func)
+            if dotted in ("sys.exit", "SystemExit") and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+                    return arg.value
+        return None
+
+    def _handler_findings(self, mod, project, handler):
+        caught = []
+        types = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+            else [handler.type] if handler.type is not None else []
+        for t in types:
+            dotted = mod.resolve(t)
+            if dotted is not None and project.is_taxonomy_exception(dotted):
+                caught.append(dotted)
+        if not caught:
+            return
+        returns_two = False
+        prints_stderr = False
+        for node in _scoped_walk(handler.body, skip_defs=True):
+            if isinstance(node, ast.Return) \
+                    and isinstance(node.value, ast.Constant) \
+                    and node.value.value == 2:
+                returns_two = True
+            if self._exit_status(mod, node) == 2:
+                returns_two = True
+            if isinstance(node, ast.Call) \
+                    and mod.resolve(node.func) == "print":
+                for kw in node.keywords:
+                    if kw.arg == "file" \
+                            and mod.resolve(kw.value) == "sys.stderr":
+                        prints_stderr = True
+            if isinstance(node, ast.Raise):
+                returns_two = True  # re-raised for an outer exit-2 handler
+                prints_stderr = True
+        name = caught[0].rpartition(".")[2]
+        if not returns_two:
+            yield _finding(
+                mod, handler, self.id,
+                f"except {name} handler must exit/return status 2 "
+                f"(the CLI error convention)",
+            )
+        if not prints_stderr:
+            yield _finding(
+                mod, handler, self.id,
+                f"except {name} handler must print a one-line message to "
+                f"sys.stderr",
+            )
+
+    def check(self, mod, project):
+        if not self._is_cli(mod):
+            return
+        for node in ast.walk(mod.tree):
+            status = self._exit_status(mod, node)
+            if status is not None and status not in (0, 2):
+                yield _finding(
+                    mod, node, self.id,
+                    f"exit status {status}: the CLI convention is 0 "
+                    f"(success) or 2 (usage/contract error)",
+                )
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._handler_findings(mod, project, node)
+
+
+# ----------------------------------------------------------------------
+# R7 — determinism hygiene
+# ----------------------------------------------------------------------
+class DeterminismRule(Rule):
+    """No wall-clock reads or hash-order iteration in result paths.
+
+    Results must be a function of (spec, stream, seed) alone.
+    ``time.perf_counter`` is tolerated *only* for the timing extras and
+    must carry an explicit ``# repro: noqa[R7]`` annotation at each site,
+    so every exception is visible in the diff rather than buried in a
+    baseline.
+    """
+
+    id = "R7"
+    title = "determinism-hygiene"
+    _WALL_CLOCK = frozenset({
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.ctime", "time.localtime", "time.gmtime", "time.strftime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    })
+    _PERF = frozenset({"time.perf_counter", "time.perf_counter_ns"})
+    _ORDER_SCOPES = ("repro.core", "repro.baselines", "repro.engine",
+                     "repro.hashing", "repro.streaming")
+
+    def check(self, mod, project):
+        order_scoped = _in_package(mod, *self._ORDER_SCOPES)
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Call):
+                dotted = mod.resolve(node.func)
+                if dotted in self._WALL_CLOCK:
+                    yield _finding(
+                        mod, node, self.id,
+                        f"wall-clock read {dotted}(); results must be a "
+                        f"function of (spec, stream, seed) only",
+                    )
+                elif dotted in self._PERF:
+                    yield _finding(
+                        mod, node, self.id,
+                        f"{dotted}() is allowed only for timing extras; "
+                        f"annotate the site with '# repro: noqa[R7]'",
+                    )
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if not order_scoped:
+                    continue
+                is_set = isinstance(it, ast.Set) or (
+                    isinstance(it, ast.Call)
+                    and mod.resolve(it.func) in ("set", "frozenset")
+                )
+                if is_set:
+                    yield _finding(
+                        mod, it, self.id,
+                        "iteration directly over a set: the order is "
+                        "hash-dependent; sort it first",
+                    )
+
+
+# ----------------------------------------------------------------------
+# R8 — exception taxonomy
+# ----------------------------------------------------------------------
+class ExceptionTaxonomyRule(Rule):
+    """Raised exceptions derive from the ``ReproError`` taxonomy.
+
+    Callers catch everything from this package with one ``except
+    ReproError`` clause (the CLI's exit-2 paths, the service dispatcher,
+    the grid runner's error rows all rely on it).  A bare ``ValueError``
+    escapes all of them as a traceback.  Dual-inheritance classes
+    (``ParameterError(ReproError, ValueError)``) keep the standard-idiom
+    contract for external callers.
+    """
+
+    id = "R8"
+    title = "exception-taxonomy"
+    _BANNED_BUILTINS = frozenset({
+        "ValueError", "RuntimeError", "TypeError", "KeyError", "IndexError",
+        "Exception", "BaseException", "OSError", "IOError", "LookupError",
+        "ArithmeticError", "ZeroDivisionError", "AttributeError",
+    })
+    #: Functions whose protocol *requires* a builtin exception.
+    _PROTOCOL_FUNCS = frozenset({"__getattr__", "__getattribute__"})
+
+    def _protocol_raises(self, tree) -> set:
+        exempt: set = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name in self._PROTOCOL_FUNCS:
+                exempt.update(
+                    n for n in ast.walk(node) if isinstance(n, ast.Raise)
+                )
+        return exempt
+
+    def check(self, mod, project):
+        if not _in_package(mod, "repro"):
+            return
+        protocol = self._protocol_raises(mod.tree)
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            if node in protocol:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            dotted = mod.resolve(exc)
+            if dotted is None:
+                continue
+            name = dotted.rpartition(".")[2]
+            if project.is_taxonomy_exception(dotted):
+                continue
+            if dotted in self._BANNED_BUILTINS or (
+                "." not in dotted and name in self._BANNED_BUILTINS
+            ):
+                yield _finding(
+                    mod, node, self.id,
+                    f"raise {name}: raised exceptions must derive from the "
+                    f"ReproError taxonomy (repro.common.exceptions); use a "
+                    f"dual-inheritance subclass if callers rely on {name}",
+                )
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    MeteredRandomnessRule(),
+    SnapshotCompletenessRule(),
+    StreamingPurityRule(),
+    AsyncBlockingRule(),
+    GuaranteeRegistrationRule(),
+    ExitCodeRule(),
+    DeterminismRule(),
+    ExceptionTaxonomyRule(),
+)
+
+
+def rules_by_id(ids=None) -> tuple[Rule, ...]:
+    """Resolve ``["R1", "R7"]`` to rule instances (all rules when None)."""
+    from repro.common.exceptions import ReproError
+
+    if ids is None:
+        return ALL_RULES
+    table = {rule.id: rule for rule in ALL_RULES}
+    picked = []
+    for rid in ids:
+        rid = rid.strip().upper()
+        if rid not in table:
+            raise ReproError(
+                f"unknown rule {rid!r}; available: {sorted(table)}"
+            )
+        picked.append(table[rid])
+    return tuple(picked)

@@ -11,6 +11,8 @@ degrees, cached hash rows) in closed form so each algorithm's
 ``process``.
 """
 
+
+from repro.common.exceptions import ParameterError
 import numpy as np
 
 __all__ = [
@@ -56,7 +58,7 @@ def buffer_timeline(start_len: int, capacity: int, k: int):
     roll occurred within the block iff ``rolls[-1] > 0``.
     """
     if capacity < 1:
-        raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
+        raise ParameterError(f"buffer capacity must be >= 1, got {capacity}")
     e = np.arange(k, dtype=np.int64)
     rolls = (start_len + e) // capacity
     lengths = (start_len + e) % capacity + 1
