@@ -191,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
                       "installed repro package's source tree)")
     lint.add_argument("--rules", default=None, metavar="LIST",
                       help="comma-separated rule ids, e.g. R1,R7 "
-                      "(default: all eight)")
+                      "(default: all nine)")
     lint.add_argument("--baseline", default=None, metavar="FILE",
                       help="grandfathered-findings file (default: "
                       "lint-baseline.json at the source root, if present)")
@@ -221,6 +221,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--checkpoint-dir", default=None,
                        help="where evicted sessions are checkpointed "
                        "(default: a managed temp dir)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the sharded execution "
+                       "plane (1 = in-process manager, the default)")
+    serve.add_argument("--queue-depth", type=int, default=32,
+                       help="in-flight requests per worker before the "
+                       "dispatcher sheds load as busy (default 32)")
+    serve.add_argument("--ring-bytes", type=int, default=4 * 1024 * 1024,
+                       help="per-worker shared-memory edge ring capacity "
+                       "in bytes (default 4 MiB)")
+    serve.add_argument("--worker-max-resident", type=int, default=64,
+                       help="in-memory sessions per worker before LRU "
+                       "eviction (default 64)")
+    serve.add_argument("--checkpoint-every-ops", type=int, default=32,
+                       help="acked ops between journal-truncating sync "
+                       "checkpoints (pool mode; default 32)")
 
     submit = sub.add_parser(
         "submit",
@@ -244,6 +259,39 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--no-verify", action="store_true",
                         help="skip the strict guarantee oracle on the "
                         "session's result")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-request deadline in seconds "
+                        "(default 120; 0 disables)")
+    submit.add_argument("--connect-retries", type=int, default=0,
+                        help="exponential-backoff reconnect attempts "
+                        "when the server is not up yet (default 0)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator: drive a running service at a "
+        "fixed arrival rate and print the latency row",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--algorithm", default="cgs22")
+    loadgen.add_argument("--family", default="power_law")
+    loadgen.add_argument("--order", default="random")
+    loadgen.add_argument("--n", type=int, default=64)
+    loadgen.add_argument("--sessions", type=int, default=8,
+                         help="total sessions to submit (default 8)")
+    loadgen.add_argument("--rate", type=float, default=None,
+                         help="scheduled arrivals per second "
+                         "(default: burst — all sessions at t0)")
+    loadgen.add_argument("--feed-edges", type=int, default=2048)
+    loadgen.add_argument("--chunk-size", type=int, default=None)
+    loadgen.add_argument("--timeout", type=float, default=120.0,
+                         help="per-request client deadline (default 120)")
+    loadgen.add_argument("--seed0", type=int, default=0,
+                         help="first workload seed; session i uses "
+                         "seed0 + i (default 0)")
+    loadgen.add_argument("--no-verify", action="store_true")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit the raw measurement row as JSON")
 
     report = sub.add_parser("report", help="assemble markdown from archived tables")
     report.add_argument("--results", default="benchmarks/results")
@@ -345,25 +393,64 @@ def _run_serve(args) -> int:
             raise ReproError("serve needs --port (or --stdio)")
         if args.port is not None and not 0 <= args.port <= 65535:
             raise ReproError(f"--port must be in [0, 65535], got {args.port}")
-        service = ColoringService(
-            max_sessions=args.max_sessions,
-            max_resident=args.max_resident,
-            checkpoint_dir=args.checkpoint_dir,
-        )
+        if args.workers < 1:
+            raise ReproError(f"--workers must be >= 1, got {args.workers}")
+        if args.workers > 1 and args.stdio:
+            raise ReproError("--workers applies to the TCP server, not --stdio")
     except ReproError as error:
         print(f"repro serve: error: {error}", file=sys.stderr)
         return 2
-    try:
-        if args.stdio:
-            asyncio.run(service.serve_stdio())
-        else:
-            asyncio.run(
-                service.serve_tcp_until_shutdown(args.host, args.port)
+
+    if args.workers == 1:
+        try:
+            service = ColoringService(
+                max_sessions=args.max_sessions,
+                max_resident=args.max_resident,
+                checkpoint_dir=args.checkpoint_dir,
             )
+        except ReproError as error:
+            print(f"repro serve: error: {error}", file=sys.stderr)
+            return 2
+        try:
+            if args.stdio:
+                asyncio.run(service.serve_stdio())
+            else:
+                asyncio.run(
+                    service.serve_tcp_until_shutdown(args.host, args.port)
+                )
+        except KeyboardInterrupt:
+            pass
+        finally:
+            service.manager.close()
+        return 0
+
+    # Sharded execution plane: WorkerPool.start needs a running loop, so
+    # the pool lives entirely inside one asyncio.run.
+    from repro.service import PoolConfig, WorkerPool
+
+    async def _serve_pool() -> None:
+        pool = await WorkerPool.start(PoolConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            ring_bytes=args.ring_bytes,
+            worker_max_resident=args.worker_max_resident,
+            checkpoint_every_ops=args.checkpoint_every_ops,
+            max_sessions=args.max_sessions,
+            checkpoint_dir=args.checkpoint_dir,
+        ))
+        try:
+            service = ColoringService(manager=pool)
+            await service.serve_tcp_until_shutdown(args.host, args.port)
+        finally:
+            pool.close()
+
+    try:
+        asyncio.run(_serve_pool())
     except KeyboardInterrupt:
         pass
-    finally:
-        service.manager.close()
+    except ReproError as error:
+        print(f"repro serve: error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -396,11 +483,22 @@ def _run_submit(args) -> int:
             raise ReproError(
                 f"--feed-edges must be >= 1, got {args.feed_edges}"
             )
+        if args.timeout is not None and args.timeout < 0:
+            raise ReproError(f"--timeout must be >= 0, got {args.timeout}")
+        if args.connect_retries < 0:
+            raise ReproError(
+                f"--connect-retries must be >= 0, got {args.connect_retries}"
+            )
+        from repro.service.client import DEFAULT_TIMEOUT
+
+        timeout = DEFAULT_TIMEOUT if args.timeout is None \
+            else (args.timeout or None)  # 0 disables the deadline
         result = submit_workload(
             args.host, args.port, args.algorithm, args.family, args.n,
             order=args.order, seed=args.seed,
             verify=False if args.no_verify else "strict",
             chunk_size=args.chunk_size, feed_edges=args.feed_edges,
+            timeout=timeout, connect_retries=args.connect_retries,
         )
     except ReproError as error:
         print(f"repro submit: error: {error}", file=sys.stderr)
@@ -410,6 +508,65 @@ def _run_submit(args) -> int:
         f"{args.algorithm} on {args.family}/{args.order} via "
         f"{args.host}:{args.port}",
     ))
+    return 0
+
+
+def _run_loadgen(args) -> int:
+    import json
+
+    from repro.graph.zoo import ZOO_FAMILIES, ZOO_ORDERS
+    from repro.service import LoadSpec, run_load_sync
+
+    try:
+        if args.algorithm not in REGISTRY:
+            raise ReproError(
+                f"unknown algorithm {args.algorithm!r}; registered: "
+                f"{REGISTRY.names()}"
+            )
+        if args.family not in ZOO_FAMILIES:
+            raise ReproError(
+                f"unknown family {args.family!r}; valid: {list(ZOO_FAMILIES)}"
+            )
+        if args.order != "insertion" and args.order not in ZOO_ORDERS:
+            raise ReproError(
+                f"unknown order {args.order!r}; valid: "
+                f"{['insertion', *ZOO_ORDERS]}"
+            )
+        row = run_load_sync(LoadSpec(
+            host=args.host, port=args.port,
+            algorithm=args.algorithm, family=args.family, n=args.n,
+            order=args.order,
+            verify=False if args.no_verify else "strict",
+            sessions=args.sessions, rate=args.rate,
+            feed_edges=args.feed_edges, chunk_size=args.chunk_size,
+            timeout=args.timeout or None, seed0=args.seed0,
+        ))
+    except ReproError as error:
+        print(f"repro loadgen: error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(row, indent=2, default=str))
+    else:
+        headers = ["sessions", "rate", "throughput_rps", "p50_ms",
+                   "p95_ms", "p99_ms", "busy_retries", "failures"]
+        rows = [[
+            row["sessions"],
+            row["offered_rate"] if row["offered_rate"] else "burst",
+            f"{row['throughput_rps']:.2f}",
+            f"{row['latency_p50_ms']:.1f}",
+            f"{row['latency_p95_ms']:.1f}",
+            f"{row['latency_p99_ms']:.1f}",
+            row["busy_retries"], row["failures"],
+        ]]
+        print(format_table(
+            headers, rows,
+            title=f"{args.algorithm} on {args.family}/{args.order} "
+            f"n={args.n} via {args.host}:{args.port}",
+        ))
+    if row["failures"]:
+        for example in row["failure_examples"]:
+            print(f"repro loadgen: failure: {example}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -464,6 +621,8 @@ def main(argv=None) -> int:
         return _run_serve(args)
     if args.command == "submit":
         return _run_submit(args)
+    if args.command == "loadgen":
+        return _run_loadgen(args)
     if args.command == "run":
         if args.resume is not None:
             return _run_resume(args)

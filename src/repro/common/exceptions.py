@@ -90,6 +90,19 @@ class ServiceError(ReproError):
     """A coloring-service request was invalid or hit a dead session."""
 
 
+class ServiceBusyError(ServiceError):
+    """The service shed a request under load; retry after ``retry_after``.
+
+    Raised when a worker's bounded queue or shared-memory ring is full,
+    or while a crashed worker's sessions are being recovered.  Nothing
+    was applied — the request is safe to retry verbatim.
+    """
+
+    def __init__(self, message="service busy; retry later", retry_after=0.05):
+        self.retry_after = float(retry_after)
+        super().__init__(message)
+
+
 class GuaranteeViolationError(ReproError):
     """A run broke a paper-stated guarantee its registry entry declares.
 

@@ -19,19 +19,37 @@ Layers:
 - :mod:`repro.service.server` — :class:`ColoringService`: the op
   dispatcher behind ``repro serve`` (TCP and stdio transports);
 - :mod:`repro.service.client` — :class:`ServiceClient`: the thin async
-  client behind ``repro submit`` and the S2 benchmark.
+  client behind ``repro submit`` and the S2 benchmark;
+- :mod:`repro.service.pool` — :class:`WorkerPool`: the sharded
+  multi-core execution plane behind ``repro serve --workers N``
+  (session-sharded worker processes, shared-memory edge rings,
+  journal-backed crash recovery, busy backpressure, graceful drain);
+- :mod:`repro.service.loadgen` — the open-loop load generator behind
+  ``repro loadgen`` and the S3 benchmark (``BENCH_s3_load.json``).
 """
 
-from repro.service.client import ServiceClient, submit_workload
+from repro.service.client import (
+    ServiceClient,
+    build_session_workload,
+    submit_workload,
+)
+from repro.service.loadgen import LoadSpec, run_load, run_load_sync
 from repro.service.manager import SessionManager
+from repro.service.pool import PoolConfig, WorkerPool
 from repro.service.protocol import decode_message, encode_message
 from repro.service.server import ColoringService
 
 __all__ = [
     "ColoringService",
+    "LoadSpec",
+    "PoolConfig",
     "ServiceClient",
     "SessionManager",
+    "WorkerPool",
+    "build_session_workload",
     "decode_message",
     "encode_message",
+    "run_load",
+    "run_load_sync",
     "submit_workload",
 ]

@@ -2,9 +2,22 @@
 
 One client = one connection = one in-flight request at a time (the
 protocol is strictly request/response per line); concurrency comes from
-opening many clients, which is exactly what the S2 benchmark and the CLI
+opening many clients, which is exactly what the load harness and the CLI
 ``repro submit`` do.  :func:`submit_workload` is the synchronous
 convenience wrapper streaming a workload-zoo instance through a session.
+
+Robustness knobs (all per client):
+
+- ``timeout`` — per-request deadline; a hung server raises
+  :class:`ServiceError` instead of blocking forever, and the connection
+  is considered broken afterwards (the reply may still be in flight, so
+  reusing the stream would desync request/response pairing).
+- ``connect(..., retries=, backoff=)`` — bounded exponential-backoff
+  reconnect, for servers that are still booting or restarting.
+- ``busy_retries`` — transparent retry of ``busy: true`` load-shed
+  replies (the sharded execution plane's backpressure signal), pausing
+  ``retry_after`` seconds per attempt.  Shed requests were never
+  applied, so retrying verbatim is safe.
 """
 
 import asyncio
@@ -12,34 +25,61 @@ import contextlib
 
 import numpy as np
 
-from repro.common.exceptions import ServiceError
+from repro.common.exceptions import ServiceBusyError, ServiceError
 from repro.service.protocol import MAX_LINE, decode_message, encode_message
 
-__all__ = ["ServiceClient", "submit_workload"]
+__all__ = ["ServiceClient", "build_session_workload", "submit_workload"]
 
 #: Edges per feed request: small enough to exercise multiplexing, large
 #: enough that framing overhead stays negligible.
 DEFAULT_FEED_EDGES = 2048
 
+#: Default per-request deadline (seconds). Generous: a strict-verify
+#: finalize on a large session does real work before replying.
+DEFAULT_TIMEOUT = 120.0
+
+#: Default transparent retries of busy (load-shed) replies per request.
+DEFAULT_BUSY_RETRIES = 100
+
 
 class ServiceClient:
     """Async request/response client over one TCP connection."""
 
-    def __init__(self, reader, writer):
+    def __init__(self, reader, writer, timeout: float | None = DEFAULT_TIMEOUT,
+                 busy_retries: int = DEFAULT_BUSY_RETRIES):
         self._reader = reader
         self._writer = writer
+        self.timeout = timeout
+        self.busy_retries = busy_retries
+        self.busy_retries_used = 0
+        self._broken = False
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServiceClient":
-        try:
-            reader, writer = await asyncio.open_connection(
-                host, port, limit=MAX_LINE
-            )
-        except OSError as error:
-            raise ServiceError(
-                f"cannot connect to {host}:{port}: {error}"
-            ) from None
-        return cls(reader, writer)
+    async def connect(cls, host: str, port: int, *,
+                      timeout: float | None = DEFAULT_TIMEOUT,
+                      retries: int = 0, backoff: float = 0.1,
+                      max_backoff: float = 2.0,
+                      busy_retries: int = DEFAULT_BUSY_RETRIES,
+                      ) -> "ServiceClient":
+        """Connect, with ``retries`` exponential-backoff reattempts."""
+        attempt = 0
+        delay = backoff
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=MAX_LINE
+                )
+                return cls(reader, writer, timeout=timeout,
+                           busy_retries=busy_retries)
+            except OSError as error:
+                if attempt >= retries:
+                    raise ServiceError(
+                        f"cannot connect to {host}:{port} after "
+                        f"{attempt + 1} attempt(s): {error}"
+                    ) from None
+                attempt += 1
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, max_backoff)
 
     async def close(self) -> None:
         self._writer.close()
@@ -53,20 +93,60 @@ class ServiceClient:
         await self.close()
 
     # ------------------------------------------------------------------
-    async def request(self, op: str, **params) -> dict:
-        """Send one op; return its payload or raise :class:`ServiceError`."""
-        self._writer.write(encode_message({"op": op, **params}))
-        await self._writer.drain()
-        line = await self._reader.readline()
+    async def _roundtrip(self, op: str, message: dict) -> dict:
+        if self._broken:
+            raise ServiceError(
+                f"connection is broken (earlier timeout); reconnect before {op!r}"
+            )
+
+        async def send_and_read():
+            self._writer.write(encode_message(message))
+            await self._writer.drain()
+            return await self._reader.readline()
+
+        if self.timeout is None:
+            line = await send_and_read()
+        else:
+            try:
+                line = await asyncio.wait_for(send_and_read(), self.timeout)
+            except asyncio.TimeoutError:
+                # The reply may still arrive later; pairing is lost.
+                self._broken = True
+                raise ServiceError(
+                    f"{op} timed out after {self.timeout:g}s"
+                ) from None
         if not line:
             raise ServiceError(f"server closed the connection during {op!r}")
-        response = decode_message(line)
-        if not response.get("ok"):
+        return decode_message(line)
+
+    async def request(self, op: str, **params) -> dict:
+        """Send one op; return its payload or raise :class:`ServiceError`.
+
+        ``busy: true`` load-shed replies are retried transparently up to
+        ``busy_retries`` times, sleeping the server's ``retry_after``
+        hint between attempts.
+        """
+        message = {"op": op, **params}
+        attempt = 0
+        while True:
+            response = await self._roundtrip(op, message)
+            if response.get("ok"):
+                return response
+            if response.get("busy") and attempt < self.busy_retries:
+                attempt += 1
+                self.busy_retries_used += 1
+                await asyncio.sleep(float(response.get("retry_after", 0.05)))
+                continue
+            if response.get("busy"):
+                raise ServiceBusyError(
+                    f"{op} still busy after {attempt} retries: "
+                    f"{response.get('error', 'service busy')}",
+                    retry_after=float(response.get("retry_after", 0.05)),
+                )
             raise ServiceError(
                 f"{op} failed: {response.get('error', 'unknown error')} "
                 f"[{response.get('code', '?')}]"
             )
-        return response
 
     # -- op helpers -----------------------------------------------------
     async def ping(self) -> bool:
@@ -123,9 +203,7 @@ class ServiceClient:
         return await self.finalize(sid)
 
 
-def submit_workload(
-    host: str,
-    port: int,
+def build_session_workload(
     algorithm: str,
     family: str,
     n: int,
@@ -134,13 +212,11 @@ def submit_workload(
     config: dict | None = None,
     verify="strict",
     chunk_size: int | None = None,
-    feed_edges: int = DEFAULT_FEED_EDGES,
-) -> dict:
-    """Stream one workload-zoo instance through a service session (sync).
+) -> tuple[dict, np.ndarray, dict | None]:
+    """``(spec, arranged_edges, lists)`` for one workload-zoo session.
 
-    Builds the ``(family, n, order, seed)`` zoo cell, derives its true
-    max degree for the spec, opens a session with ``verify`` mode, feeds
-    the arranged edges in blocks, and returns the finalized result dict.
+    Shared by ``repro submit`` and the load harness so both drive the
+    service with byte-identical session inputs.
     """
     from repro.engine.registry import REGISTRY
     from repro.graph.zoo import arrange_edges, workload_delta, workload_edges
@@ -174,9 +250,39 @@ def submit_workload(
             ).items()
         }
         spec["config"] = {**spec.get("config", {}), "universe": universe}
+    return spec, arranged, lists
+
+
+def submit_workload(
+    host: str,
+    port: int,
+    algorithm: str,
+    family: str,
+    n: int,
+    order: str = "insertion",
+    seed: int = 0,
+    config: dict | None = None,
+    verify="strict",
+    chunk_size: int | None = None,
+    feed_edges: int = DEFAULT_FEED_EDGES,
+    timeout: float | None = DEFAULT_TIMEOUT,
+    connect_retries: int = 0,
+) -> dict:
+    """Stream one workload-zoo instance through a service session (sync).
+
+    Builds the ``(family, n, order, seed)`` zoo cell, derives its true
+    max degree for the spec, opens a session with ``verify`` mode, feeds
+    the arranged edges in blocks, and returns the finalized result dict.
+    """
+    spec, arranged, lists = build_session_workload(
+        algorithm, family, n, order=order, seed=seed, config=config,
+        verify=verify, chunk_size=chunk_size,
+    )
 
     async def go():
-        client = await ServiceClient.connect(host, port)
+        client = await ServiceClient.connect(
+            host, port, timeout=timeout, retries=connect_retries
+        )
         async with client:
             return await client.run_session(
                 spec, arranged, lists=lists, feed_edges=feed_edges

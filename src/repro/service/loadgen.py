@@ -1,0 +1,196 @@
+"""Open-loop load generator for the coloring service.
+
+Replicates the mubench measurement discipline: arrivals are scheduled
+*up front* at fixed offsets from t0 (``i / rate``), independent of
+completions — a slow server makes latencies grow instead of silently
+thinning the offered load (the closed-loop coordinated-omission trap).
+``rate=None`` degenerates to a burst: every session arrives at t0, which
+measures saturated throughput.
+
+One run produces one row: offered/achieved throughput, avg/p50/p95/p99
+completion latency (measured from the *scheduled* arrival, so queueing
+delay counts), failure rate, transparent busy-retry count, process CPU
+seconds (self + children, i.e. the dispatcher plus its pool workers for
+an in-process server), and max RSS.  Each session also reports its
+result fingerprint (colors used, random bits, peak space) keyed by its
+workload seed, so sweeps can assert bit-identical coloring across
+worker counts.
+"""
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import ReproError
+from repro.service.client import (
+    DEFAULT_FEED_EDGES,
+    ServiceClient,
+    build_session_workload,
+)
+
+__all__ = ["LoadSpec", "run_load", "run_load_sync"]
+
+
+@dataclass
+class LoadSpec:
+    """One open-loop load run against a running service."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    algorithm: str = "cgs22"
+    family: str = "power_law"
+    n: int = 64
+    order: str = "random"
+    verify: str | bool = "strict"
+    #: Total sessions to submit.
+    sessions: int = 8
+    #: Scheduled arrivals per second; None = all at t0 (saturation burst).
+    rate: float | None = None
+    feed_edges: int = DEFAULT_FEED_EDGES
+    chunk_size: int | None = None
+    #: Per-request client deadline.
+    timeout: float = 120.0
+    #: Workload seeds are seed0, seed0+1, ... (deterministic per index).
+    seed0: int = 0
+    config: dict | None = None
+    tags: dict = field(default_factory=dict)
+
+
+def _percentile(values: list, q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def _cpu_seconds() -> float:
+    import resource
+
+    self_usage = resource.getrusage(resource.RUSAGE_SELF)
+    child_usage = resource.getrusage(resource.RUSAGE_CHILDREN)
+    return (self_usage.ru_utime + self_usage.ru_stime
+            + child_usage.ru_utime + child_usage.ru_stime)
+
+
+def _max_rss_mb() -> float:
+    import resource
+
+    peak = max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+               resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    return peak / 1024.0  # Linux reports KiB
+
+
+async def _one_session(spec: LoadSpec, index: int, workload, t0: float,
+                       arrival: float) -> dict:
+    import time
+
+    session_spec, arranged, lists = workload
+    now = time.perf_counter()  # repro: noqa[R7] load-harness timing
+    delay = (t0 + arrival) - now
+    if delay > 0:
+        await asyncio.sleep(delay)
+    client = await ServiceClient.connect(
+        spec.host, spec.port, timeout=spec.timeout, retries=3
+    )
+    try:
+        result = await client.run_session(
+            session_spec, arranged, lists=lists, feed_edges=spec.feed_edges
+        )
+    finally:
+        busy = client.busy_retries_used
+        await client.close()
+    done = time.perf_counter()  # repro: noqa[R7] load-harness timing
+    return {
+        "index": index,
+        "seed": session_spec["seed"],
+        "latency_s": done - (t0 + arrival),
+        "busy_retries": busy,
+        "result": {
+            "algorithm": result["algorithm"],
+            "colors_used": result["colors_used"],
+            "proper": result["proper"],
+            "passes": result["passes"],
+            "random_bits": result["random_bits"],
+            "peak_space_bits": result["peak_space_bits"],
+        },
+    }
+
+
+async def run_load(spec: LoadSpec) -> dict:
+    """Drive one open-loop run; returns the measurement row."""
+    import time
+
+    if spec.sessions < 1:
+        raise ReproError(f"sessions must be >= 1, got {spec.sessions}")
+    if spec.rate is not None and spec.rate <= 0:
+        raise ReproError(f"rate must be positive, got {spec.rate}")
+    # Build workloads up front (deterministic per index) so generation
+    # cost never pollutes the latency measurement.
+    cache: dict = {}
+    workloads = []
+    for i in range(spec.sessions):
+        seed = spec.seed0 + i
+        if seed not in cache:
+            cache[seed] = build_session_workload(
+                spec.algorithm, spec.family, spec.n, order=spec.order,
+                seed=seed, config=spec.config, verify=spec.verify,
+                chunk_size=spec.chunk_size,
+            )
+        workloads.append(cache[seed])
+    arrivals = [
+        (i / spec.rate) if spec.rate is not None else 0.0
+        for i in range(spec.sessions)
+    ]
+    cpu_before = _cpu_seconds()
+    t0 = time.perf_counter()  # repro: noqa[R7] load-harness timing
+    outcomes = await asyncio.gather(
+        *(
+            _one_session(spec, i, workloads[i], t0, arrivals[i])
+            for i in range(spec.sessions)
+        ),
+        return_exceptions=True,
+    )
+    wall = time.perf_counter() - t0  # repro: noqa[R7] load-harness timing
+    cpu_after = _cpu_seconds()
+    completed = [o for o in outcomes if isinstance(o, dict)]
+    failures = [o for o in outcomes if not isinstance(o, dict)]
+    for failure in failures:
+        if not isinstance(failure, Exception):  # pragma: no cover
+            raise failure  # BaseException: never swallow
+    latencies = sorted(o["latency_s"] for o in completed)
+    return {
+        "sessions": spec.sessions,
+        "algorithm": spec.algorithm,
+        "family": spec.family,
+        "n": spec.n,
+        "order": spec.order,
+        "verify": spec.verify,
+        "feed_edges": spec.feed_edges,
+        "offered_rate": spec.rate,
+        "wall_s": wall,
+        "throughput_rps": len(completed) / wall if wall > 0 else 0.0,
+        "completed": len(completed),
+        "failures": len(failures),
+        "failure_rate": len(failures) / spec.sessions,
+        "failure_examples": [repr(f) for f in failures[:3]],
+        "latency_avg_ms": 1e3 * float(np.mean(latencies)) if latencies else 0.0,
+        "latency_p50_ms": 1e3 * _percentile(latencies, 50),
+        "latency_p95_ms": 1e3 * _percentile(latencies, 95),
+        "latency_p99_ms": 1e3 * _percentile(latencies, 99),
+        "busy_retries": sum(o["busy_retries"] for o in completed),
+        "cpu_s": cpu_after - cpu_before,
+        "max_rss_mb": _max_rss_mb(),
+        "session_results": sorted(
+            (
+                {"index": o["index"], "seed": o["seed"], **o["result"]}
+                for o in completed
+            ),
+            key=lambda r: r["index"],
+        ),
+        **spec.tags,
+    }
+
+
+def run_load_sync(spec: LoadSpec) -> dict:
+    """Synchronous convenience wrapper around :func:`run_load`."""
+    return asyncio.run(run_load(spec))

@@ -40,7 +40,7 @@ from repro.streaming.source import DEFAULT_CHUNK_SIZE, GeneratorSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken, ListToken
 
-__all__ = ["Session", "SessionManager"]
+__all__ = ["Session", "SessionManager", "validate_lists", "validate_spec"]
 
 #: RunSpec fields a client may set when creating a session.  The stream
 #: itself is the session's fed edge log, so stream-synthesis fields
@@ -49,6 +49,81 @@ _SPEC_FIELDS = (
     "algorithm", "n", "delta", "seed", "config", "verify", "chunk_size",
     "validate", "tags",
 )
+
+
+def validate_spec(registry, spec_fields: dict, lists):
+    """Validate a client session spec against ``registry``.
+
+    Module-level so the pool dispatcher can reject bad specs before
+    routing them to a worker.  Returns ``(spec, entry, config, lists)``
+    with lists normalized to ``{vertex: sorted colors}``.
+    """
+    if not isinstance(spec_fields, dict):
+        raise ServiceError("create needs a spec object")
+    unknown = set(spec_fields) - set(_SPEC_FIELDS)
+    if unknown:
+        raise ServiceError(
+            f"spec has unknown field(s) {sorted(unknown)}; "
+            f"accepted: {list(_SPEC_FIELDS)}"
+        )
+    for required in ("algorithm", "n", "delta"):
+        if required not in spec_fields:
+            raise ServiceError(f"spec is missing required field {required!r}")
+    entry = registry.get(spec_fields["algorithm"])
+    fields = dict(spec_fields)
+    for name in ("n", "delta", "seed", "chunk_size"):
+        value = fields.get(name)
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, int)
+        ):
+            raise ServiceError(
+                f"spec.{name} must be an integer, got {value!r}"
+            )
+    for name in ("config", "tags"):
+        if name in fields and not isinstance(fields[name], dict):
+            raise ServiceError(f"spec.{name} must be an object")
+    verify = fields.get("verify", False)
+    if verify not in (False, True, "strict"):
+        raise ServiceError(
+            f"spec.verify must be false, true, or 'strict', got {verify!r}"
+        )
+    try:
+        spec = RunSpec(**fields)
+    except TypeError as error:
+        raise ServiceError(f"bad spec: {error}") from None
+    if spec.n < 0:
+        raise ServiceError(f"spec.n must be >= 0, got {spec.n}")
+    config = entry.make_config(spec.config)  # ReproError on bad options
+    if entry.needs_lists:
+        if lists is None:
+            raise ServiceError(
+                f"algorithm {entry.name!r} needs per-vertex color lists; "
+                "pass them at create time"
+            )
+        lists = validate_lists(lists, spec, config)
+    elif lists is not None:
+        raise ServiceError(
+            f"algorithm {entry.name!r} does not take color lists"
+        )
+    return spec, entry, config, lists
+
+
+def validate_lists(lists, spec, config) -> dict:
+    if isinstance(lists, list):
+        lists = dict(lists)
+    try:
+        clean = {
+            int(x): sorted(int(c) for c in colors)
+            for x, colors in lists.items()
+        }
+    except (TypeError, ValueError) as error:
+        raise ServiceError(f"bad color lists: {error}") from None
+    for x, colors in clean.items():
+        if not 0 <= x < spec.n:
+            raise ServiceError(f"list vertex {x} out of range [0, {spec.n})")
+        if not colors:
+            raise ServiceError(f"vertex {x} has an empty color list")
+    return clean
 
 
 class Session:
@@ -242,72 +317,7 @@ class SessionManager:
         return sid
 
     def _validate_spec(self, spec_fields: dict, lists):
-        if not isinstance(spec_fields, dict):
-            raise ServiceError("create needs a spec object")
-        unknown = set(spec_fields) - set(_SPEC_FIELDS)
-        if unknown:
-            raise ServiceError(
-                f"spec has unknown field(s) {sorted(unknown)}; "
-                f"accepted: {list(_SPEC_FIELDS)}"
-            )
-        for required in ("algorithm", "n", "delta"):
-            if required not in spec_fields:
-                raise ServiceError(f"spec is missing required field {required!r}")
-        entry = self.registry.get(spec_fields["algorithm"])
-        fields = dict(spec_fields)
-        for name in ("n", "delta", "seed", "chunk_size"):
-            value = fields.get(name)
-            if value is not None and (
-                isinstance(value, bool) or not isinstance(value, int)
-            ):
-                raise ServiceError(
-                    f"spec.{name} must be an integer, got {value!r}"
-                )
-        for name in ("config", "tags"):
-            if name in fields and not isinstance(fields[name], dict):
-                raise ServiceError(f"spec.{name} must be an object")
-        verify = fields.get("verify", False)
-        if verify not in (False, True, "strict"):
-            raise ServiceError(
-                f"spec.verify must be false, true, or 'strict', got {verify!r}"
-            )
-        try:
-            spec = RunSpec(**fields)
-        except TypeError as error:
-            raise ServiceError(f"bad spec: {error}") from None
-        if spec.n < 0:
-            raise ServiceError(f"spec.n must be >= 0, got {spec.n}")
-        config = entry.make_config(spec.config)  # ReproError on bad options
-        if entry.needs_lists:
-            if lists is None:
-                raise ServiceError(
-                    f"algorithm {entry.name!r} needs per-vertex color lists; "
-                    "pass them at create time"
-                )
-            lists = self._validate_lists(lists, spec, config)
-        elif lists is not None:
-            raise ServiceError(
-                f"algorithm {entry.name!r} does not take color lists"
-            )
-        return spec, entry, config, lists
-
-    @staticmethod
-    def _validate_lists(lists, spec, config) -> dict:
-        if isinstance(lists, list):
-            lists = dict(lists)
-        try:
-            clean = {
-                int(x): sorted(int(c) for c in colors)
-                for x, colors in lists.items()
-            }
-        except (TypeError, ValueError) as error:
-            raise ServiceError(f"bad color lists: {error}") from None
-        for x, colors in clean.items():
-            if not 0 <= x < spec.n:
-                raise ServiceError(f"list vertex {x} out of range [0, {spec.n})")
-            if not colors:
-                raise ServiceError(f"vertex {x} has an empty color list")
-        return clean
+        return validate_spec(self.registry, spec_fields, lists)
 
     async def feed(self, sid: str, edges) -> dict:
         """Append an edge block; one-pass algorithms consume it now."""
@@ -448,6 +458,68 @@ class SessionManager:
         """Explicitly evict a session to disk; returns the checkpoint path."""
         async with self._session(sid) as session, self._lock:
             return self._evict(session)
+
+    async def snapshot(self, sid: str, path=None) -> str:
+        """Checkpoint a session *without* evicting it.
+
+        The migration/drain primitive: the written ``REPROCK1`` file can
+        be :meth:`adopt`-ed by another manager (typically in a different
+        worker process) while this one keeps serving — or drops — the
+        original.  Returns the checkpoint path.
+        """
+        async with self._session(sid) as session:
+            if path is None:
+                path = f"{self.checkpoint_dir}/{sid}.snap.ck"
+            header, arrays = self._session_snapshot(session)
+            await asyncio.to_thread(write_checkpoint, path, header, arrays)
+        return str(path)
+
+    async def adopt(self, path, sid=None) -> str:
+        """Take ownership of a session from a checkpoint file.
+
+        Rebuilds the session under ``sid`` (a fresh local id when None)
+        regardless of the id recorded in the checkpoint — the pool
+        dispatcher owns the public id space; worker-local ids are its
+        implementation detail.  Returns the session id used.
+        """
+        try:
+            header, arrays = await asyncio.to_thread(read_checkpoint, path)
+        except CheckpointError as error:
+            raise ServiceError(
+                f"cannot adopt session checkpoint {path!r}: {error}"
+            ) from None
+        async with self._lock:
+            if sid is None:
+                sid = f"s{self._next_id}"
+                self._next_id += 1
+            self._check_sid(sid)
+            if sid in self._resident or sid in self._evicted:
+                raise ServiceError(f"session {sid!r} already exists")
+            if self._count() >= self.max_sessions:
+                raise ServiceError(
+                    f"session limit reached ({self.max_sessions}); "
+                    "cannot adopt"
+                )
+            session = self._build_session(sid, header, arrays)
+            self._resident[sid] = session
+            self._touch(sid)
+            self._maybe_evict()
+        return sid
+
+    async def quiesce(self) -> dict:
+        """Checkpoint every resident session to disk (graceful shutdown).
+
+        Returns ``{sid: checkpoint_path}`` for every session the manager
+        holds.  Sessions pinned by in-flight operations are skipped — the
+        caller drains requests first, so in practice nothing is pinned.
+        """
+        async with self._lock:
+            for session in sorted(self._resident.values(),
+                                  key=lambda s: s.sid):
+                if session.lock.locked() or self._pins.get(session.sid):
+                    continue
+                self._evict(session)
+            return dict(self._evicted)
 
     def _maybe_evict(self) -> None:
         """Evict LRU idle sessions until residency fits (manager lock held)."""

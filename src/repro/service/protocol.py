@@ -39,12 +39,23 @@ def decode_message(line: bytes) -> dict:
 
 
 def error_response(error: Exception, request: dict | None = None) -> dict:
-    """The uniform failure envelope for one request."""
+    """The uniform failure envelope for one request.
+
+    Errors relayed from a pool worker carry the original exception class
+    name in ``remote_code`` so clients see e.g. ``GuaranteeViolationError``
+    rather than the dispatcher-side wrapper.  Load-shedding errors add
+    ``busy: true`` and a ``retry_after`` hint (seconds) so clients can
+    back off and retry instead of failing.
+    """
     response = {
         "ok": False,
         "error": str(error),
-        "code": type(error).__name__,
+        "code": getattr(error, "remote_code", type(error).__name__),
     }
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is not None:
+        response["busy"] = True
+        response["retry_after"] = float(retry_after)
     if request and "id" in request:
         response["id"] = request["id"]
     return response

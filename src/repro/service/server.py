@@ -39,10 +39,14 @@ class ColoringService:
     """Dispatches protocol requests onto a :class:`SessionManager`."""
 
     def __init__(self, manager: SessionManager | None = None, **manager_kwargs):
+        # Anything with the SessionManager op surface works — notably
+        # repro.service.pool.WorkerPool, the sharded execution plane.
         self.manager = (
             manager if manager is not None else SessionManager(**manager_kwargs)
         )
         self.shutdown_event = asyncio.Event()
+        self._inflight = 0
+        self._writers: set = set()
 
     # ------------------------------------------------------------------
     async def dispatch(self, request: dict) -> dict:
@@ -99,6 +103,7 @@ class ColoringService:
     # ------------------------------------------------------------------
     async def _serve_stream(self, reader, writer) -> None:
         """One connection: read framed requests until EOF or shutdown."""
+        self._writers.add(writer)
         try:
             while not self.shutdown_event.is_set():
                 try:
@@ -119,12 +124,31 @@ class ColoringService:
                     writer.write(encode_message(error_response(error)))
                     await writer.drain()
                     continue
-                writer.write(encode_message(await self.dispatch(request)))
+                self._inflight += 1
+                try:
+                    response = await self.dispatch(request)
+                finally:
+                    self._inflight -= 1
+                writer.write(encode_message(response))
                 await writer.drain()
         finally:
+            self._writers.discard(writer)
             with contextlib.suppress(ConnectionResetError, OSError):
                 writer.close()
                 await writer.wait_closed()
+
+    async def drain(self, timeout: float = 10.0) -> bool:
+        """Wait for in-flight requests to finish (10 ms polling).
+
+        Returns True when the service went quiet within ``timeout``
+        seconds; connections are left open (reads just stop being
+        answered once the caller closes the listener).
+        """
+        waited = 0.0
+        while self._inflight and waited < timeout:
+            await asyncio.sleep(0.01)
+            waited += 0.01
+        return self._inflight == 0
 
     async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
         """Start the TCP server; returns the listening ``asyncio.Server``."""
@@ -133,12 +157,43 @@ class ColoringService:
         )
 
     async def serve_tcp_until_shutdown(self, host: str, port: int) -> None:
-        """Serve until a ``shutdown`` op (or cancellation)."""
+        """Serve until a ``shutdown`` op, SIGTERM/SIGINT, or cancellation.
+
+        Graceful exit sequence: stop accepting connections, drain
+        in-flight requests, then quiesce the manager so every resident
+        session is safe in a ``REPROCK1`` checkpoint before the process
+        ends.
+        """
+        import signal
+
+        loop = asyncio.get_running_loop()
+        handled = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.shutdown_event.set)
+                handled.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loops; the shutdown op still works
         server = await self.serve_tcp(host, port)
         addr = server.sockets[0].getsockname()
         print(f"repro serve: listening on {addr[0]}:{addr[1]}", flush=True)
-        async with server:
-            await self.shutdown_event.wait()
+        try:
+            async with server:
+                await self.shutdown_event.wait()
+                server.close()  # stop accepting; in-flight reads continue
+                await self.drain()
+                checkpoints = {}
+                quiesce = getattr(self.manager, "quiesce", None)
+                if quiesce is not None:
+                    checkpoints = await quiesce()
+                print(
+                    f"repro serve: shut down cleanly "
+                    f"({len(checkpoints)} session(s) checkpointed)",
+                    flush=True,
+                )
+        finally:
+            for signum in handled:
+                loop.remove_signal_handler(signum)
 
     async def serve_stdio(self) -> None:
         """Serve one client over stdin/stdout (newline-JSON, same protocol)."""

@@ -1,6 +1,6 @@
 """``repro.staticcheck``: the AST contract checker.
 
-Eight repository-specific rules prove, at lint time, the structural
+Nine repository-specific rules prove, at lint time, the structural
 invariants the runtime verification layers (``repro.verify``,
 ``repro.persist``, ``repro.service``) rely on implicitly:
 
@@ -24,6 +24,9 @@ R6  exit-code-convention     CLI error paths print to stderr and exit 2
 R7  determinism-hygiene      no wall-clock or set-order dependence in result
                              paths; ``perf_counter`` only with an annotation
 R8  exception-taxonomy       raises derive from the ``ReproError`` taxonomy
+R9  ipc-discipline           worker IPC never pickles payloads: edge blocks
+                             ride the shared-memory ring; pipe I/O only via
+                             the ``_send_msg``/``_recv_msg`` choke points
 ==  =======================  =================================================
 
 Per-site suppression: ``# repro: noqa[R7] reason`` (or bare

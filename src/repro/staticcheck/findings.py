@@ -19,7 +19,7 @@ class Finding:
     path: str  # root-relative posix path
     line: int  # 1-based
     col: int  # 0-based, as reported by ast
-    rule: str  # "R1" .. "R8"
+    rule: str  # "R1" .. "R9"
     message: str
     text: str = ""  # the stripped source line (fingerprint anchor)
 

@@ -1,4 +1,4 @@
-"""The eight contract rules.
+"""The nine contract rules.
 
 Each rule proves one structural invariant the runtime layers rely on
 implicitly (the guarantee oracles of :mod:`repro.verify`, the snapshot
@@ -292,6 +292,9 @@ class AsyncBlockingRule(Rule):
     _BANNED_PREFIXES = ("subprocess.", "shutil.", "os.path.")
     _BANNED_METHODS = frozenset({
         "read_text", "write_text", "read_bytes", "write_bytes",
+        # blocking pipe I/O (the pool dispatcher's reader thread and
+        # asyncio.to_thread are the only places these may run)
+        "recv", "recv_bytes", "send", "send_bytes",
     })
 
     def check(self, mod, project):
@@ -598,6 +601,84 @@ class ExceptionTaxonomyRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# R9 — worker IPC discipline
+# ----------------------------------------------------------------------
+class WorkerIpcRule(Rule):
+    """Worker IPC moves edge payloads through shared memory, never pickle.
+
+    The execution plane's zero-copy contract (:mod:`repro.service.pool`):
+    edge blocks travel through the per-worker shared-memory ring; the
+    control pipe carries only small plain-data dicts, funnelled through
+    the ``_send_msg`` / ``_recv_msg`` choke points (which runtime-assert
+    that no ndarray sneaks into a control message).  In scope
+    (``repro.service`` and ``repro.engine.grid``) this rule bans explicit
+    ``pickle`` use entirely and confines raw connection I/O
+    (``.send/.recv/.send_bytes/.recv_bytes``) to those two helpers, so a
+    stray ``conn.send(edges)`` cannot silently reintroduce per-block
+    pickling.
+    """
+
+    id = "R9"
+    title = "ipc-discipline"
+    _SCOPES = ("repro.service", "repro.engine.grid")
+    _PIPE_METHODS = frozenset({"send", "recv", "send_bytes", "recv_bytes"})
+    _CHOKE_POINTS = frozenset({"_send_msg", "_recv_msg"})
+
+    def _choke_point_nodes(self, tree) -> set:
+        inside: set = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name in self._CHOKE_POINTS:
+                inside.update(ast.walk(node))
+        return inside
+
+    def check(self, mod, project):
+        if not _in_package(mod, *self._SCOPES):
+            return
+        exempt = self._choke_point_nodes(mod.tree)
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "pickle" \
+                            or alias.name.startswith("pickle."):
+                        yield _finding(
+                            mod, node, self.id,
+                            "import of pickle in worker-IPC scope; edge "
+                            "payloads cross processes via the shared-memory "
+                            "ring, control messages via _send_msg/_recv_msg",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if base == "pickle" or base.startswith("pickle."):
+                    yield _finding(
+                        mod, node, self.id,
+                        "import from pickle in worker-IPC scope; edge "
+                        "payloads cross processes via the shared-memory "
+                        "ring, control messages via _send_msg/_recv_msg",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = mod.resolve(node.func)
+                if dotted is not None and (
+                    dotted == "pickle" or dotted.startswith("pickle.")
+                ):
+                    yield _finding(
+                        mod, node, self.id,
+                        f"{dotted}(...) in worker-IPC scope; never pickle "
+                        f"payloads by hand — use the shared-memory ring",
+                    )
+                    continue
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in self._PIPE_METHODS
+                        and node not in exempt):
+                    yield _finding(
+                        mod, node, self.id,
+                        f".{node.func.attr}(...) outside the "
+                        f"_send_msg/_recv_msg choke points; raw connection "
+                        f"I/O bypasses the no-ndarray assertion",
+                    )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     MeteredRandomnessRule(),
     SnapshotCompletenessRule(),
@@ -607,6 +688,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ExitCodeRule(),
     DeterminismRule(),
     ExceptionTaxonomyRule(),
+    WorkerIpcRule(),
 )
 
 

@@ -470,6 +470,138 @@ class TestTcpService:
         asyncio.run(go())
 
 
+class TestClientRobustness:
+    """Per-request timeouts, reconnect backoff, busy-retry transparency."""
+
+    def test_request_timeout_marks_connection_broken(self):
+        async def go():
+            async def black_hole(reader, writer):
+                await reader.readline()  # swallow the request, never reply
+
+            server = await asyncio.start_server(black_hole, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await ServiceClient.connect(
+                "127.0.0.1", port, timeout=0.1
+            )
+            async with client:
+                with pytest.raises(ServiceError, match="timed out after"):
+                    await client.ping()
+                # the reply may still be in flight: reusing the stream
+                # would desync pairing, so the client refuses
+                with pytest.raises(ServiceError, match="broken"):
+                    await client.ping()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_connect_retries_exhausted_is_service_error(self):
+        async def go():
+            # grab a port and close it so nothing listens there
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            with pytest.raises(ServiceError, match="after 3 attempt"):
+                await ServiceClient.connect(
+                    "127.0.0.1", port, retries=2, backoff=0.01
+                )
+
+        asyncio.run(go())
+
+    def test_connect_backoff_reaches_late_server(self):
+        async def go():
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+
+            service = ColoringService(max_sessions=4)
+            server = None
+
+            async def boot_late():
+                nonlocal server
+                await asyncio.sleep(0.15)
+                server = await service.serve_tcp("127.0.0.1", port)
+
+            boot = asyncio.create_task(boot_late())
+            client = await ServiceClient.connect(
+                "127.0.0.1", port, retries=8, backoff=0.05
+            )
+            async with client:
+                assert await client.ping()
+            await boot
+            server.close()
+            await server.wait_closed()
+            service.manager.close()
+
+        asyncio.run(go())
+
+    def test_busy_replies_are_retried_transparently(self):
+        async def go():
+            sheds = 2
+
+            async def flaky(reader, writer):
+                nonlocal sheds
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        return
+                    if sheds > 0:
+                        sheds -= 1
+                        response = {"ok": False, "error": "shard busy",
+                                    "code": "ServiceBusyError",
+                                    "busy": True, "retry_after": 0.01}
+                    else:
+                        response = {"ok": True, "pong": True}
+                    writer.write(encode_message(response))
+                    await writer.drain()
+
+            server = await asyncio.start_server(flaky, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await ServiceClient.connect("127.0.0.1", port)
+            async with client:
+                assert await client.ping()
+                assert client.busy_retries_used == 2
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_busy_retries_exhausted_raises_busy_error(self):
+        from repro.common.exceptions import ServiceBusyError
+
+        async def go():
+            async def always_busy(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        return
+                    writer.write(encode_message(
+                        {"ok": False, "error": "shard busy",
+                         "code": "ServiceBusyError",
+                         "busy": True, "retry_after": 0.001}
+                    ))
+                    await writer.drain()
+
+            server = await asyncio.start_server(always_busy, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await ServiceClient.connect(
+                "127.0.0.1", port, busy_retries=3
+            )
+            async with client:
+                with pytest.raises(ServiceBusyError, match="still busy"):
+                    await client.ping()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(go())
+
+
 class TestSessionVsEngineDifferential:
     """A session's result must equal the engine's for the same stream."""
 
