@@ -9,17 +9,35 @@ be identical pairwise, and each case carries a speedup floor — ≥3x for
 the flagship ``robust`` and ``list_coloring`` cases (plus the n=16384
 deterministic leg's historical ≥5x), looser regression floors for the
 event-bound sketch baselines, and none for the single-pass trivial-work
-cases whose scan is materialization-bound either way.  The numbers land
-both in the usual text table and in the machine-readable
-``BENCH_s1_scale.json`` artifact that CI uploads (and checks for
-completeness against the registry).
+cases whose scan is materialization-bound either way.
+
+Each sweep case additionally records the resolved ``kernel_tier`` and the
+per-kernel dispatch totals (calls + seconds, via ``measure_kernels``), and
+when numba is importable a compiled-tier leg re-runs the flagship cases
+under ``kernel_tier="compiled"`` vs the numpy reference — bit-identical
+results required, with wall-clock floors (≥5x deterministic, ≥2x robust
+and list_coloring).  ``BENCH_S1_SMOKE=1`` shrinks the sweep for CI's
+``kernels`` job; the compiled leg keeps full sizes either way (the
+compiled tier is what makes them cheap, and the floors are meaningless at
+toy sizes).  The numbers land both in the usual text table and in the
+machine-readable ``BENCH_s1_scale.json`` artifact that CI uploads (and
+checks for completeness against the registry).
 """
+
+import os
 
 from conftest import run_once
 
 from repro.engine import REGISTRY, GameSpec, RunSpec, run, run_game
+from repro.kernels import compiled_available, measure_kernels
 
-THROUGHPUT_N = 16384
+#: CI's ``kernels`` job sets this to keep the sweep quick; sizes shrink
+#: and the block-vs-token speedup floors turn into record-only fields
+#: (timing ratios at toy sizes are noise, and the full-size bench-smoke
+#: job still enforces them on every push).
+SMOKE = bool(os.environ.get("BENCH_S1_SMOKE"))
+
+THROUGHPUT_N = 512 if SMOKE else 16384
 THROUGHPUT_DELTA = 24
 SPEEDUP_FLOOR = 5.0
 
@@ -32,22 +50,100 @@ THROUGHPUT_CASES = [
      SPEEDUP_FLOOR),
     ("list_coloring", 160, 6, {"prime_policy": "scaled"}, "materialized",
      "random_max_degree", 3.0),
-    ("robust", 2048, 16, {}, "materialized", "random_max_degree", 3.0),
-    ("robust_lowrandom", 1024, 16, {}, "materialized", "random_max_degree",
-     2.0),
-    ("cgs22", 1024, 16, {}, "materialized", "random_max_degree", 2.0),
-    ("acs22", 1024, 8, {}, "materialized", "random_max_degree", 2.0),
+    ("robust", 512 if SMOKE else 2048, 16, {}, "materialized",
+     "random_max_degree", 3.0),
+    ("robust_lowrandom", 512 if SMOKE else 1024, 16, {}, "materialized",
+     "random_max_degree", 2.0),
+    ("cgs22", 512 if SMOKE else 1024, 16, {}, "materialized",
+     "random_max_degree", 2.0),
+    ("acs22", 512 if SMOKE else 1024, 8, {}, "materialized",
+     "random_max_degree", 2.0),
     ("naive", THROUGHPUT_N, THROUGHPUT_DELTA, {}, "file", "near_regular",
      4.0),
-    ("palette_sparsification", 4096, 16, {}, "file", "near_regular", None),
+    ("palette_sparsification", 512 if SMOKE else 4096, 16, {}, "file",
+     "near_regular", None),
 ]
+
+#: Compiled-tier legs (run only where numba is installed — CI's ``kernels``
+#: job): numpy reference vs compiled twins on the flagship cases, results
+#: required bit-identical, streaming throughput floors from the perf story.
+COMPILED_CASES = [
+    ("deterministic", 16384, 24, {"selection": "greedy_slack"},
+     "random_max_degree", 5.0),
+    ("robust", 2048, 16, {}, "random_max_degree", 2.0),
+    ("list_coloring", 160, 6, {"prime_policy": "scaled"},
+     "random_max_degree", 2.0),
+]
+
+
+def _tier_fingerprint(result):
+    """Everything observable about a run except wall times and kernel hits."""
+    return (
+        result.coloring,
+        result.passes,
+        result.peak_space_bits,
+        result.random_bits,
+        result.colors_used,
+        result.palette_bound,
+        result.proper,
+    )
+
+
+def run_compiled_leg(rows):
+    """Numpy vs compiled tier on the flagship cases (numba hosts only)."""
+    cases = {}
+    if not compiled_available():
+        return cases
+    for algo, n, delta, config, family, floor in COMPILED_CASES:
+        # Warm the JIT cache on a toy instance so the timed leg measures
+        # steady-state kernels, not one-time compilation.
+        run(RunSpec(
+            algorithm=algo, n=64, delta=6, graph_seed=7, config=config,
+            stream_backend="materialized", kernel_tier="compiled",
+            validate=False,
+        ))
+        per_tier = {}
+        for tier in ("numpy", "compiled"):
+            per_tier[tier] = run(RunSpec(
+                algorithm=algo, n=n, delta=delta, graph_seed=401,
+                config=config, graph_family=family,
+                stream_backend="materialized", kernel_tier=tier,
+                keep_coloring=True,
+            ))
+        numpy_run, compiled_run = per_tier["numpy"], per_tier["compiled"]
+        identical = _tier_fingerprint(numpy_run) == _tier_fingerprint(
+            compiled_run
+        )
+        speedup = (
+            compiled_run.extras["edges_per_sec"]
+            / numpy_run.extras["edges_per_sec"]
+        )
+        rows.append([f"{algo} compiled tier", n, delta,
+                     numpy_run.extras["stream_edges"], numpy_run.passes,
+                     f"{speedup:.1f}x", identical])
+        cases[algo] = {
+            "n": n,
+            "delta": delta,
+            "numpy_edges_per_sec": numpy_run.extras["edges_per_sec"],
+            "compiled_edges_per_sec": compiled_run.extras["edges_per_sec"],
+            "speedup": speedup,
+            "floor": floor,
+            "identical": identical,
+            "kernel_hits": compiled_run.extras.get("kernel_hits", {}),
+        }
+    return cases
 
 
 def run_scale():
     rows = []
-    json_payload = {"legs": []}
+    json_payload = {
+        "legs": [],
+        "smoke": SMOKE,
+        "host_cpus": os.cpu_count() or 1,
+        "compiled_available": compiled_available(),
+    }
     # Deterministic, heuristic selection (1 pass/stage), n=1024.
-    n, delta = 1024, 24
+    n, delta = (256, 12) if SMOKE else (1024, 24)
     det = run(RunSpec(
         algorithm="deterministic", n=n, delta=delta, graph_seed=401,
         config={"selection": "greedy_slack"},
@@ -55,7 +151,7 @@ def run_scale():
     rows.append(["deterministic greedy_slack", n, delta,
                  det.extras["stream_edges"], det.passes, "-", det.proper])
     # Robust, adaptive adversary, n=2048.
-    n, delta = 2048, 16
+    n, delta = (512, 8) if SMOKE else (2048, 16)
     rounds = (n * delta) // 4
     game = run_game(GameSpec(
         algorithm="robust", n=n, delta=delta, rounds=rounds, seed=402,
@@ -65,17 +161,19 @@ def run_scale():
     rows.append(["robust Alg 2 (adaptive)", n, delta, game.extras["rounds"],
                  game.passes, "-", game.proper])
     # Throughput sweep: token path vs block path for every registered
-    # algorithm, identical stream per pair.
+    # algorithm, identical stream per pair.  Each case also records which
+    # kernel tier served it and where the dispatched kernel time went.
     algorithms = {}
     flagship_token_proper = flagship_block_proper = False
     for algo, n, delta, config, backend, family, floor in THROUGHPUT_CASES:
         per_backend = {}
-        for bk in ("tokens", backend):
-            per_backend[bk] = run(RunSpec(
-                algorithm=algo, n=n, delta=delta, graph_seed=401,
-                config=config, graph_family=family, stream_backend=bk,
-                keep_coloring=True, validate=algo != "naive",
-            ))
+        with measure_kernels() as kernel_timings:
+            for bk in ("tokens", backend):
+                per_backend[bk] = run(RunSpec(
+                    algorithm=algo, n=n, delta=delta, graph_seed=401,
+                    config=config, graph_family=family, stream_backend=bk,
+                    keep_coloring=True, validate=algo != "naive",
+                ))
         token, block = per_backend["tokens"], per_backend[backend]
         if algo == "deterministic":
             flagship_token_proper = token.proper
@@ -107,11 +205,20 @@ def run_scale():
             "token_edges_per_sec": token.extras["edges_per_sec"],
             "block_edges_per_sec": block.extras["edges_per_sec"],
             "speedup": speedup,
-            "speedup_floor": floor,
+            "speedup_floor": None if SMOKE else floor,
             "colorings_identical": identical,
             "block_native": block.extras.get("block_native", False),
+            "kernel_tier": block.extras["kernel_tier"],
+            "kernels": {
+                name: {"calls": calls, "seconds": seconds}
+                for name, (calls, seconds) in sorted(kernel_timings.items())
+            },
         }
     json_payload["algorithms"] = algorithms
+    json_payload["compiled"] = {
+        "available": compiled_available(),
+        "cases": run_compiled_leg(rows),
+    }
     # Back-compat artifact fields: the flagship deterministic record.
     flagship = algorithms["deterministic"]
     for bk_key, eps_key, proper in (
@@ -129,7 +236,7 @@ def run_scale():
         })
     json_payload["speedup"] = flagship["speedup"]
     json_payload["colorings_identical"] = flagship["colorings_identical"]
-    json_payload["speedup_floor"] = SPEEDUP_FLOOR
+    json_payload["speedup_floor"] = None if SMOKE else SPEEDUP_FLOOR
     headers = ["algorithm", "n", "delta", "edges", "passes", "edges/s", "ok"]
     return (headers, rows), json_payload
 
@@ -139,17 +246,38 @@ def test_s1_scale(benchmark, record_table, record_json):
     record_table("s1_scale", headers, rows, title="S1: scalability smoke")
     record_json("s1_scale", payload)
     assert all(row[-1] is True for row in rows)
+    assert payload["host_cpus"] >= 1
     recorded = set(payload["algorithms"])
     assert recorded == set(REGISTRY.names()), (
         f"throughput sweep must cover the whole registry; "
         f"missing {sorted(set(REGISTRY.names()) - recorded)}"
     )
+    expected_tier = "compiled" if compiled_available() else "numpy"
     for algo, record in payload["algorithms"].items():
         assert record["colorings_identical"], algo
         assert record["block_native"], algo
+        assert record["kernel_tier"] == expected_tier, algo
+        assert all(
+            rec["calls"] > 0 and rec["seconds"] >= 0.0
+            for rec in record["kernels"].values()
+        ), algo
         floor = record["speedup_floor"]
         if floor is not None:
             assert record["speedup"] >= floor, (
                 f"{algo}: block path sustained only {record['speedup']:.1f}x "
                 f"the token baseline (floor {floor}x)"
+            )
+    assert payload["compiled"]["available"] == compiled_available()
+    if compiled_available():
+        cases = payload["compiled"]["cases"]
+        assert set(cases) == {c[0] for c in COMPILED_CASES}
+        for algo, case in cases.items():
+            assert case["identical"], (
+                f"{algo}: compiled tier diverged from the numpy reference"
+            )
+            assert sum(case["kernel_hits"].values()) > 0, algo
+            assert case["speedup"] >= case["floor"], (
+                f"{algo}: compiled tier sustained only "
+                f"{case['speedup']:.1f}x the numpy tier "
+                f"(floor {case['floor']}x)"
             )

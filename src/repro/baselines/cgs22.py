@@ -33,6 +33,7 @@ from repro.common.rng import SeededRng
 from repro.graph.coloring import greedy_coloring
 from repro.graph.graph import Graph
 from repro.hashing.kindependent import PolynomialHashFamily
+from repro.streaming.blocks import trim_hash_cache
 from repro.streaming.model import OnePassAlgorithm
 
 
@@ -91,6 +92,7 @@ class SketchSwitchingQuadraticColoring(OnePassAlgorithm):
                 acc = (acc * x + c[:, :, d]) % self._prime
             cached = acc % self.ell
             self._hash_cache[x] = cached
+            trim_hash_cache(self._hash_cache)
         return cached
 
     def _update_space(self) -> None:

@@ -25,7 +25,13 @@ from repro.analysis import experiments as exp
 from repro.analysis.report import build_report
 from repro.analysis.tables import format_table
 from repro.common.exceptions import ReproError
-from repro.engine import REGISTRY, set_default_stream, set_default_workers
+from repro.engine import (
+    KERNEL_TIERS,
+    REGISTRY,
+    set_default_kernel_tier,
+    set_default_stream,
+    set_default_workers,
+)
 
 
 def _ints(text: str) -> list[int]:
@@ -153,6 +159,30 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chunk-size", type=int, default=None, metavar="K",
                      help="edges per block for the block backends "
                      "(default 8192)")
+    run.add_argument("--kernel-tier", default=None, choices=KERNEL_TIERS,
+                     help="hot-loop implementation tier for every run of "
+                     "the experiment: auto (compiled when numba is "
+                     "importable, else numpy) | numpy | compiled "
+                     "(error when numba is absent); default auto")
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the registry sweep: per-kernel dispatch-layer time "
+        "table plus cProfile hot functions (see repro.kernels.profile)",
+    )
+    profile.add_argument("--algorithms", default=None, metavar="LIST",
+                         help="comma-separated algorithm names "
+                         "(default: every algorithm with a profile case)")
+    profile.add_argument("--kernel-tier", default=None, choices=KERNEL_TIERS,
+                         help="tier to profile (default auto)")
+    profile.add_argument("--chunk-size", type=int, default=None, metavar="K",
+                         help="edges per block (default 8192)")
+    profile.add_argument("--seed", type=int, default=401)
+    profile.add_argument("--top", type=int, default=12,
+                         help="cProfile rows to keep (default 12)")
+    profile.add_argument("--json", default=None, metavar="FILE",
+                         help="also write the machine-readable payload "
+                         "to FILE ('-' for stdout instead of the tables)")
 
     verify = sub.add_parser(
         "verify",
@@ -191,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
                       "installed repro package's source tree)")
     lint.add_argument("--rules", default=None, metavar="LIST",
                       help="comma-separated rule ids, e.g. R1,R7 "
-                      "(default: all nine)")
+                      "(default: all ten)")
     lint.add_argument("--baseline", default=None, metavar="FILE",
                       help="grandfathered-findings file (default: "
                       "lint-baseline.json at the source root, if present)")
@@ -604,6 +634,30 @@ def _run_lint(args) -> int:
     return report.exit_code
 
 
+def _run_profile(args) -> int:
+    import json
+
+    from repro.kernels.profile import format_profile, profile_sweep
+
+    try:
+        payload = profile_sweep(
+            _csv(args.algorithms), kernel_tier=args.kernel_tier,
+            chunk_size=args.chunk_size, seed=args.seed, top=args.top,
+        )
+    except ReproError as error:
+        print(f"repro profile: error: {error}", file=sys.stderr)
+        return 2
+    if args.json == "-":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+    print(format_profile(payload))
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -623,6 +677,8 @@ def main(argv=None) -> int:
         return _run_submit(args)
     if args.command == "loadgen":
         return _run_loadgen(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "run":
         if args.resume is not None:
             return _run_resume(args)
@@ -637,6 +693,8 @@ def main(argv=None) -> int:
             set_default_workers(args.workers)
             set_default_stream(backend=args.stream_backend,
                                chunk_size=args.chunk_size)
+            if args.kernel_tier is not None:
+                set_default_kernel_tier(args.kernel_tier)
             headers, rows = dispatch(args)
         except ReproError as error:
             print(f"repro run {args.experiment}: error: {error}",
@@ -647,6 +705,7 @@ def main(argv=None) -> int:
 
             set_default_workers(1)
             set_default_stream(backend="tokens", chunk_size=DEFAULT_CHUNK_SIZE)
+            set_default_kernel_tier("auto")
         print(format_table(headers, rows,
                            title=f"{args.experiment}: {description}"))
         return 0

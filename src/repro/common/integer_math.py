@@ -51,12 +51,15 @@ def mod_horner_array(coeffs, xs, p: int):
     """Horner-evaluate ``sum_i coeffs[i] * x^i mod p`` over an integer array.
 
     ``coeffs`` is low-to-high degree; every coefficient must lie in
-    ``[0, p)``.  Fast path: int64 vectorized arithmetic, valid whenever the
-    intermediate ``acc * x + c`` (with ``acc, c < p`` and ``x`` bounded by
-    the largest key) cannot exceed ``2**63 - 1``.  For larger moduli the
-    evaluation falls back to exact Python-int (object dtype) arithmetic, so
-    results are correct at any prime size — the overflow-safe modular path
-    shared by every hash family here.
+    ``[0, p)``.  Fast paths: int64 arithmetic through the kernel-dispatch
+    layer (``repro.kernels`` — pure numpy, or the compiled tier when
+    active), valid whenever the intermediate ``acc * x + c`` (with
+    ``acc, c < p`` and ``x`` bounded by the largest key) cannot exceed
+    ``2**63 - 1``.  For larger moduli the evaluation falls back to exact
+    Python-int (object dtype) arithmetic, so results are correct at any
+    prime size — the overflow-safe modular path shared by every hash
+    family here.  The object-dtype fallback never dispatches: the int64
+    domain guard is what makes the compiled twin admissible.
     """
     import numpy as np
 
@@ -68,17 +71,25 @@ def mod_horner_array(coeffs, xs, p: int):
     if horner_fits_int64(len(coeffs), xmax, p):
         # Small enough that even the mod-free accumulation cannot
         # overflow: one reduction at the end replaces one per step.
-        acc = np.zeros(out_shape, dtype=np.int64)
-        xs64 = xs.astype(np.int64, copy=False)
-        for c in reversed(coeffs):
-            acc = acc * xs64 + int(c)
-        return acc % p
+        from repro.kernels import dispatch
+
+        coeffs64 = np.fromiter(
+            (int(c) for c in coeffs), dtype=np.int64, count=len(coeffs)
+        )
+        xs64 = np.ascontiguousarray(xs.reshape(-1), dtype=np.int64)
+        return dispatch(
+            "mod_horner", coeffs64, xs64, p, False
+        ).reshape(out_shape)
     if (p - 1) * (xmax + 1) + (p - 1) < 2**63:
-        acc = np.zeros(out_shape, dtype=np.int64)
-        xs64 = xs.astype(np.int64, copy=False)
-        for c in reversed(coeffs):
-            acc = (acc * xs64 + int(c)) % p
-        return acc
+        from repro.kernels import dispatch
+
+        coeffs64 = np.fromiter(
+            (int(c) for c in coeffs), dtype=np.int64, count=len(coeffs)
+        )
+        xs64 = np.ascontiguousarray(xs.reshape(-1), dtype=np.int64)
+        return dispatch(
+            "mod_horner", coeffs64, xs64, p, True
+        ).reshape(out_shape)
     acc = np.zeros(out_shape, dtype=object)
     xs_obj = xs.astype(object)
     for c in reversed(coeffs):

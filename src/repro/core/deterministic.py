@@ -52,6 +52,7 @@ from repro.core.selector import SlackWeightedSelector
 from repro.core.subcube import Subcube
 from repro.graph.graph import Graph
 from repro.graph.independent_set import turan_independent_set
+from repro.kernels import dispatch
 from repro.streaming.machine import PassConsumer, drive_blocks, require_machine
 from repro.streaming.model import MultipassStreamingAlgorithm
 from repro.streaming.source import StreamSource
@@ -148,17 +149,14 @@ class _SlackPassConsumer(PassConsumer):
             return
         s = self.s
         for x, y in ((item[:, 0], item[:, 1]), (item[:, 1], item[:, 0])):
-            cy = self.chi_arr[y]
-            sel = (
-                self.unc[x]
-                & (cy > 0)
-                & (((cy - 1) & self.low_mask) == self.cube_value[x])
+            keys = dispatch(
+                "det_slack_keys", x, y, self.chi_arr, self.unc,
+                self.cube_value, self.low_mask, self.fixed, s,
             )
-            if not sel.any():
+            if not len(keys):
                 continue
-            pattern = ((cy[sel] - 1) >> self.fixed) & (s - 1)
-            self.key_chunks.append(x[sel] * s + pattern)
-            self.pending += len(self.key_chunks[-1])
+            self.key_chunks.append(keys)
+            self.pending += len(keys)
             if self.pending >= _FLUSH_KEYS:
                 self.counts += np.bincount(
                     np.concatenate(self.key_chunks), minlength=len(self.counts)
@@ -210,7 +208,7 @@ class _ConflictEdgesConsumer(PassConsumer):
         if not isinstance(item, np.ndarray):
             return
         u, v = item[:, 0], item[:, 1]
-        sel = self.unc[u] & self.unc[v] & (self.cube_value[u] == self.cube_value[v])
+        sel = dispatch("det_conflict_mask", u, v, self.unc, self.cube_value)
         if sel.any():
             self.chunks.append(item[sel])
 

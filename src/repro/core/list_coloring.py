@@ -51,6 +51,7 @@ from repro.graph.csr import dedupe_edges
 from repro.graph.graph import Graph
 from repro.graph.independent_set import turan_independent_set
 from repro.hashing.partitions import PartitionFamily
+from repro.kernels import dispatch
 from repro.streaming.machine import PassConsumer, drive_blocks, require_machine
 from repro.streaming.model import MultipassStreamingAlgorithm
 from repro.streaming.source import StreamSource
@@ -145,7 +146,6 @@ class _PartitionScoreConsumer(PassConsumer):
             np.arange(len(groups)), [len(group) for group in groups]
         )
         self.sub_table = table[self.rows]  # (M, universe + 1)
-        self.offsets = np.arange(len(self.rows), dtype=np.int64)[:, None] * self.s
         self.scores = np.zeros(len(groups))
         self.num_groups = len(groups)
         self.seen: set = set()
@@ -161,13 +161,9 @@ class _PartitionScoreConsumer(PassConsumer):
         survivors = colors[self.algo._contains_colors(self.state, x, colors)]
         if not len(survivors):
             return
-        occupancy = np.bincount(
-            (self.sub_table[:, survivors] + self.offsets).ravel(),
-            minlength=len(self.rows) * self.s,
-        ).reshape(len(self.rows), self.s)
-        per_member = np.maximum(0, occupancy.max(axis=1) - 1)
-        self.scores += np.bincount(
-            self.group_ids, weights=per_member, minlength=self.num_groups
+        self.scores += dispatch(
+            "partition_scores", self.sub_table, survivors,
+            self.group_ids, self.num_groups, self.s,
         )
 
     def finish(self, stream):
@@ -244,16 +240,15 @@ class _ChainConflictConsumer(PassConsumer):
         member_mask, chain_matrix = algo._chain_arrays(state)
         self.member_mask = member_mask
         self.chain_matrix = chain_matrix
-        self.stages = len(state.partitions)
         self.chunks: list = []
 
     def feed(self, item) -> None:
         if not isinstance(item, np.ndarray):
             return
         u, v = item[:, 0], item[:, 1]
-        sel = self.member_mask[u] & self.member_mask[v]
-        for t in range(self.stages):
-            sel &= self.chain_matrix[t, u] == self.chain_matrix[t, v]
+        sel = dispatch(
+            "chain_conflict_mask", u, v, self.member_mask, self.chain_matrix
+        )
         if sel.any():
             self.chunks.append(item[sel])
 
@@ -822,10 +817,12 @@ class DeterministicListColoring(MultipassStreamingAlgorithm):
 
     def _contains_pairs(self, state, chain_matrix, xs, colors) -> np.ndarray:
         """Mask where ``colors[i]`` lies in ``P_{xs[i]}``, elementwise."""
-        mask = np.ones(len(xs), dtype=bool)
-        for t, arr in enumerate(state.partitions):
-            mask &= arr[colors] == chain_matrix[t, xs]
-        return mask
+        if not state.partitions:
+            return np.ones(len(xs), dtype=bool)
+        part_stack = np.ascontiguousarray(
+            np.stack(state.partitions), dtype=np.int64
+        )
+        return dispatch("contains_pairs", part_stack, chain_matrix, xs, colors)
 
     def _token_colors(self, token) -> np.ndarray:
         return np.fromiter(token.colors, dtype=np.int64, count=len(token.colors))

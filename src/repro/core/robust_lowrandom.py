@@ -26,6 +26,7 @@ from repro.common.rng import SeededRng
 from repro.graph.coloring import greedy_coloring
 from repro.graph.graph import Graph
 from repro.hashing.kindependent import PolynomialHashFamily
+from repro.streaming.blocks import trim_hash_cache
 from repro.streaming.model import OnePassAlgorithm
 
 
@@ -94,6 +95,7 @@ class LowRandomnessRobustColoring(OnePassAlgorithm):
                 acc = (acc * x + c[:, :, d]) % self._prime
             cached = acc % self.range_size
             self._hash_cache[x] = cached
+            trim_hash_cache(self._hash_cache)
         return cached
 
     def _update_space(self) -> None:

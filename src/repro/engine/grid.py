@@ -121,13 +121,15 @@ def _job_to_spec(job: dict, mode: str):
         raise ReproError(f"bad grid job {sorted(job)}: {exc}") from None
 
 
-def _execute_spec(spec, stream_defaults=None, edges_handle=None) -> ColoringResult:
+def _execute_spec(spec, stream_defaults=None, edges_handle=None,
+                  kernel_tier_default=None) -> ColoringResult:
     """Module-level job executor (picklable for the process pool).
 
     ``stream_defaults`` carries the parent's ``(backend, chunk_size)``
     data-plane defaults into pool workers, which under spawn/forkserver
     start methods re-import the runner module and would otherwise fall
-    back to the token path silently.
+    back to the token path silently; ``kernel_tier_default`` does the
+    same for the process-level kernel tier (:mod:`repro.kernels`).
 
     ``edges_handle`` names a :class:`~repro.streaming.shm.SharedEdgeArray`
     published by the parent: the worker maps the same pages read-only and
@@ -136,6 +138,10 @@ def _execute_spec(spec, stream_defaults=None, edges_handle=None) -> ColoringResu
     """
     if stream_defaults is not None:
         set_default_stream(*stream_defaults)
+    if kernel_tier_default is not None:
+        from repro.kernels import set_default_kernel_tier
+
+        set_default_kernel_tier(kernel_tier_default)
     if isinstance(spec, GameSpec):
         if edges_handle is not None:
             raise ReproError("shared_edges applies to stream specs, not games")
@@ -218,9 +224,12 @@ class GridRunner:
             if edges is None:
                 return [_execute_spec(spec) for spec in specs]
             return [_run_over_array(spec, edges) for spec in specs]
+        from repro.kernels import get_default_kernel_tier
+
         if edges is None:
             job = functools.partial(
-                _execute_spec, stream_defaults=get_default_stream()
+                _execute_spec, stream_defaults=get_default_stream(),
+                kernel_tier_default=get_default_kernel_tier(),
             )
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(job, specs))
@@ -232,6 +241,7 @@ class GridRunner:
                 _execute_spec,
                 stream_defaults=get_default_stream(),
                 edges_handle=shared.handle,
+                kernel_tier_default=get_default_kernel_tier(),
             )
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(job, specs))

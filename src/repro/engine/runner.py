@@ -28,6 +28,7 @@ from repro.graph.coloring import (
     validate_coloring_blocks,
 )
 from repro.graph.graph import Graph
+from repro.kernels import active_kernel_tier, kernel_run_hits, use_kernel_tier
 from repro.streaming.source import (
     DEFAULT_CHUNK_SIZE,
     FileSource,
@@ -136,6 +137,15 @@ class RunSpec:
     ``graph_family`` picks the workload generator (see
     :data:`GRAPH_FAMILIES`); ``near_regular`` is the numpy-built family
     for n >= 10^4 instances.
+
+    ``kernel_tier`` selects the hot-loop implementation tier (see
+    :mod:`repro.kernels`): ``"numpy"`` forces the reference kernels,
+    ``"compiled"`` requires the numba tier (raising
+    :class:`~repro.common.exceptions.ReproError` when numba is absent),
+    ``"auto"`` takes compiled when available, and ``None`` defers to the
+    process default (:func:`repro.kernels.set_default_kernel_tier`).
+    Results are bit-for-bit identical across tiers; the resolved tier is
+    recorded under ``extras["kernel_tier"]``.
     """
 
     algorithm: str
@@ -151,6 +161,7 @@ class RunSpec:
     list_seed: int | None = None
     stream_backend: str | None = None
     chunk_size: int | None = None
+    kernel_tier: str | None = None
     validate: bool = True
     keep_coloring: bool = False
     #: Guarantee-oracle mode: False (off), True (evaluate the entry's
@@ -493,14 +504,15 @@ def _run_on_stream(spec, entry, config, stream) -> ColoringResult:
     passes_before = stream.passes_used
     timings_before = len(stream.pass_seconds)
 
-    algo = entry.create(spec.n, spec.delta, spec.seed, config)
-    start = time.perf_counter()  # repro: noqa[R7] timing extras
-    coloring = algo.color_stream(stream)
-    wall_time = time.perf_counter() - start  # repro: noqa[R7] timing extras
-    return _package_result(
-        spec, entry, config, stream, algo, coloring, wall_time,
-        passes_before, timings_before,
-    )
+    with use_kernel_tier(spec.kernel_tier):
+        algo = entry.create(spec.n, spec.delta, spec.seed, config)
+        start = time.perf_counter()  # repro: noqa[R7] timing extras
+        coloring = algo.color_stream(stream)
+        wall_time = time.perf_counter() - start  # repro: noqa[R7] timing extras
+        return _package_result(
+            spec, entry, config, stream, algo, coloring, wall_time,
+            passes_before, timings_before,
+        )
 
 
 def _package_result(
@@ -519,7 +531,11 @@ def _package_result(
     extras = {
         "stream_edges": stream.edge_count(),
         "stream_backend": _backend_label(stream),
+        "kernel_tier": active_kernel_tier(),
     }
+    hits = kernel_run_hits()
+    if hits:
+        extras["kernel_hits"] = hits
     if isinstance(stream, StreamSource):
         extras["chunk_size"] = stream.chunk_size
         # True iff the algorithm consumed blocks natively (no token
@@ -582,20 +598,24 @@ def run_game(
             "needs a onepass algorithm (process/query interface)"
         )
     config = entry.make_config(spec.config)
-    algo = entry.create(spec.n, spec.delta, spec.seed, config)
     adversary_seed = (
         spec.adversary_seed if spec.adversary_seed is not None else spec.seed
     )
     adversary = make_adversary(spec.adversary, adversary_seed)
 
-    start = time.perf_counter()  # repro: noqa[R7] timing extras
-    outcome = run_adversarial_game(
-        algo, adversary, n=spec.n, delta=spec.delta, rounds=spec.rounds,
-        query_every=spec.query_every, batch_size=spec.batch_size,
-    )
-    wall_time = time.perf_counter() - start  # repro: noqa[R7] timing extras
+    with use_kernel_tier(None):  # GameSpec uses the process default tier
+        algo = entry.create(spec.n, spec.delta, spec.seed, config)
+        start = time.perf_counter()  # repro: noqa[R7] timing extras
+        outcome = run_adversarial_game(
+            algo, adversary, n=spec.n, delta=spec.delta, rounds=spec.rounds,
+            query_every=spec.query_every, batch_size=spec.batch_size,
+        )
+        wall_time = time.perf_counter() - start  # repro: noqa[R7] timing extras
+        kernel_tier = active_kernel_tier()
+        hits = kernel_run_hits()
 
     extras = {
+        "kernel_tier": kernel_tier,
         "batch_size": spec.batch_size,
         "rounds": outcome.rounds,
         "errors": outcome.errors,
@@ -606,6 +626,8 @@ def run_game(
         "final_max_degree": outcome.final_max_degree,
         "adversary": spec.adversary,
     }
+    if hits:
+        extras["kernel_hits"] = hits
     extras.update(entry.collect_extras(algo))
     return ColoringResult(
         algorithm=entry.name,

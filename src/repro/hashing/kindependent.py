@@ -105,21 +105,28 @@ class PolynomialHashFamily:
         values in ``[0, m)`` with shape ``(len(xs),) + members_shape``,
         using the same overflow-safe path as
         :meth:`PolynomialFunction.eval_array`.
+
+        The int64 paths (mod-free and per-step reduction) run through the
+        kernel-dispatch layer; the Python-int fallback for primes beyond
+        the int64 domain stays pure numpy by construction.
         """
         coeffs = np.asarray(coeffs)
         xs = np.asarray(xs)
         members_shape = coeffs.shape[:-1]
         xmax = int(np.abs(xs).max()) if xs.size else 0
         big = (self.p - 1) * (xmax + 1) + (self.p - 1) >= 2**63
-        dtype = object if big else np.int64
-        x_col = xs.astype(dtype).reshape((len(xs),) + (1,) * len(members_shape))
-        acc = np.zeros((len(xs),) + members_shape, dtype=dtype)
-        if not big and horner_fits_int64(self.k, xmax, self.p):
-            # Mod-free accumulation (exact: one final reduction suffices).
-            for d in range(self.k - 1, -1, -1):
-                acc = acc * x_col + coeffs[..., d]
-            return acc % self.p % self.m
+        if not big:
+            from repro.kernels import dispatch
+
+            coeffs2 = np.ascontiguousarray(
+                coeffs, dtype=np.int64
+            ).reshape(-1, self.k)
+            xs64 = np.ascontiguousarray(xs, dtype=np.int64)
+            stepwise = not horner_fits_int64(self.k, xmax, self.p)
+            vals = dispatch("eval_coeffs", coeffs2, xs64, self.p, stepwise)
+            return (vals % self.m).reshape((len(xs),) + members_shape)
+        x_col = xs.astype(object).reshape((len(xs),) + (1,) * len(members_shape))
+        acc = np.zeros((len(xs),) + members_shape, dtype=object)
         for d in range(self.k - 1, -1, -1):
-            acc = (acc * x_col + coeffs[..., d].astype(dtype)) % self.p
-        out = acc % self.m
-        return out.astype(np.int64) if big else out
+            acc = (acc * x_col + coeffs[..., d].astype(object)) % self.p
+        return (acc % self.m).astype(np.int64)

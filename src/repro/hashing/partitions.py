@@ -21,7 +21,7 @@ universes before streaming).
 import numpy as np
 
 from repro.common.exceptions import ParameterError
-from repro.common.integer_math import next_prime
+from repro.common.integer_math import horner_fits_int64, next_prime
 from repro.hashing.universal import TwoUniversalFamily
 
 
@@ -74,10 +74,22 @@ class PartitionFamily:
     def class_array(self, a: int, b: int) -> np.ndarray:
         """Color -> class array for partition ``(a, b)``, indexed ``1..universe``.
 
-        Index 0 is unused (colors are 1-based) and set to 0.
+        Index 0 is unused (colors are 1-based) and set to 0.  The affine
+        evaluation runs through the kernel-dispatch layer when the
+        arithmetic fits int64 (always true for the list-coloring regimes,
+        where ``p = O(|C|)``); otherwise it falls back to the
+        overflow-safe member evaluation.
         """
+        fn = self._family.function(a, b)  # validates (a, b) against F_p
+        if horner_fits_int64(2, self.universe_size, self.p):
+            from repro.kernels import dispatch
+
+            return dispatch(
+                "partition_class_array",
+                fn.a, fn.b, self.p, self.s, self.universe_size,
+            )
         arr = np.zeros(self.universe_size + 1, dtype=np.int64)
-        arr[1:] = self._family.function(a, b).eval_array(
+        arr[1:] = fn.eval_array(
             np.arange(1, self.universe_size + 1, dtype=np.int64)
         )
         return arr

@@ -1,0 +1,230 @@
+"""Pure-numpy reference kernels — the permanent differential oracle.
+
+Each function here is the hot inner loop of one algorithm layer, moved
+verbatim (not rewritten) out of its original call site so that the
+dispatch layer (:mod:`repro.kernels`) can swap in the optional compiled
+twins of :mod:`repro.kernels.compiled_impl`.  The contract is strict
+bit-identity: for every kernel and every admissible input, the compiled
+implementation must return arrays equal element-for-element (same values,
+same order, same shapes) to the function here.  The numpy tier is always
+available and is what every differential test compares against.
+
+All kernels are array-in/array-out and state-free: no ``self``, no dict
+lookups, no Python objects beyond ints/bools — exactly the signature
+shape a ``@njit`` twin can compile.  Integer-domain guards (whether the
+arithmetic fits int64) live at the *call sites*; kernels assume the
+int64 fast path is admissible.
+"""
+
+import numpy as np
+
+__all__ = ["NUMPY_KERNELS"]
+
+
+def mod_horner(coeffs: np.ndarray, xs: np.ndarray, p: int,
+               stepwise: bool) -> np.ndarray:
+    """Horner-evaluate ``sum_i coeffs[i] * x^i mod p`` over int64 keys.
+
+    ``coeffs`` is low-to-high degree, values in ``[0, p)``; ``xs`` is 1-d
+    int64.  With ``stepwise=False`` the accumulation is mod-free with one
+    final reduction (caller guarantees ``horner_fits_int64``); with
+    ``stepwise=True`` every step reduces mod ``p`` (caller guarantees the
+    per-step product fits int64).
+    """
+    acc = np.zeros(xs.shape, dtype=np.int64)
+    if stepwise:
+        for d in range(len(coeffs) - 1, -1, -1):
+            acc = (acc * xs + coeffs[d]) % p
+        return acc
+    for d in range(len(coeffs) - 1, -1, -1):
+        acc = acc * xs + coeffs[d]
+    return acc % p
+
+
+def eval_coeffs(coeffs2: np.ndarray, xs: np.ndarray, p: int,
+                stepwise: bool) -> np.ndarray:
+    """Evaluate ``M`` polynomial members at every key: ``(N, M)`` mod p.
+
+    ``coeffs2`` is ``(M, k)`` int64 (low-to-high degree), ``xs`` 1-d
+    int64.  The same two accumulation modes as :func:`mod_horner`.
+    """
+    k = coeffs2.shape[1]
+    x_col = xs.reshape(-1, 1)
+    acc = np.zeros((len(xs), coeffs2.shape[0]), dtype=np.int64)
+    if stepwise:
+        for d in range(k - 1, -1, -1):
+            acc = (acc * x_col + coeffs2[:, d]) % p
+        return acc
+    for d in range(k - 1, -1, -1):
+        acc = acc * x_col + coeffs2[:, d]
+    return acc % p
+
+
+def partition_class_array(a: int, b: int, p: int, s: int,
+                          universe: int) -> np.ndarray:
+    """Color -> class array for the 2-universal partition ``(a, b)``.
+
+    ``arr[c] = ((a c + b) mod p) mod s`` for ``c`` in ``1..universe``;
+    index 0 is unused (colors are 1-based) and set to 0.  The caller
+    guarantees ``a * universe + b`` fits int64 (``horner_fits_int64``).
+    """
+    arr = np.zeros(universe + 1, dtype=np.int64)
+    xs = np.arange(1, universe + 1, dtype=np.int64)
+    arr[1:] = (a * xs + b) % p % s
+    return arr
+
+
+def sketch_event_filter(cmp_rows: np.ndarray, inv_u: np.ndarray,
+                        inv_v: np.ndarray):
+    """Monochromatic ``(edge, epoch, repetition)`` events of a D-sketch block.
+
+    ``cmp_rows`` is the ``(U, epochs, reps)`` hash-row table over the
+    block's unique vertices (int32 or int64); ``inv_u`` / ``inv_v`` map
+    edge ``t`` to its endpoints' rows.  Returns three int64 arrays
+    ``(ev_e, ev_i, ev_j)`` in row-major order — by edge, then epoch, then
+    repetition — exactly the order the scalar path discovers events in.
+
+    Detection runs in edge sub-batches to bound the ``(k, epochs, reps)``
+    boolean temporary, matching the original ``sketch_process_block``
+    loop move-for-move.
+    """
+    k = len(inv_u)
+    if k == 0 or not len(cmp_rows):
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    row_size = int(cmp_rows[0].size)
+    sub = max(1, (1 << 22) // max(1, row_size))
+    ev_chunks = []
+    for start in range(0, k, sub):
+        stop = min(k, start + sub)
+        mono = cmp_rows[inv_u[start:stop]] == cmp_rows[inv_v[start:stop]]
+        e, i, j = np.nonzero(mono)  # row-major: edge, then epoch, then rep
+        ev_chunks.append((e + start, i, j))
+    ev_e = np.concatenate([c[0] for c in ev_chunks]).astype(np.int64, copy=False)
+    ev_i = np.concatenate([c[1] for c in ev_chunks]).astype(np.int64, copy=False)
+    ev_j = np.concatenate([c[2] for c in ev_chunks]).astype(np.int64, copy=False)
+    return ev_e, ev_i, ev_j
+
+
+def running_degrees(deg0: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Degrees of each edge's endpoints just *before* its own insertion.
+
+    ``deg0`` is the int64 degree array entering the block; returns a
+    ``(k, 2)`` int64 array (see ``streaming.blocks.running_degrees``).
+    """
+    flat = edges.ravel()
+    order = np.argsort(flat, kind="stable")
+    sorted_vals = flat[order]
+    # Rank within each equal-value run = prior occurrences of the vertex.
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_vals[1:] != sorted_vals[:-1]))
+    )
+    run_ids = np.cumsum(
+        np.concatenate(([False], sorted_vals[1:] != sorted_vals[:-1]))
+    )
+    ranks = np.arange(len(flat), dtype=np.int64) - starts[run_ids]
+    prior = np.empty(len(flat), dtype=np.int64)
+    prior[order] = ranks
+    return deg0[edges] + prior.reshape(-1, 2)
+
+
+def group_pairs(pairs: np.ndarray):
+    """Sort core of the grouped adjacency reduction.
+
+    One stable sort on the first column, then boundary detection.
+    Returns ``(xs_sorted, ys_sorted, starts)``: the sorted key/value
+    columns (int64) and the int64 start offsets of each equal-``x`` run
+    (``starts[0] == 0``).  Stability makes the permutation unique, so any
+    stable sort (numpy ``stable``, compiled mergesort) is bit-identical.
+    """
+    order = np.argsort(pairs[:, 0], kind="stable")
+    xs = pairs[order, 0].astype(np.int64, copy=False)
+    ys = pairs[order, 1].astype(np.int64, copy=False)
+    boundaries = np.flatnonzero(np.diff(xs)) + 1
+    starts = np.concatenate(([0], boundaries)).astype(np.int64)
+    return xs, ys, starts
+
+
+def det_slack_keys(x: np.ndarray, y: np.ndarray, chi_arr: np.ndarray,
+                   unc: np.ndarray, cube_value: np.ndarray, low_mask: int,
+                   fixed: int, s: int) -> np.ndarray:
+    """Flat ``(vertex, pattern)`` histogram keys of one slack-pass direction.
+
+    For each directed pair ``(x, y)``: if ``x`` is uncolored, ``y`` is
+    colored, and ``chi(y)`` lies in ``x``'s subcube (low bits match the
+    cube value), emit key ``x * s + pattern`` where ``pattern`` is the
+    color's free-bit block.  Selection order is input order.
+    """
+    cy = chi_arr[y]
+    sel = unc[x] & (cy > 0) & (((cy - 1) & low_mask) == cube_value[x])
+    if not sel.any():
+        return np.empty(0, dtype=np.int64)
+    pattern = ((cy[sel] - 1) >> fixed) & (s - 1)
+    return x[sel] * s + pattern
+
+
+def det_conflict_mask(u: np.ndarray, v: np.ndarray, unc: np.ndarray,
+                      cube_value: np.ndarray) -> np.ndarray:
+    """Mask of edges whose endpoints are both uncolored in the same subcube."""
+    return unc[u] & unc[v] & (cube_value[u] == cube_value[v])
+
+
+def chain_conflict_mask(u: np.ndarray, v: np.ndarray, member_mask: np.ndarray,
+                        chain_matrix: np.ndarray) -> np.ndarray:
+    """Mask of edges whose endpoints are members sharing the same chain."""
+    sel = member_mask[u] & member_mask[v]
+    for t in range(chain_matrix.shape[0]):
+        sel &= chain_matrix[t, u] == chain_matrix[t, v]
+    return sel
+
+
+def contains_pairs(part_stack: np.ndarray, chain_matrix: np.ndarray,
+                   xs: np.ndarray, colors: np.ndarray) -> np.ndarray:
+    """Mask where ``colors[i]`` lies in ``P_{xs[i]}`` — the chain walk.
+
+    ``part_stack`` stacks the stage class arrays ``(stages, universe+1)``;
+    ``chain_matrix`` is ``(stages, n)`` with -1 for non-members.
+    """
+    mask = np.ones(len(xs), dtype=bool)
+    for t in range(part_stack.shape[0]):
+        mask &= part_stack[t][colors] == chain_matrix[t, xs]
+    return mask
+
+
+def partition_scores(sub_table: np.ndarray, survivors: np.ndarray,
+                     group_ids: np.ndarray, num_groups: int,
+                     s: int) -> np.ndarray:
+    """Per-group ``a_R`` increments of one list token (Lemma 3.10 scoring).
+
+    ``sub_table`` is the ``(M, universe+1)`` class table over the
+    candidate members; ``survivors`` the token's colors still inside
+    ``P_x``.  Per member: occupancy bincount over its ``s`` classes, then
+    ``max(0, max_class_occupancy - 1)``; summed per group.  All values
+    are small integers, so the float64 sums are exact — bit-identical
+    regardless of summation order.
+    """
+    m_count = sub_table.shape[0]
+    offsets = np.arange(m_count, dtype=np.int64)[:, None] * s
+    occupancy = np.bincount(
+        (sub_table[:, survivors] + offsets).ravel(),
+        minlength=m_count * s,
+    ).reshape(m_count, s)
+    per_member = np.maximum(0, occupancy.max(axis=1) - 1)
+    return np.bincount(group_ids, weights=per_member, minlength=num_groups)
+
+
+#: Name -> reference implementation; the registry in ``repro.kernels``
+#: pairs these with the optional compiled twins.
+NUMPY_KERNELS = {
+    "mod_horner": mod_horner,
+    "eval_coeffs": eval_coeffs,
+    "partition_class_array": partition_class_array,
+    "sketch_event_filter": sketch_event_filter,
+    "running_degrees": running_degrees,
+    "group_pairs": group_pairs,
+    "det_slack_keys": det_slack_keys,
+    "det_conflict_mask": det_conflict_mask,
+    "chain_conflict_mask": chain_conflict_mask,
+    "contains_pairs": contains_pairs,
+    "partition_scores": partition_scores,
+}

@@ -24,14 +24,20 @@ import time
 from dataclasses import asdict
 
 from repro.common.exceptions import CheckpointError, ReproError
+from repro.kernels import kernel_run_hits, use_kernel_tier
 from repro.persist.checkpoint import read_checkpoint, write_checkpoint
 from repro.streaming.source import StreamSource
 
 __all__ = ["ResumableRun", "strip_volatile"]
 
 #: extras keys that legitimately differ between an uninterrupted run and
-#: a suspended/restored one (timings, resume provenance).
-VOLATILE_EXTRAS = ("pass_wall_times", "edges_per_sec", "resumed", "checkpoints")
+#: a suspended/restored one (timings, resume provenance, and kernel-hit
+#: observability counts — restore replays the in-flight pass, so a
+#: resumed run dispatches more kernel calls than an uninterrupted one).
+VOLATILE_EXTRAS = (
+    "pass_wall_times", "edges_per_sec", "resumed", "checkpoints",
+    "kernel_hits",
+)
 
 
 def strip_volatile(result) -> dict:
@@ -98,6 +104,9 @@ class ResumableRun:
         self._checkpoints_written = 0
         self.done = False
         self._coloring = None
+        # Per-run kernel-dispatch hit counts, accumulated pass by pass so
+        # service sessions (which call step() directly) report them too.
+        self._kernel_hits: dict = {}
 
     # ------------------------------------------------------------------
     def step(self, checkpoint_every=None, checkpoint_path=None) -> bool:
@@ -108,6 +117,13 @@ class ResumableRun:
         """
         if self.done:
             return False
+        with use_kernel_tier(self.spec.kernel_tier):
+            more = self._step_pass(checkpoint_every, checkpoint_path)
+            for name, count in kernel_run_hits().items():
+                self._kernel_hits[name] = self._kernel_hits.get(name, 0) + count
+        return more
+
+    def _step_pass(self, checkpoint_every, checkpoint_path) -> bool:
         consumer = self.algo.blocks_consumer()
         if consumer is None:
             self._coloring = self.algo.blocks_result()
@@ -162,11 +178,14 @@ class ResumableRun:
 
         if not self.done:
             self.run_to_completion()
-        result = _package_result(
-            self.spec, self.entry, self.config, self.stream, self.algo,
-            self._coloring, self._wall, self._passes_before,
-            self._timings_before,
-        )
+        with use_kernel_tier(self.spec.kernel_tier):
+            result = _package_result(
+                self.spec, self.entry, self.config, self.stream, self.algo,
+                self._coloring, self._wall, self._passes_before,
+                self._timings_before,
+            )
+        if self._kernel_hits:
+            result.extras["kernel_hits"] = dict(self._kernel_hits)
         if self._resumed:
             result.extras["resumed"] = True
         if self._checkpoints_written:

@@ -1,4 +1,4 @@
-"""The nine contract rules.
+"""The ten contract rules.
 
 Each rule proves one structural invariant the runtime layers rely on
 implicitly (the guarantee oracles of :mod:`repro.verify`, the snapshot
@@ -679,6 +679,82 @@ class WorkerIpcRule(Rule):
                     )
 
 
+# ----------------------------------------------------------------------
+# R10 — kernel-dispatch discipline
+# ----------------------------------------------------------------------
+class KernelDisciplineRule(Rule):
+    """Numba stays behind the dispatch layer; call sites never pick a tier.
+
+    The bit-identity contract of :mod:`repro.kernels` holds because every
+    hot-loop call goes through ``dispatch(name, ...)``, which resolves the
+    tier (numpy reference vs optional compiled twin) from one place.  Two
+    structural guarantees keep that true: (a) ``numba`` is importable only
+    inside ``repro.kernels`` — anywhere else it would create a second,
+    unswitchable compiled path the numpy oracle never differences; and
+    (b) the implementation modules (``numpy_impl`` / ``compiled_impl``)
+    are not imported from outside ``repro.kernels`` — reaching a twin
+    directly would bypass tier resolution, hit counting, and the
+    ``measure_kernels`` observability hook.
+    """
+
+    id = "R10"
+    title = "kernel-dispatch discipline"
+    _IMPL_MODULES = (
+        "repro.kernels.numpy_impl",
+        "repro.kernels.compiled_impl",
+    )
+
+    def _numba_message(self) -> str:
+        return (
+            "import of numba outside repro.kernels; compiled twins live "
+            "only in repro.kernels.compiled_impl behind dispatch()"
+        )
+
+    def _impl_message(self, name: str) -> str:
+        return (
+            f"import of kernel implementation module {name!r} outside "
+            f"repro.kernels; call sites go through "
+            f"repro.kernels.dispatch() so tier selection, hit counting, "
+            f"and timing stay centralized"
+        )
+
+    def check(self, mod, project):
+        if not _in_package(mod, "repro"):
+            return
+        if _in_package(mod, "repro.kernels"):
+            return
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numba" \
+                            or alias.name.startswith("numba."):
+                        yield _finding(
+                            mod, node, self.id, self._numba_message()
+                        )
+                    elif alias.name in self._IMPL_MODULES:
+                        yield _finding(
+                            mod, node, self.id,
+                            self._impl_message(alias.name),
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if base == "numba" or base.startswith("numba."):
+                    yield _finding(mod, node, self.id, self._numba_message())
+                elif base in self._IMPL_MODULES:
+                    yield _finding(
+                        mod, node, self.id, self._impl_message(base)
+                    )
+                elif base == "repro.kernels":
+                    for alias in node.names:
+                        if alias.name in ("numpy_impl", "compiled_impl"):
+                            yield _finding(
+                                mod, node, self.id,
+                                self._impl_message(
+                                    f"repro.kernels.{alias.name}"
+                                ),
+                            )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     MeteredRandomnessRule(),
     SnapshotCompletenessRule(),
@@ -689,6 +765,7 @@ ALL_RULES: tuple[Rule, ...] = (
     DeterminismRule(),
     ExceptionTaxonomyRule(),
     WorkerIpcRule(),
+    KernelDisciplineRule(),
 )
 
 

@@ -13,15 +13,26 @@ degrees, cached hash rows) in closed form so each algorithm's
 
 
 from repro.common.exceptions import ParameterError
+from repro.kernels import dispatch
 import numpy as np
 
 __all__ = [
+    "HASH_ROW_CACHE_MAX",
     "buffer_timeline",
     "cached_hash_rows",
     "group_pairs",
     "running_degrees",
     "sketch_process_block",
+    "trim_hash_cache",
 ]
+
+#: Upper bound on entries in the shared per-algorithm hash-row caches
+#: (``_hash_cache`` dicts).  Static streams see at most ``n`` distinct
+#: vertices, but a long adversarial-game session touches an unbounded key
+#: stream; eviction (oldest-inserted first — see :func:`trim_hash_cache`)
+#: keeps the cache O(1) in session length.  Evicted rows are recomputed
+#: bit-identically on the next miss, so results never depend on the bound.
+HASH_ROW_CACHE_MAX = 65536
 
 
 def group_pairs(pairs: np.ndarray):
@@ -30,16 +41,14 @@ def group_pairs(pairs: np.ndarray):
     The canonical vectorized adjacency reduction shared by the block
     passes: one stable sort on the first column, then boundary splits, so
     each group's ``ys`` keep their input order.  ``x`` is a Python int;
-    ``ys`` an int64 array view.
+    ``ys`` an int64 array view.  The sort core runs through the
+    kernel-dispatch layer (stable sorts share one unique permutation, so
+    tiers agree bit for bit).
     """
     if not len(pairs):
         return
-    order = np.argsort(pairs[:, 0], kind="stable")
-    xs = pairs[order, 0]
-    ys = pairs[order, 1]
-    boundaries = np.flatnonzero(np.diff(xs)) + 1
-    starts = np.concatenate(([0], boundaries)).astype(np.int64)
-    for x, group in zip(xs[starts].tolist(), np.split(ys, boundaries)):
+    xs, ys, starts = dispatch("group_pairs", pairs)
+    for x, group in zip(xs[starts].tolist(), np.split(ys, starts[1:])):
         yield x, group
 
 
@@ -72,32 +81,41 @@ def running_degrees(deg0: np.ndarray, edges: np.ndarray):
     int64 array where row ``e`` holds the degrees of ``edges[e]`` after
     the first ``e`` insertions of the block — the value the scalar path's
     degree-cap check reads.  Degrees *after* edge ``e`` are this plus 1.
+    The rank computation runs through the kernel-dispatch layer.
     """
-    flat = edges.ravel()
-    order = np.argsort(flat, kind="stable")
-    sorted_vals = flat[order]
-    # Rank within each equal-value run = prior occurrences of the vertex.
-    starts = np.flatnonzero(np.concatenate(([True], sorted_vals[1:] != sorted_vals[:-1])))
-    run_ids = np.cumsum(np.concatenate(([False], sorted_vals[1:] != sorted_vals[:-1])))
-    ranks = np.arange(len(flat), dtype=np.int64) - starts[run_ids]
-    prior = np.empty(len(flat), dtype=np.int64)
-    prior[order] = ranks
-    # Both endpoints of an edge are counted before the *next* edge, and an
-    # edge's own endpoints are distinct, so pair-position within the edge
-    # does not matter: prior occurrences in flat[:2e] is what we need, and
-    # ranks computed over the full flat array give exactly that because a
-    # vertex appears at most once per edge.
-    return deg0[edges] + prior.reshape(-1, 2)
+    deg0 = np.ascontiguousarray(deg0, dtype=np.int64)
+    edges = np.ascontiguousarray(edges, dtype=np.int64)
+    return dispatch("running_degrees", deg0, edges)
 
 
-def cached_hash_rows(cache: dict, keys: np.ndarray, compute):
+def trim_hash_cache(cache: dict, max_entries: int = HASH_ROW_CACHE_MAX) -> None:
+    """Evict oldest-inserted entries until ``cache`` fits the bound.
+
+    Dict insertion order is the eviction order (FIFO with
+    :func:`cached_hash_rows` refreshing whole-block hits to the back, so
+    block-path behaviour is LRU at block granularity).  Values are pure
+    functions of their key, so eviction is invisible to results.
+    """
+    if len(cache) <= max_entries:
+        return
+    for key in list(cache.keys())[: len(cache) - max_entries]:
+        del cache[key]
+
+
+def cached_hash_rows(cache: dict, keys: np.ndarray, compute,
+                     max_entries: int = HASH_ROW_CACHE_MAX):
     """Per-key hash rows from a dict cache, computing misses in one batch.
 
     ``keys`` is a 1-d int64 array (typically the unique vertices of a
     block); ``compute(missing)`` evaluates the hash family for an array of
     missing keys at once, returning ``(len(missing), ...)`` values.  The
     cache maps ``int key -> row array`` — the same structure the scalar
-    ``_hash_all`` paths maintain, so both paths share one cache.
+    ``_hash_all`` paths maintain, so both paths share one cache.  The
+    cache is bounded: after the block's rows are gathered, this block's
+    keys are refreshed to the back of the insertion order and anything
+    beyond ``max_entries`` is evicted oldest-first
+    (:func:`trim_hash_cache`), so adversarial-game sessions of any length
+    hold at most ``max_entries`` rows.
     """
     missing = [x for x in keys.tolist() if x not in cache]
     if missing:
@@ -109,7 +127,9 @@ def cached_hash_rows(cache: dict, keys: np.ndarray, compute):
     first = cache[int(keys[0])]
     out = np.empty((len(keys),) + first.shape, dtype=np.int64)
     for i, x in enumerate(keys.tolist()):
-        out[i] = cache[x]
+        out[i] = cache.pop(x)  # re-insert: this block's keys become newest
+        cache[x] = out[i]
+    trim_hash_cache(cache, max_entries)
     return out
 
 
@@ -151,19 +171,12 @@ def sketch_process_block(algo, edges: np.ndarray, *, num_epochs: int,
     )
     cmp_rows = rows.astype(np.int32) if algo.family.m <= 2**31 else rows
     inv = inv.reshape(-1, 2)
-    row_size = int(rows[0].size) if len(rows) else 1
-    sub = max(1, (1 << 22) // max(1, row_size))
-    ev_chunks: list = []
-    for start in range(0, k, sub):
-        stop = min(k, start + sub)
-        mono = (
-            cmp_rows[inv[start:stop, 0]] == cmp_rows[inv[start:stop, 1]]
-        )
-        e, i, j = np.nonzero(mono)  # row-major: edge, then epoch, then rep
-        ev_chunks.append((e + start, i, j))
-    ev_e = np.concatenate([c[0] for c in ev_chunks])
-    ev_i = np.concatenate([c[1] for c in ev_chunks])
-    ev_j = np.concatenate([c[2] for c in ev_chunks])
+    ev_e, ev_i, ev_j = dispatch(
+        "sketch_event_filter",
+        cmp_rows,
+        np.ascontiguousarray(inv[:, 0]),
+        np.ascontiguousarray(inv[:, 1]),
+    )
     # Pre-filter the two state-independent conditions vectorized: the
     # epoch window (line "for i in curr+1..") and already-dead sketches.
     # The cap/wipe logic on what survives stays sequential (and rare).

@@ -10,7 +10,12 @@ import pytest
 
 from repro.common.exceptions import ReproError
 from repro.engine import REGISTRY, GameSpec, RunSpec, run, run_game
+from repro.kernels import compiled_available
 from repro.streaming.model import OnePassAlgorithm
+
+#: Tiers runnable on this host: the numpy reference always, the compiled
+#: twin tier only when numba imports (CI's ``kernels`` job installs it).
+AVAILABLE_TIERS = ["numpy"] + (["compiled"] if compiled_available() else [])
 
 # (n, delta) kept modest per algorithm so the whole matrix stays fast; the
 # deterministic algorithm additionally covers both selection modes and a
@@ -188,12 +193,80 @@ class TestTokenBlockEquivalence:
                         stream_backend="carrier-pigeon"))
 
 
+class TestKernelTierEquivalence:
+    """Kernel tiers swap implementations, never observable results.
+
+    Every case runs under each available tier; the ColoringResults must be
+    field-for-field identical (coloring, passes, peak space, random bits,
+    palettes, properness).  With numba absent only the numpy tier runs —
+    still asserting the explicit-tier plumbing records itself; the CI
+    ``kernels`` job is where the numpy/compiled differential executes.
+    """
+
+    @pytest.mark.parametrize(
+        "algorithm,n,delta,config", CASES,
+        ids=[f"{c[0]}-{i}" for i, c in enumerate(CASES)],
+    )
+    @pytest.mark.parametrize("tier", AVAILABLE_TIERS)
+    def test_tier_matches_numpy_reference(
+        self, tier, algorithm, n, delta, config
+    ):
+        for seed in SEEDS:
+            reference = run(RunSpec(
+                algorithm=algorithm, n=n, delta=delta, seed=seed,
+                graph_seed=seed, config=config,
+                stream_backend="materialized", chunk_size=64,
+                kernel_tier="numpy", keep_coloring=True,
+                validate=algorithm != "naive",
+            ))
+            assert reference.extras["kernel_tier"] == "numpy"
+            result = run(RunSpec(
+                algorithm=algorithm, n=n, delta=delta, seed=seed,
+                graph_seed=seed, config=config,
+                stream_backend="materialized", chunk_size=64,
+                kernel_tier=tier, keep_coloring=True,
+                validate=algorithm != "naive",
+            ))
+            assert result.extras["kernel_tier"] == tier
+            assert fingerprint(result) == fingerprint(reference), (tier, seed)
+
+    @pytest.mark.skipif(not compiled_available(),
+                        reason="numba not installed (pip install -e .[compiled])")
+    def test_compiled_tier_hits_compiled_kernels(self):
+        r = run(RunSpec(
+            algorithm="deterministic", n=64, delta=6, seed=3, graph_seed=3,
+            config={"selection": "greedy_slack"},
+            stream_backend="materialized", kernel_tier="compiled",
+        ))
+        assert r.extras["kernel_tier"] == "compiled"
+        assert sum(r.extras["kernel_hits"].values()) > 0
+
+    def test_compiled_tier_without_numba_is_an_error(self):
+        if compiled_available():
+            pytest.skip("numba present; the unavailable path cannot trigger")
+        with pytest.raises(ReproError, match="numba"):
+            run(RunSpec(algorithm="naive", n=16, delta=4,
+                        kernel_tier="compiled"))
+
+    def test_block_runs_record_kernel_hits(self):
+        r = run_backend(
+            "deterministic", 64, 6, {"selection": "greedy_slack"}, 3,
+            "materialized",
+        )
+        hits = r.extras["kernel_hits"]
+        assert hits and all(v > 0 for v in hits.values())
+
+
 class TestAdversarialGameBatching:
     """Batched ``process_block`` games must match the per-edge path exactly."""
 
     def game_fingerprint(self, result):
         extras = dict(result.extras)
         extras.pop("batch_size")
+        # Kernel-dispatch observability: the scalar (batch_size=1) path
+        # never reaches the block kernels, so hit counts legitimately
+        # differ while every algorithmic field stays identical.
+        extras.pop("kernel_hits", None)
         return (
             result.colors_used,
             result.proper,

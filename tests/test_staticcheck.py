@@ -372,6 +372,52 @@ def test_r9_allows_choke_points_and_other_packages(tmp_path):
     assert elsewhere.findings == []
 
 
+# ----------------------------------------------------------------------
+# R10 kernel-dispatch discipline
+# ----------------------------------------------------------------------
+def test_r10_flags_numba_outside_kernels(tmp_path):
+    report = lint_snippet(tmp_path, "repro/core/algo.py", """\
+        from numba import njit
+
+        @njit(cache=True)
+        def hot(xs):
+            return xs.sum()
+        """, rules=["R10"])
+    assert rule_ids(report) == {"R10"}
+    assert "numba" in report.findings[0].message
+
+
+def test_r10_flags_direct_impl_imports(tmp_path):
+    report = lint_snippet(tmp_path, "repro/streaming/fast.py", """\
+        from repro.kernels.numpy_impl import running_degrees
+        from repro.kernels import compiled_impl
+
+        def degrees(deg0, edges):
+            return running_degrees(deg0, edges)
+        """, rules=["R10"])
+    assert rule_ids(report) == {"R10"}
+    assert len(report.findings) == 2
+    assert all("dispatch" in f.message for f in report.findings)
+
+
+def test_r10_allows_kernels_package_and_dispatch_call_sites(tmp_path):
+    clean = lint_snippet(tmp_path, "repro/kernels/compiled_impl.py", """\
+        try:
+            from numba import njit
+            NUMBA_AVAILABLE = True
+        except ImportError:
+            NUMBA_AVAILABLE = False
+        """, rules=["R10"])
+    assert clean.findings == []
+    call_site = lint_snippet(tmp_path, "repro/streaming/fast.py", """\
+        from repro.kernels import dispatch
+
+        def degrees(deg0, edges):
+            return dispatch("running_degrees", deg0, edges)
+        """, rules=["R10"])
+    assert call_site.findings == []
+
+
 def test_r4_flags_pipe_recv_in_service_coroutine(tmp_path):
     report = lint_snippet(tmp_path, "repro/service/pump.py", """\
         async def pump(conn):
@@ -398,7 +444,7 @@ def test_unknown_rule_id_is_an_error():
     with pytest.raises(ReproError, match="unknown rule"):
         rules_by_id(["R99"])
     assert len(rules_by_id(["r1", "R8"])) == 2
-    assert {rule.id for rule in ALL_RULES} == {f"R{i}" for i in range(1, 10)}
+    assert {rule.id for rule in ALL_RULES} == {f"R{i}" for i in range(1, 11)}
 
 
 def test_baseline_round_trip_and_stale_detection(tmp_path):
@@ -452,7 +498,7 @@ def test_compare_with_baseline_counts():
 def test_self_scan_is_clean_against_committed_baseline():
     report = run_lint([SRC], root=REPO_ROOT, baseline_path=BASELINE)
     assert report.files >= 75
-    assert report.rules == [f"R{i}" for i in range(1, 10)]
+    assert report.rules == [f"R{i}" for i in range(1, 11)]
     assert report.ok, "\n" + report.render()
 
 
