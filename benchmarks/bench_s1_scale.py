@@ -19,17 +19,26 @@ results required, with wall-clock floors (≥5x deterministic, ≥2x robust
 and list_coloring).  ``BENCH_S1_SMOKE=1`` shrinks the sweep for CI's
 ``kernels`` job; the compiled leg keeps full sizes either way (the
 compiled tier is what makes them cheap, and the floors are meaningless at
-toy sizes).  The numbers land both in the usual text table and in the
-machine-readable ``BENCH_s1_scale.json`` artifact that CI uploads (and
-checks for completeness against the registry).
+toy sizes).  The sharded scale leg streams an out-of-core circulant
+workload (default n=10^6 / m=10^7, ``BENCH_S1_FULL`` for 10^7 / 10^8)
+from a multi-shard container, gates peak RSS against a declared
+per-algorithm budget, and requires bit-identity against a single-file
+run of the same edges.  The numbers land both in the usual text table
+and in the machine-readable ``BENCH_s1_scale.json`` artifact that CI
+uploads (and checks for completeness against the registry).
 """
 
 import os
+import tempfile
+import threading
+import time
 
 from conftest import run_once
 
 from repro.engine import REGISTRY, GameSpec, RunSpec, run, run_game
+from repro.graph.zoo import circulant_edge_blocks, write_zoo_shards
 from repro.kernels import compiled_available, measure_kernels
+from repro.streaming import FileSource, ShardedFileSource, write_edge_file
 
 #: CI's ``kernels`` job sets this to keep the sweep quick; sizes shrink
 #: and the block-vs-token speedup floors turn into record-only fields
@@ -74,6 +83,155 @@ COMPILED_CASES = [
     ("list_coloring", 160, 6, {"prime_policy": "scaled"},
      "random_max_degree", 2.0),
 ]
+
+
+#: The out-of-core scale leg: a circulant workload (m = n * k exactly,
+#: max degree 2k, generated block-by-block — never materialized) written
+#: as a sharded REPROED2-format container, streamed through the one-pass
+#: algorithms while a sampler thread watches peak RSS against a declared
+#: per-algorithm budget, then differenced bit-for-bit against a
+#: single-file FileSource run over the same edges.  Default n=10^6 /
+#: m=10^7; ``BENCH_S1_FULL=1`` lifts it to the ROADMAP's 10^7 / 10^8
+#: target (needs ~12 GB RAM for the robust algorithm's O(n) state and a
+#: few GB of disk — a workstation leg, not a CI one); BENCH_S1_SMOKE
+#: shrinks it for CI's scale-smoke job.
+SCALE_FULL = bool(os.environ.get("BENCH_S1_FULL"))
+if SMOKE:
+    SCALE_N, SCALE_K = 20_000, 5  # m = 10^5
+elif SCALE_FULL:
+    SCALE_N, SCALE_K = 10**7, 10  # m = 10^8
+else:
+    SCALE_N, SCALE_K = 10**6, 10  # m = 10^7
+SCALE_SEED = 11
+SCALE_CHUNK = 65536
+SCALE_SHARD_COUNT = 8
+
+#: Declared RSS budgets, per algorithm: (fixed_bytes, bytes_per_vertex).
+#: The per-vertex term covers the algorithm's own semi-streaming state
+#: (store/levels plus the Python coloring dict); the fixed term covers
+#: interpreter + numpy + chunk buffers.  Locally measured deltas at
+#: n=10^6 / m=10^7: naive ~120 MB (vs 224 MB budget), robust ~800 MB (vs
+#: 1228 MB budget) — while the input payload is 16 * m bytes (160 MB at
+#: default, 1.6 GB at full), which is what NOT appearing in the deltas
+#: proves the plane is out-of-core.
+SCALE_RSS_BUDGETS = {
+    "naive": (64 * 2**20, 160),
+    "robust": (128 * 2**20, 1100),
+}
+
+
+def _rss_bytes():
+    """Current resident set size, or None where /proc is unavailable."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        return None
+    return None
+
+
+class _RssSampler(threading.Thread):
+    """Samples peak VmRSS in the background while a leg runs."""
+
+    def __init__(self, interval: float = 0.02):
+        super().__init__(daemon=True)
+        self.peak = 0
+        self._interval = interval
+        self._halt = threading.Event()
+
+    def run(self):
+        while not self._halt.is_set():
+            rss = _rss_bytes()
+            if rss is not None and rss > self.peak:
+                self.peak = rss
+            self._halt.wait(self._interval)
+
+    def finish(self) -> int:
+        self._halt.set()
+        self.join()
+        return self.peak
+
+
+def run_sharded_leg(rows):
+    """The out-of-core scale leg; returns the ``sharded`` JSON record."""
+    m = SCALE_N * SCALE_K
+    shard_rows = -(-m // SCALE_SHARD_COUNT)
+    rss_supported = _rss_bytes() is not None
+    record = {
+        "n": SCALE_N,
+        "k": SCALE_K,
+        "m": m,
+        "seed": SCALE_SEED,
+        "chunk_size": SCALE_CHUNK,
+        "shard_rows": shard_rows,
+        "input_payload_bytes": 16 * m,
+        "rss_supported": rss_supported,
+        "full": SCALE_FULL,
+        "algorithms": {},
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-s1-sharded-") as tmp:
+        container = os.path.join(tmp, "circulant.shards")
+        single = os.path.join(tmp, "circulant.bin")
+        manifest = write_zoo_shards(
+            container, "circulant", SCALE_N, SCALE_SEED,
+            shard_rows=shard_rows, k=SCALE_K,
+        )
+        write_edge_file(
+            single, SCALE_N,
+            circulant_edge_blocks(SCALE_N, SCALE_K, SCALE_SEED),
+        )
+        delta = manifest["max_degree"]
+        record["delta"] = delta
+        record["shards"] = len(manifest["shards"])
+        for algo, (fixed, per_vertex) in SCALE_RSS_BUDGETS.items():
+            spec = RunSpec(
+                algorithm=algo, n=SCALE_N, delta=delta, seed=SCALE_SEED,
+                chunk_size=SCALE_CHUNK, keep_coloring=True,
+                validate=algo != "naive",
+            )
+            rss_before = _rss_bytes() or 0
+            budget = rss_before + fixed + per_vertex * SCALE_N
+            sampler = _RssSampler()
+            sampler.start()
+            start = time.perf_counter()
+            source = ShardedFileSource(container, chunk_size=SCALE_CHUNK)
+            sharded = run(spec, stream=source)
+            source.close()
+            seconds = time.perf_counter() - start
+            rss_peak = sampler.finish()
+            rss_ok = (not rss_supported) or rss_peak <= budget
+            # Bit-identity differential AFTER the sampled window: the
+            # single-file source is mmap'd, and resident page-cache pages
+            # would pollute the sharded plane's RSS reading.
+            fs = FileSource(single, chunk_size=SCALE_CHUNK)
+            single_run = run(spec, stream=fs)
+            fs.close()
+            identical = (
+                _tier_fingerprint(sharded) == _tier_fingerprint(single_run)
+            )
+            ok = bool(rss_ok and identical)
+            rows.append([
+                f"sharded {algo} (n={SCALE_N:.0e})", SCALE_N, delta, m,
+                sharded.passes,
+                f"{sharded.extras['edges_per_sec']:.3e}", ok,
+            ])
+            record["algorithms"][algo] = {
+                "edges_per_sec": sharded.extras["edges_per_sec"],
+                "seconds": seconds,
+                "passes": sharded.passes,
+                "colors_used": sharded.colors_used,
+                "rss_before_bytes": rss_before if rss_supported else None,
+                "rss_peak_bytes": rss_peak if rss_supported else None,
+                "rss_delta_bytes": (
+                    rss_peak - rss_before if rss_supported else None
+                ),
+                "rss_budget_bytes": budget if rss_supported else None,
+                "rss_ok": rss_ok,
+                "identical_to_single_file": identical,
+            }
+    return record
 
 
 def _tier_fingerprint(result):
@@ -219,6 +377,7 @@ def run_scale():
         "available": compiled_available(),
         "cases": run_compiled_leg(rows),
     }
+    json_payload["sharded"] = run_sharded_leg(rows)
     # Back-compat artifact fields: the flagship deterministic record.
     flagship = algorithms["deterministic"]
     for bk_key, eps_key, proper in (
@@ -267,6 +426,19 @@ def test_s1_scale(benchmark, record_table, record_json):
                 f"{algo}: block path sustained only {record['speedup']:.1f}x "
                 f"the token baseline (floor {floor}x)"
             )
+    sharded = payload["sharded"]
+    assert set(sharded["algorithms"]) == set(SCALE_RSS_BUDGETS)
+    assert sharded["m"] == sharded["n"] * sharded["k"]
+    assert sharded["shards"] > 1, "scale leg must cross shard boundaries"
+    for algo, rec in sharded["algorithms"].items():
+        assert rec["identical_to_single_file"], (
+            f"{algo}: sharded run diverged from the single-file source"
+        )
+        assert rec["rss_ok"], (
+            f"{algo}: peak RSS {rec['rss_peak_bytes']} exceeded the "
+            f"declared budget {rec['rss_budget_bytes']}"
+        )
+        assert rec["edges_per_sec"] > 0, algo
     assert payload["compiled"]["available"] == compiled_available()
     if compiled_available():
         cases = payload["compiled"]["cases"]

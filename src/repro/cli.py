@@ -154,8 +154,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="process-pool size for grid execution (default 1)")
     run.add_argument("--stream-backend", default=None, metavar="BACKEND",
                      help="data plane for every run of the experiment: "
-                     "tokens | materialized | generator | file "
-                     "(default: tokens)")
+                     "tokens | materialized | generator | file | "
+                     "sharded_file (default: tokens)")
     run.add_argument("--chunk-size", type=int, default=None, metavar="K",
                      help="edges per block for the block backends "
                      "(default 8192)")
@@ -221,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
                       "installed repro package's source tree)")
     lint.add_argument("--rules", default=None, metavar="LIST",
                       help="comma-separated rule ids, e.g. R1,R7 "
-                      "(default: all ten)")
+                      "(default: all eleven)")
     lint.add_argument("--baseline", default=None, metavar="FILE",
                       help="grandfathered-findings file (default: "
                       "lint-baseline.json at the source root, if present)")
@@ -322,6 +322,27 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--no-verify", action="store_true")
     loadgen.add_argument("--json", action="store_true",
                          help="emit the raw measurement row as JSON")
+
+    shard = sub.add_parser(
+        "shard",
+        help="sharded edge containers (repro.streaming.sharded): convert "
+        "a single edge file, inspect a manifest, or verify payload "
+        "checksums",
+    )
+    shard.add_argument("action", choices=("convert", "inspect", "verify"),
+                       help="convert: single REPROED1 file -> container; "
+                       "inspect: print the manifest / shard table; "
+                       "verify: recompute every shard's payload sha256")
+    shard.add_argument("source", metavar="PATH",
+                       help="edge file (convert) or container directory "
+                       "(inspect / verify)")
+    shard.add_argument("--out", default=None, metavar="DIR",
+                       help="target container directory (convert only)")
+    shard.add_argument("--shard-rows", type=int, default=None, metavar="R",
+                       help="edges per shard (default 4194304 = 64 MiB "
+                       "payload per shard)")
+    shard.add_argument("--json", action="store_true",
+                       help="emit the manifest as JSON (inspect only)")
 
     report = sub.add_parser("report", help="assemble markdown from archived tables")
     report.add_argument("--results", default="benchmarks/results")
@@ -658,6 +679,61 @@ def _run_profile(args) -> int:
     return 0
 
 
+def _run_shard(args) -> int:
+    import json
+
+    from repro.streaming.sharded import (
+        DEFAULT_SHARD_ROWS,
+        read_shard_manifest,
+        verify_shard_checksums,
+        write_sharded_edge_file,
+    )
+    from repro.streaming.source import FileSource
+
+    try:
+        if args.shard_rows is not None and args.shard_rows < 1:
+            raise ReproError(
+                f"--shard-rows must be >= 1, got {args.shard_rows}"
+            )
+        if args.action == "convert":
+            if args.out is None:
+                raise ReproError("convert needs --out DIR for the container")
+            source = FileSource(args.source)
+            try:
+                manifest = write_sharded_edge_file(
+                    args.out, source.n, source.iter_items(),
+                    shard_rows=args.shard_rows or DEFAULT_SHARD_ROWS,
+                )
+            finally:
+                source.close()
+            print(f"wrote {args.out}: n={manifest['n']} m={manifest['m']} "
+                  f"in {len(manifest['shards'])} shard(s) "
+                  f"(max_degree {manifest['max_degree']})")
+            return 0
+        if args.action == "verify":
+            manifest = verify_shard_checksums(args.source)
+            print(f"{args.source}: ok — {len(manifest['shards'])} shard(s), "
+                  f"m={manifest['m']}, all payload checksums match")
+            return 0
+        manifest = read_shard_manifest(args.source)
+    except ReproError as error:
+        print(f"repro shard: error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    headers = ["shard", "rows", "row_start", "sha256"]
+    rows = [[s["name"], s["rows"], s["row_start"], s["sha256"][:12] + "…"]
+            for s in manifest["shards"]]
+    print(format_table(
+        headers, rows,
+        title=f"{args.source}: n={manifest['n']} m={manifest['m']} "
+        f"shard_rows={manifest['shard_rows']} "
+        f"max_degree={manifest.get('max_degree', '?')}",
+    ))
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -711,6 +787,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "verify":
         return _run_verify(args)
+    if args.command == "shard":
+        return _run_shard(args)
     if args.command == "report":
         text = build_report(args.results)
         if args.output:

@@ -52,10 +52,12 @@ __all__ = [
 ]
 
 #: Valid ``RunSpec.stream_backend`` values.  ``tokens`` is the legacy
-#: token-at-a-time path; the other three construct block sources
+#: token-at-a-time path; the others construct block sources
 #: (``materialized`` in-memory, ``generator`` lazily regenerated each pass,
-#: ``file`` memory-mapped from a binary edge file written on the fly).
-STREAM_BACKENDS = ("tokens", "materialized", "generator", "file")
+#: ``file`` memory-mapped from a binary edge file written on the fly,
+#: ``sharded_file`` streamed from a multi-shard ``REPROED2`` container —
+#: the out-of-core plane, exercised here on temp-dir shards).
+STREAM_BACKENDS = ("tokens", "materialized", "generator", "file", "sharded_file")
 
 #: Valid ``RunSpec.graph_family`` values.  ``random_max_degree`` is the
 #: classic proposal-loop workload; ``near_regular`` is the vectorized
@@ -298,6 +300,27 @@ def _build_stream(spec: RunSpec, entry, config):
         source._tmpdir = tmpdir  # tie the temp file's lifetime to the source
         return source
 
+    if backend == "sharded_file":
+        from repro.streaming.sharded import (
+            ShardedFileSource,
+            write_sharded_edge_file,
+        )
+
+        edges = make_edges()
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-edges-")
+        path = f"{tmpdir.name}/edges.shards"
+        # Force several shards even at test sizes (the point of the
+        # backend is crossing boundaries); the split depends only on m,
+        # so a checkpoint restore rebuilding the stream from the spec
+        # reproduces the identical shard layout and cursors.
+        shard_rows = max(1, -(-len(edges) // 4))
+        write_sharded_edge_file(
+            path, spec.n, iter(edges), shard_rows=shard_rows
+        )
+        source = ShardedFileSource(path, chunk_size=chunk_size)
+        source._tmpdir = tmpdir  # tie the shards' lifetime to the source
+        return source
+
     stream = TokenStream(edge_tokens(make_edges()), spec.n)
     if backend == "materialized":
         return stream.as_source(chunk_size)
@@ -323,8 +346,11 @@ def _backend_label(stream) -> str:
     field may not describe what really ran; result rows record this
     instead.
     """
+    from repro.streaming.sharded import ShardedFileSource
     from repro.streaming.source import MaterializedSource
 
+    if isinstance(stream, ShardedFileSource):
+        return "sharded_file"
     if isinstance(stream, FileSource):
         return "file"
     if isinstance(stream, GeneratorSource):

@@ -40,8 +40,11 @@ __all__ = [
     "ZOO_FAMILIES",
     "ZOO_ORDERS",
     "arrange_edges",
+    "circulant_edge_blocks",
+    "circulant_edges",
     "workload_delta",
     "workload_edges",
+    "write_zoo_shards",
     "zoo_degrees",
 ]
 
@@ -238,6 +241,95 @@ def arrange_edges(
         position % stripes * m + position // stripes, kind="stable"
     )
     return edges[base[deal]]
+
+
+def circulant_edge_blocks(
+    n: int, k: int, seed: int = 0, block_rows: int = 1 << 18
+):
+    """Yield ``(rows, 2)`` blocks of a relabeled circulant graph, lazily.
+
+    The out-of-core scale family: vertex ``i`` joins ``i + 1 .. i + k``
+    (mod n), so ``m = n * k`` exactly, every degree is ``2 * k``, and any
+    edge range is computable from its global row index alone — the graph
+    is never materialized (memory stays O(block_rows) however large n
+    gets, which the in-memory zoo families above cannot offer).  A seeded
+    affine bijection ``x -> (a * x + b) mod n`` relabels the vertices so
+    the stream is not trivially sorted; row ``r`` always encodes the edge
+    ``(i, i + j)`` with ``i = r // k``, ``j = r % k + 1``, making the
+    sequence deterministic in ``(n, k, seed)`` for replayable passes.
+
+    Requires ``2 * k < n`` so the k offsets enumerate each undirected
+    edge exactly once (no self-loops, no duplicates).
+    """
+    if k < 1:
+        raise ReproError(f"circulant needs k >= 1, got {k}")
+    if 2 * k >= n:
+        raise ReproError(
+            f"circulant needs 2 * k < n for a simple graph, got n={n}, k={k}"
+        )
+    rng = np.random.default_rng(seed)
+    b = int(rng.integers(0, n))
+    a = int(rng.integers(1, n))
+    while np.gcd(a, n) != 1:
+        a = int(rng.integers(1, n))
+    m = n * k
+    for start in range(0, m, block_rows):
+        rows = np.arange(start, min(start + block_rows, m), dtype=np.int64)
+        i = rows // k
+        j = rows % k + 1
+        u = (a * i + b) % n
+        v = (a * (i + j) + b) % n
+        yield np.stack([u, v], axis=1)
+
+
+def circulant_edges(n: int, k: int, seed: int = 0) -> np.ndarray:
+    """The circulant family materialized (small-n tests and differentials)."""
+    blocks = list(circulant_edge_blocks(n, k, seed))
+    if not blocks:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.concatenate(blocks)
+
+
+def write_zoo_shards(
+    path,
+    family: str,
+    n: int,
+    seed: int,
+    *,
+    order: str = "insertion",
+    shard_rows: int | None = None,
+    k: int = 10,
+) -> dict:
+    """Write a zoo workload as a ``REPROED2`` container; returns the manifest.
+
+    Every in-memory family in :data:`ZOO_FAMILIES` is supported (built,
+    arranged into ``order``, then sharded), plus the block-native
+    ``circulant`` scale family, which streams straight from its generator
+    with bounded memory — circulant supports only the ``insertion`` order,
+    since reordering would require materializing the graph.
+    """
+    from repro.streaming.sharded import DEFAULT_SHARD_ROWS, write_sharded_edge_file
+
+    if shard_rows is None:
+        shard_rows = DEFAULT_SHARD_ROWS
+    if order not in ZOO_ORDERS:
+        raise ReproError(
+            f"unknown zoo order {order!r}; valid: {list(ZOO_ORDERS)}"
+        )
+    if family == "circulant":
+        if order != "insertion":
+            raise ReproError(
+                "circulant is generated out-of-core and supports only the "
+                f"insertion order, not {order!r}"
+            )
+        return write_sharded_edge_file(
+            path, n, circulant_edge_blocks(n, k, seed), shard_rows=shard_rows
+        )
+    edges, n_actual = workload_edges(family, n, seed)
+    arranged = arrange_edges(n_actual, edges, order, seed)
+    return write_sharded_edge_file(
+        path, n_actual, arranged, shard_rows=shard_rows
+    )
 
 
 def _bfs_ranks(n: int, edges: np.ndarray) -> np.ndarray:

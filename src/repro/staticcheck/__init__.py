@@ -1,6 +1,6 @@
 """``repro.staticcheck``: the AST contract checker.
 
-Nine repository-specific rules prove, at lint time, the structural
+Eleven repository-specific rules prove, at lint time, the structural
 invariants the runtime verification layers (``repro.verify``,
 ``repro.persist``, ``repro.service``) rely on implicitly:
 
@@ -27,6 +27,12 @@ R8  exception-taxonomy       raises derive from the ``ReproError`` taxonomy
 R9  ipc-discipline           worker IPC never pickles payloads: edge blocks
                              ride the shared-memory ring; pipe I/O only via
                              the ``_send_msg``/``_recv_msg`` choke points
+R10 kernel-dispatch          numba imports only inside ``repro.kernels``;
+    discipline               implementation modules reached only through
+                             ``dispatch()``
+R11 shard-container          the ``REPROED2`` magic and the container's
+    discipline               private helpers stay inside
+                             ``repro.streaming.sharded``
 ==  =======================  =================================================
 
 Per-site suppression: ``# repro: noqa[R7] reason`` (or bare

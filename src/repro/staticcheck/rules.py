@@ -1,4 +1,4 @@
-"""The ten contract rules.
+"""The eleven contract rules.
 
 Each rule proves one structural invariant the runtime layers rely on
 implicitly (the guarantee oracles of :mod:`repro.verify`, the snapshot
@@ -755,6 +755,75 @@ class KernelDisciplineRule(Rule):
                             )
 
 
+# ----------------------------------------------------------------------
+# R11 — shard-container discipline
+# ----------------------------------------------------------------------
+class ShardContainerRule(Rule):
+    """Shard I/O goes only through :mod:`repro.streaming.sharded`.
+
+    The ``REPROED2`` on-disk contract — manifest schema, shard naming,
+    payload checksums, and the temp-file + atomic-rename durability
+    discipline — lives in exactly one module.  A second module writing
+    the magic by hand or poking the container's private helpers would
+    fork the format: its files would load today and rot the first time
+    the manifest schema moves.  Outside the container module (a) the
+    ``REPROED2`` magic literal must not appear, and (b) the container's
+    private (underscore) helpers must not be imported — consumers use
+    ``ShardedFileSource`` / ``write_sharded_edge_file`` /
+    ``read_shard_manifest`` / ``verify_shard_checksums``.
+    """
+
+    id = "R11"
+    title = "shard-container discipline"
+    _MODULE = "repro.streaming.sharded"
+
+    @staticmethod
+    def _docstrings(tree) -> set:
+        """The Constant nodes serving as docstrings (prose, not format)."""
+        nodes = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+                body = node.body
+                if body and isinstance(body[0], ast.Expr) \
+                        and isinstance(body[0].value, ast.Constant) \
+                        and isinstance(body[0].value.value, str):
+                    nodes.add(body[0].value)
+        return nodes
+
+    def check(self, mod, project):
+        if not _in_package(mod, "repro"):
+            return
+        # The container module owns the literal; the checker itself names
+        # it in rule messages (this class) — neither forks the format.
+        if mod.module == self._MODULE \
+                or _in_package(mod, "repro.staticcheck"):
+            return
+        docstrings = self._docstrings(mod.tree)
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Constant) and node not in docstrings and (
+                (isinstance(node.value, str) and "REPROED2" in node.value)
+                or (isinstance(node.value, bytes)
+                    and b"REPROED2" in node.value)
+            ):
+                yield _finding(
+                    mod, node, self.id,
+                    "REPROED2 magic literal outside "
+                    f"{self._MODULE}; the container format is written and "
+                    "parsed in exactly one module",
+                )
+            elif isinstance(node, ast.ImportFrom) \
+                    and (node.module or "") == self._MODULE:
+                for alias in node.names:
+                    if alias.name.startswith("_"):
+                        yield _finding(
+                            mod, node, self.id,
+                            f"import of private container helper "
+                            f"{alias.name!r}; shard I/O goes through the "
+                            f"public {self._MODULE} API",
+                        )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     MeteredRandomnessRule(),
     SnapshotCompletenessRule(),
@@ -766,6 +835,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ExceptionTaxonomyRule(),
     WorkerIpcRule(),
     KernelDisciplineRule(),
+    ShardContainerRule(),
 )
 
 

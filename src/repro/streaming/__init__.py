@@ -12,20 +12,31 @@ The paper's two settings are represented directly:
 The data plane has two interchangeable views (see DESIGN.md, "Data
 plane"): the token-at-a-time :class:`TokenStream` and the array-backed,
 chunked :class:`StreamSource` (:class:`MaterializedSource`,
-:class:`GeneratorSource`, :class:`FileSource`), whose passes yield
-``(k, 2)`` numpy edge blocks.  Pass counting and space accounting are
-identical on both.
+:class:`GeneratorSource`, :class:`FileSource`,
+:class:`ShardedFileSource`), whose passes yield ``(k, 2)`` numpy edge
+blocks.  Pass counting and space accounting are identical on both.
+Inputs too large for one file live in the sharded ``REPROED2`` container
+(see DESIGN.md, "Sharded edge container").
 """
 
 from repro.streaming.model import MultipassStreamingAlgorithm, OnePassAlgorithm
+from repro.streaming.sharded import (
+    DEFAULT_SHARD_ROWS,
+    ShardedFileSource,
+    read_shard_manifest,
+    verify_shard_checksums,
+    write_sharded_edge_file,
+)
 from repro.streaming.source import (
     DEFAULT_CHUNK_SIZE,
+    TOKEN_MATERIALIZE_LIMIT,
     FileSource,
     GeneratorSource,
     MaterializedSource,
     SourceTokenStream,
     StreamSource,
     as_edge_blocks,
+    iter_edge_blocks,
     read_edge_file_header,
     write_edge_file,
 )
@@ -34,6 +45,7 @@ from repro.streaming.tokens import EdgeToken, ListToken, edge_tokens
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_SHARD_ROWS",
     "EdgeToken",
     "FileSource",
     "GeneratorSource",
@@ -41,13 +53,19 @@ __all__ = [
     "MaterializedSource",
     "MultipassStreamingAlgorithm",
     "OnePassAlgorithm",
+    "ShardedFileSource",
     "SourceTokenStream",
     "StreamSource",
+    "TOKEN_MATERIALIZE_LIMIT",
     "TokenStream",
     "as_edge_blocks",
     "edge_tokens",
+    "iter_edge_blocks",
     "read_edge_file_header",
+    "read_shard_manifest",
     "stream_from_graph",
     "stream_with_lists",
+    "verify_shard_checksums",
     "write_edge_file",
+    "write_sharded_edge_file",
 ]

@@ -27,9 +27,13 @@ Three concrete sources:
 
 Binary edge-file format (little-endian): 8-byte magic ``REPROED1``,
 ``uint64 n``, ``uint64 m``, then ``m`` pairs of ``int64`` endpoints.
+Inputs too large for one file live in the sharded ``REPROED2`` container
+(:mod:`repro.streaming.sharded`), whose shards are ordinary ``REPROED1``
+payloads indexed by a manifest.
 """
 
 import abc
+import itertools
 import os
 import struct
 import time
@@ -47,12 +51,20 @@ __all__ = [
     "MaterializedSource",
     "SourceTokenStream",
     "StreamSource",
+    "TOKEN_MATERIALIZE_LIMIT",
     "as_edge_blocks",
+    "iter_edge_blocks",
     "read_edge_file_header",
     "write_edge_file",
 ]
 
 DEFAULT_CHUNK_SIZE = 8192
+
+#: Hard ceiling on ``SourceTokenStream.tokens`` materialization: one
+#: Python object per edge is fine for diagnostics at test sizes, but on an
+#: out-of-core source it is a silent multi-GB allocation.  Streams above
+#: this edge count must be consumed via ``iter_tokens()`` / ``new_pass()``.
+TOKEN_MATERIALIZE_LIMIT = 1 << 20
 
 _MAGIC = b"REPROED1"
 _HEADER = struct.Struct("<QQ")  # n, m
@@ -93,6 +105,33 @@ def as_edge_blocks(edges, chunk_size: int = DEFAULT_CHUNK_SIZE):
             buf = []
     if buf:
         yield frozen(np.asarray(buf, dtype=np.int64).reshape(-1, 2))
+
+
+def iter_edge_blocks(edges, chunk_size: int = DEFAULT_CHUNK_SIZE):
+    """Like :func:`as_edge_blocks`, but also accepts an iterable of blocks.
+
+    The writers (:func:`write_edge_file`, the sharded container) take
+    edges from three shapes of producer: an ``(m, 2)`` array, an iterable
+    of ``(u, v)`` pairs, or — for out-of-core generators that never hold
+    the graph — an iterable of ``(k, 2)`` arrays.  Blocks are re-chunked
+    to at most ``chunk_size`` rows and yielded read-only, whatever the
+    producer's own chunking.
+    """
+    if isinstance(edges, np.ndarray):
+        yield from as_edge_blocks(edges, chunk_size)
+        return
+    if chunk_size < 1:
+        raise StreamProtocolError(f"chunk_size must be >= 1, got {chunk_size}")
+    it = iter(edges)
+    try:
+        first = next(it)
+    except StopIteration:
+        return
+    if isinstance(first, np.ndarray) and first.ndim == 2:
+        for block in itertools.chain([first], it):
+            yield from as_edge_blocks(np.asarray(block), chunk_size)
+    else:
+        yield from as_edge_blocks(itertools.chain([first], it), chunk_size)
 
 
 class StreamSource(abc.ABC):
@@ -385,32 +424,54 @@ class GeneratorSource(StreamSource):
 def write_edge_file(path, n: int, edges) -> int:
     """Write edges to the binary edge-file format; returns the edge count.
 
-    ``edges`` may be an ``(m, 2)`` array or any iterable of ``(u, v)``
-    pairs (streamed through in chunks — the full list is never required in
-    memory).
+    ``edges`` may be an ``(m, 2)`` array, any iterable of ``(u, v)``
+    pairs, or an iterable of ``(k, 2)`` blocks (streamed through in
+    chunks — the full list is never required in memory).
+
+    The write is atomic (same-directory temp file + ``os.replace``,
+    mirroring the ``REPROCK1`` checkpoint discipline).  The header's edge
+    count is patched in only after the payload lands, so without the
+    rename a writer dying mid-stream would leave a file that parses as a
+    *valid empty* edge file — silent data loss, not a detectable error.
+    A crash instead leaves the target absent (or its previous contents
+    intact) and only a ``.tmp.<pid>`` file to sweep up.
     """
     m = 0
-    with open(path, "wb") as fh:
-        fh.write(_MAGIC)
-        fh.write(_HEADER.pack(n, 0))  # m patched below
-        for block in as_edge_blocks(edges):
-            if len(block) and (block.min() < 0 or block.max() >= n):
-                raise StreamProtocolError(f"edge endpoint out of range [0, {n})")
-            fh.write(np.ascontiguousarray(block, dtype="<i8").tobytes())
-            m += len(block)
-        fh.seek(len(_MAGIC))
-        fh.write(_HEADER.pack(n, m))
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(_HEADER.pack(n, 0))  # m patched below
+            for block in iter_edge_blocks(edges):
+                if len(block) and (block.min() < 0 or block.max() >= n):
+                    raise StreamProtocolError(
+                        f"edge endpoint out of range [0, {n})"
+                    )
+                fh.write(np.ascontiguousarray(block, dtype="<i8").tobytes())
+                m += len(block)
+            fh.seek(len(_MAGIC))
+            fh.write(_HEADER.pack(n, m))
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
     return m
 
 
 def read_edge_file_header(path) -> tuple[int, int]:
     """The ``(n, m)`` header of a binary edge file.
 
-    Raises :class:`EdgeFileError` (a :class:`ValueError`) on a wrong
-    magic or a header shorter than the fixed 24 bytes, so probing an
-    arbitrary file never surfaces a struct/numpy internal error.
+    Raises :class:`EdgeFileError` (a :class:`ValueError`) on a missing or
+    unreadable file, a wrong magic, or a header shorter than the fixed 24
+    bytes, so probing an arbitrary path never surfaces an OS/struct/numpy
+    internal error.
     """
-    with open(path, "rb") as fh:
+    try:
+        fh = open(path, "rb")
+    except OSError as error:
+        raise EdgeFileError(f"{path}: cannot read edge file: {error}") from error
+    with fh:
         magic = fh.read(len(_MAGIC))
         if magic != _MAGIC:
             raise EdgeFileError(
@@ -445,10 +506,13 @@ def _validate_edge_file_payload(path, m: int) -> None:
             f"({expected} payload bytes) but only {max(0, payload)} are "
             "present"
         )
-    if payload % 16:
+    if payload > expected:
+        # Anything but an exact match refuses to load: extra bytes mean
+        # the file was overwritten shorter in place or damaged, and the
+        # mapping below would silently ignore whichever half is stale.
         raise EdgeFileError(
-            f"{path}: payload of {payload} bytes is not a whole number of "
-            "16-byte edge records"
+            f"{path}: trailing garbage: header claims m={m} edges "
+            f"({expected} payload bytes) but {payload} are present"
         )
 
 
@@ -513,7 +577,21 @@ class SourceTokenStream(TokenStream):
 
     @property
     def tokens(self) -> list:
+        """Materialized token list — diagnostics only, size-gated.
+
+        One Python object per edge: harmless at test sizes, a silent
+        multi-GB allocation on an out-of-core source.  Streams larger
+        than :data:`TOKEN_MATERIALIZE_LIMIT` refuse to materialize;
+        consume them via :meth:`new_pass` / ``iter_tokens()`` instead.
+        """
         if self._tokens_cache is None:
+            count = self._source.edge_count()
+            if count > TOKEN_MATERIALIZE_LIMIT:
+                raise StreamProtocolError(
+                    f"refusing to materialize {count} edges as tokens "
+                    f"(limit {TOKEN_MATERIALIZE_LIMIT}); iterate the "
+                    "source's blocks or iter_tokens() instead"
+                )
             self._tokens_cache = list(self._source.iter_tokens())
         return self._tokens_cache
 
@@ -526,7 +604,9 @@ class SourceTokenStream(TokenStream):
         return self._source.pass_seconds
 
     def __len__(self) -> int:
-        return len(self.tokens)
+        # Delegates to the source's cached count: taking the length of a
+        # huge stream must not trip the materialization gate above.
+        return self._source.edge_count()
 
     def as_source(self, chunk_size=None) -> StreamSource:
         if chunk_size is not None and chunk_size != self._source.chunk_size:

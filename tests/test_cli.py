@@ -348,3 +348,80 @@ class TestReport:
         (tmp_path / "t4_robust_colors.txt").write_text("t4\n")
         text = build_report(tmp_path)
         assert text.index("t4_robust_colors") < text.index("a1_selection_ablation")
+
+
+class TestShardCommand:
+    @staticmethod
+    def _flat_file(tmp_path):
+        from repro.streaming import write_edge_file
+
+        path = tmp_path / "edges.bin"
+        write_edge_file(path, 5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        return path
+
+    def test_convert_then_inspect_then_verify(self, tmp_path, capsys):
+        flat = self._flat_file(tmp_path)
+        out = tmp_path / "edges.shards"
+        assert main(["shard", "convert", str(flat), "--out", str(out),
+                     "--shard-rows", "2"]) == 0
+        text = capsys.readouterr().out
+        assert "n=5 m=5 in 3 shard(s)" in text
+
+        assert main(["shard", "inspect", str(out)]) == 0
+        table = capsys.readouterr().out
+        assert "shard-00000" in table and "row_start" in table
+
+        assert main(["shard", "verify", str(out)]) == 0
+        assert "all payload checksums match" in capsys.readouterr().out
+
+    def test_inspect_json_is_the_manifest(self, tmp_path, capsys):
+        import json
+
+        flat = self._flat_file(tmp_path)
+        out = tmp_path / "edges.shards"
+        assert main(["shard", "convert", str(flat), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["shard", "inspect", str(out), "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["magic"] == "REPROED2"
+        assert manifest["m"] == 5
+
+    def test_convert_without_out_exits_2(self, tmp_path, capsys):
+        flat = self._flat_file(tmp_path)
+        assert main(["shard", "convert", str(flat)]) == 2
+        assert "needs --out" in capsys.readouterr().err
+
+    def test_bad_shard_rows_exits_2(self, tmp_path, capsys):
+        flat = self._flat_file(tmp_path)
+        assert main(["shard", "convert", str(flat),
+                     "--out", str(tmp_path / "o"), "--shard-rows", "0"]) == 2
+        assert "--shard-rows" in capsys.readouterr().err
+
+    def test_missing_source_exits_2(self, tmp_path, capsys):
+        assert main(["shard", "convert", str(tmp_path / "nope.bin"),
+                     "--out", str(tmp_path / "o")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_inspect_non_container_exits_2(self, tmp_path, capsys):
+        assert main(["shard", "inspect", str(tmp_path)]) == 2
+        assert "not a sharded edge container" in capsys.readouterr().err
+
+    def test_verify_corrupted_container_exits_2(self, tmp_path, capsys):
+        from repro.streaming import read_shard_manifest
+
+        flat = self._flat_file(tmp_path)
+        out = tmp_path / "edges.shards"
+        assert main(["shard", "convert", str(flat), "--out", str(out)]) == 0
+        capsys.readouterr()
+        manifest = read_shard_manifest(out)
+        shard = out / manifest["shards"][0]["name"]
+        data = bytearray(shard.read_bytes())
+        data[-1] ^= 0x01
+        shard.write_bytes(bytes(data))
+        assert main(["shard", "verify", str(out)]) == 2
+        assert "checksum mismatch" in capsys.readouterr().err
+
+    def test_run_accepts_sharded_backend(self, capsys):
+        assert main(["run", "t1", "--n", "16", "--deltas", "3",
+                     "--stream-backend", "sharded_file"]) == 0
+        assert "passes vs Delta" in capsys.readouterr().out

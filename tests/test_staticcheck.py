@@ -427,6 +427,53 @@ def test_r4_flags_pipe_recv_in_service_coroutine(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# R11 shard-container discipline
+# ----------------------------------------------------------------------
+def test_r11_flags_magic_literal_outside_container_module(tmp_path):
+    report = lint_snippet(tmp_path, "repro/graph/loader.py", """\
+        import json
+
+        def probe(path):
+            with open(path) as fh:
+                return json.load(fh).get("magic") == "REPROED2"
+        """, rules=["R11"])
+    assert rule_ids(report) == {"R11"}
+    assert "one module" in report.findings[0].message
+    raw = lint_snippet(tmp_path, "repro/streaming/peek.py", """\
+        MAGIC = b"REPROED2-ish"
+        """, rules=["R11"])
+    assert rule_ids(raw) == {"R11"}
+
+
+def test_r11_flags_private_helper_imports(tmp_path):
+    report = lint_snippet(tmp_path, "repro/engine/fast_io.py", """\
+        from repro.streaming.sharded import _ShardWriter, _sha256_payload
+        """, rules=["R11"])
+    assert rule_ids(report) == {"R11"}
+    assert len(report.findings) == 2
+    assert all("private" in f.message for f in report.findings)
+
+
+def test_r11_allows_container_module_prose_and_public_api(tmp_path):
+    owner = lint_snippet(tmp_path, "repro/streaming/sharded.py", """\
+        MANIFEST_MAGIC = "REPROED2"
+
+        def _sha256_payload(path):
+            return path
+        """, rules=["R11"])
+    assert owner.findings == []
+    consumer = lint_snippet(tmp_path, "repro/engine/fast_io.py", '''\
+        """Streams the REPROED2 container (prose mention is fine)."""
+
+        from repro.streaming.sharded import ShardedFileSource
+
+        def open_container(path):
+            return ShardedFileSource(path)
+        ''', rules=["R11"])
+    assert consumer.findings == []
+
+
+# ----------------------------------------------------------------------
 # framework: suppression, baseline, rule selection
 # ----------------------------------------------------------------------
 def test_bare_noqa_suppresses_all_rules(tmp_path):
@@ -444,7 +491,7 @@ def test_unknown_rule_id_is_an_error():
     with pytest.raises(ReproError, match="unknown rule"):
         rules_by_id(["R99"])
     assert len(rules_by_id(["r1", "R8"])) == 2
-    assert {rule.id for rule in ALL_RULES} == {f"R{i}" for i in range(1, 11)}
+    assert {rule.id for rule in ALL_RULES} == {f"R{i}" for i in range(1, 12)}
 
 
 def test_baseline_round_trip_and_stale_detection(tmp_path):
@@ -498,7 +545,7 @@ def test_compare_with_baseline_counts():
 def test_self_scan_is_clean_against_committed_baseline():
     report = run_lint([SRC], root=REPO_ROOT, baseline_path=BASELINE)
     assert report.files >= 75
-    assert report.rules == [f"R{i}" for i in range(1, 11)]
+    assert report.rules == [f"R{i}" for i in range(1, 12)]
     assert report.ok, "\n" + report.render()
 
 

@@ -6,11 +6,13 @@ import pytest
 from repro.common.exceptions import StreamProtocolError
 from repro.graph.generators import cycle_graph, gnp_random_graph
 from repro.streaming.source import (
+    TOKEN_MATERIALIZE_LIMIT,
     FileSource,
     GeneratorSource,
     MaterializedSource,
     SourceTokenStream,
     as_edge_blocks,
+    iter_edge_blocks,
     read_edge_file_header,
     write_edge_file,
 )
@@ -207,8 +209,22 @@ class TestFileSourceHardening:
         path = self.write_valid(tmp_path / "odd.bin")
         data = path.read_bytes()
         path.write_bytes(data + b"\x01\x02\x03")  # trailing partial record
-        with pytest.raises(ValueError, match="16-byte edge records"):
+        with pytest.raises(ValueError, match="trailing garbage"):
             FileSource(path)
+
+    def test_trailing_whole_records_are_value_error(self, tmp_path):
+        # A header declaring fewer edges than the payload holds is how a
+        # file overwritten shorter in place looks; the old `payload <
+        # expected` check accepted it silently, dropping the stale tail.
+        path = self.write_valid(tmp_path / "extra.bin")
+        data = path.read_bytes()
+        path.write_bytes(data + b"\x00" * 16)  # one extra whole record
+        with pytest.raises(ValueError, match="trailing garbage"):
+            FileSource(path)
+
+    def test_missing_file_is_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read edge file"):
+            FileSource(tmp_path / "nope.bin")
 
     def test_errors_are_also_repro_errors(self, tmp_path):
         path = tmp_path / "bad.bin"
@@ -219,6 +235,61 @@ class TestFileSourceHardening:
     def test_valid_file_still_loads(self, tmp_path):
         path = self.write_valid(tmp_path / "ok.bin")
         assert FileSource(path).edge_count() == 3
+
+
+class TestWriteEdgeFileAtomicity:
+    """A writer dying mid-stream must never leave a parseable file behind.
+
+    The header is written with m=0 and patched after the payload, so
+    without the temp-file + rename discipline a crash left a *valid
+    empty* edge file — silent data loss rather than a detectable error.
+    """
+
+    @staticmethod
+    def _dying_edges():
+        yield (0, 1)
+        yield (1, 2)
+        raise RuntimeError("writer killed mid-stream")
+
+    def test_crash_leaves_no_target_file(self, tmp_path):
+        path = tmp_path / "torn.bin"
+        with pytest.raises(RuntimeError, match="killed"):
+            write_edge_file(path, 5, self._dying_edges())
+        assert not path.exists()
+        with pytest.raises(ValueError, match="cannot read edge file"):
+            FileSource(path)
+
+    def test_crash_preserves_previous_contents(self, tmp_path):
+        path = tmp_path / "stable.bin"
+        write_edge_file(path, 5, [(0, 1), (1, 2), (3, 4)])
+        before = path.read_bytes()
+        with pytest.raises(RuntimeError, match="killed"):
+            write_edge_file(path, 5, self._dying_edges())
+        assert path.read_bytes() == before
+        assert FileSource(path).edge_count() == 3
+
+    def test_crash_sweeps_up_the_temp_file(self, tmp_path):
+        with pytest.raises(RuntimeError, match="killed"):
+            write_edge_file(tmp_path / "torn.bin", 5, self._dying_edges())
+        assert [p.name for p in tmp_path.iterdir()] == []
+
+    def test_rejected_endpoint_is_also_atomic(self, tmp_path):
+        path = tmp_path / "range.bin"
+        with pytest.raises(StreamProtocolError, match="out of range"):
+            write_edge_file(path, 2, [(0, 1), (0, 7)])
+        assert not path.exists()
+        assert [p.name for p in tmp_path.iterdir()] == []
+
+    def test_accepts_block_iterables(self, tmp_path):
+        blocks = [
+            np.array([[0, 1], [1, 2]], dtype=np.int64),
+            np.array([[2, 3]], dtype=np.int64),
+        ]
+        path = tmp_path / "blocks.bin"
+        assert write_edge_file(path, 4, iter(blocks)) == 3
+        assert np.array_equal(
+            collect_edges(FileSource(path)), np.concatenate(blocks)
+        )
 
 
 class TestSourceTokenStream:
@@ -253,6 +324,51 @@ class TestSourceTokenStream:
         assert shim.as_source(chunk_size=8) is source
         with pytest.raises(StreamProtocolError):
             shim.as_source(chunk_size=100)
+
+    def test_tokens_refuses_to_materialize_huge_sources(self, monkeypatch):
+        # .tokens builds one EdgeToken per edge; on an out-of-core source
+        # that is exactly the allocation the file layer exists to avoid.
+        monkeypatch.setattr(
+            "repro.streaming.source.TOKEN_MATERIALIZE_LIMIT", 2
+        )
+        source = GeneratorSource(lambda: [(0, 1), (1, 2), (2, 3)], n=4)
+        shim = source.as_token_stream()
+        with pytest.raises(StreamProtocolError, match="refusing to materialize"):
+            shim.tokens
+        # Size and streaming access stay available above the limit.
+        assert len(shim) == 3
+        assert len(list(source.iter_tokens())) == 3
+
+    def test_tokens_allowed_at_the_limit(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.streaming.source.TOKEN_MATERIALIZE_LIMIT", 3
+        )
+        source = GeneratorSource(lambda: [(0, 1), (1, 2), (2, 3)], n=4)
+        assert len(source.as_token_stream().tokens) == 3
+
+    def test_default_limit_is_sane(self):
+        assert TOKEN_MATERIALIZE_LIMIT >= 1 << 20
+
+
+class TestIterEdgeBlocks:
+    def test_array_input(self):
+        arr = np.arange(10, dtype=np.int64).reshape(5, 2)
+        blocks = list(iter_edge_blocks(arr, chunk_size=2))
+        assert [len(b) for b in blocks] == [2, 2, 1]
+        assert np.array_equal(np.concatenate(blocks), arr)
+
+    def test_pair_input(self):
+        blocks = list(iter_edge_blocks([(0, 1), (1, 2), (2, 3)], chunk_size=2))
+        assert [len(b) for b in blocks] == [2, 1]
+
+    def test_block_input_is_rechunked(self):
+        big = np.arange(12, dtype=np.int64).reshape(6, 2)
+        blocks = list(iter_edge_blocks(iter([big]), chunk_size=4))
+        assert [len(b) for b in blocks] == [4, 2]
+        assert np.array_equal(np.concatenate(blocks), big)
+
+    def test_empty_input(self):
+        assert list(iter_edge_blocks([], chunk_size=4)) == []
 
 
 class TestTokenStreamBridge:
