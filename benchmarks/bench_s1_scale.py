@@ -30,7 +30,6 @@ uploads (and checks for completeness against the registry).
 
 import os
 import tempfile
-import threading
 import time
 
 from conftest import run_once
@@ -38,6 +37,10 @@ from conftest import run_once
 from repro.engine import REGISTRY, GameSpec, RunSpec, run, run_game
 from repro.graph.zoo import circulant_edge_blocks, write_zoo_shards
 from repro.kernels import compiled_available, measure_kernels
+# The sampler lives in repro.obs.sysinfo so serve metrics, the obs
+# overhead gate, and this bench all read VmRSS the same way.
+from repro.obs.sysinfo import RssSampler as _RssSampler
+from repro.obs.sysinfo import rss_bytes as _rss_bytes
 from repro.streaming import FileSource, ShardedFileSource, write_edge_file
 
 #: CI's ``kernels`` job sets this to keep the sweep quick; sizes shrink
@@ -118,40 +121,6 @@ SCALE_RSS_BUDGETS = {
     "naive": (64 * 2**20, 160),
     "robust": (128 * 2**20, 1100),
 }
-
-
-def _rss_bytes():
-    """Current resident set size, or None where /proc is unavailable."""
-    try:
-        with open("/proc/self/status") as fh:
-            for line in fh:
-                if line.startswith("VmRSS:"):
-                    return int(line.split()[1]) * 1024
-    except OSError:
-        return None
-    return None
-
-
-class _RssSampler(threading.Thread):
-    """Samples peak VmRSS in the background while a leg runs."""
-
-    def __init__(self, interval: float = 0.02):
-        super().__init__(daemon=True)
-        self.peak = 0
-        self._interval = interval
-        self._halt = threading.Event()
-
-    def run(self):
-        while not self._halt.is_set():
-            rss = _rss_bytes()
-            if rss is not None and rss > self.peak:
-                self.peak = rss
-            self._halt.wait(self._interval)
-
-    def finish(self) -> int:
-        self._halt.set()
-        self.join()
-        return self.peak
 
 
 def run_sharded_leg(rows):

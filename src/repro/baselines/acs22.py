@@ -31,7 +31,6 @@ Block-path execution runs on the resumable pass machine of
 token path below is the unchanged reference implementation.
 """
 
-import time
 
 import numpy as np
 
@@ -42,6 +41,7 @@ from repro.streaming.model import MultipassStreamingAlgorithm
 from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken
+from repro.obs.clock import perf_now
 
 
 class _PartCountsConsumer(PassConsumer):
@@ -66,7 +66,7 @@ class _PartCountsConsumer(PassConsumer):
 
     def finish(self, stream):
         p, r = self.algo.p, self.algo.range_size
-        reduce_start = time.perf_counter()  # repro: noqa[R7] timing extras
+        reduce_start = perf_now()
         a = np.arange(1, p, dtype=np.int64)
         totals = np.zeros(p - 1, dtype=np.int64)
         present = np.flatnonzero(self.diff_counts)
@@ -76,7 +76,7 @@ class _PartCountsConsumer(PassConsumer):
             d = (dvals[:, None] * a[None, :]) % p
             collide = (p - d) * (d % r == 0) + d * ((d - p) % r == 0)
             totals += self.diff_counts[dvals] @ collide
-        stream.pass_seconds[-1] += time.perf_counter() - reduce_start  # repro: noqa[R7] timing extras
+        stream.pass_seconds[-1] += perf_now() - reduce_start
         return totals
 
 
@@ -172,13 +172,13 @@ class _RepairAdjacencyConsumer(PassConsumer):
 
     def finish(self, stream):
         adjacency: dict[int, set[int]] = {v: set() for v in self.conflicted}
-        reduce_start = time.perf_counter()  # repro: noqa[R7] timing extras
+        reduce_start = perf_now()
         if self.chunks:
             from repro.streaming.blocks import group_pairs
 
             for x, ys in group_pairs(np.concatenate(self.chunks)):
                 adjacency[x] = set(ys.tolist())
-        stream.pass_seconds[-1] += time.perf_counter() - reduce_start  # repro: noqa[R7] timing extras
+        stream.pass_seconds[-1] += perf_now() - reduce_start
         return adjacency, self.stored
 
 

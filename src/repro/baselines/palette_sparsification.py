@@ -16,7 +16,6 @@ paper's existence proof is non-constructive; [ACK19] give a poly-time
 completion, and greedy-with-retries is the standard practical stand-in).
 """
 
-import time
 
 import numpy as np
 
@@ -29,6 +28,7 @@ from repro.streaming.model import MultipassStreamingAlgorithm
 from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken
+from repro.obs.clock import perf_now
 
 
 class _ConflictCollectConsumer(PassConsumer):
@@ -58,14 +58,14 @@ class _ConflictCollectConsumer(PassConsumer):
     def finish(self, stream):
         from repro.graph.csr import CSRGraph
 
-        reduce_start = time.perf_counter()  # repro: noqa[R7] timing extras
+        reduce_start = perf_now()
         conflict = CSRGraph.from_edge_array(
             self.algo.n,
             np.concatenate(self.chunks)
             if self.chunks
             else np.empty((0, 2), dtype=np.int64),
         )
-        stream.pass_seconds[-1] += time.perf_counter() - reduce_start  # repro: noqa[R7] timing extras
+        stream.pass_seconds[-1] += perf_now() - reduce_start
         return conflict
 
 

@@ -266,6 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--checkpoint-every-ops", type=int, default=32,
                        help="acked ops between journal-truncating sync "
                        "checkpoints (pool mode; default 32)")
+    serve.add_argument("--obs", action="store_true",
+                       help="enable the metrics registry; snapshots are "
+                       "served by the 'metrics' op / repro metrics")
+    serve.add_argument("--trace-log", default=None, metavar="PATH",
+                       help="append structured trace spans (newline-JSON) "
+                       "to PATH; implies --obs")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit startup/shutdown lines as one JSON "
+                       "event per line")
 
     submit = sub.add_parser(
         "submit",
@@ -343,6 +352,46 @@ def build_parser() -> argparse.ArgumentParser:
                        "payload per shard)")
     shard.add_argument("--json", action="store_true",
                        help="emit the manifest as JSON (inspect only)")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="snapshot a live server's metrics (Prometheus text, or "
+        "--json for the raw registry snapshot)",
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, required=True)
+    metrics.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the JSON snapshot (histograms carry "
+                         "p50/p95/p99) instead of Prometheus text")
+
+    trace = sub.add_parser(
+        "trace",
+        help="record an offline traced run, or render a trace log",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_cmd", required=True)
+    record = trace_sub.add_parser(
+        "record",
+        help="run one workload with tracing enabled, appending spans "
+        "to --out",
+    )
+    record.add_argument("--out", required=True, metavar="PATH",
+                        help="trace log to append spans to")
+    record.add_argument("--algorithm", default="robust")
+    record.add_argument("--n", type=int, default=256)
+    record.add_argument("--delta", type=int, default=None,
+                        help="max degree (default: max(4, n // 8))")
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--graph-family", default="random_max_degree")
+    record.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="K",
+                        help="also checkpoint every K blocks (exercises "
+                        "the persist spans; uses a temp file)")
+    show = trace_sub.add_parser(
+        "show", help="render a trace log as a span tree",
+    )
+    show.add_argument("path", metavar="TRACE_LOG")
+    show.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the parsed span records as JSON")
 
     report = sub.add_parser("report", help="assemble markdown from archived tables")
     report.add_argument("--results", default="benchmarks/results")
@@ -451,6 +500,16 @@ def _run_serve(args) -> int:
     except ReproError as error:
         print(f"repro serve: error: {error}", file=sys.stderr)
         return 2
+
+    # Obs handles bind at object construction, so enablement must come
+    # before the service/pool is built.
+    import repro.obs as obs
+
+    obs.configure(
+        metrics=args.obs or args.trace_log is not None,
+        trace_log=args.trace_log,
+        log_json=args.log_json,
+    )
 
     if args.workers == 1:
         try:
@@ -655,6 +714,113 @@ def _run_lint(args) -> int:
     return report.exit_code
 
 
+def _run_metrics(args) -> int:
+    import asyncio
+    import json
+
+    from repro.service import ServiceClient
+
+    async def _fetch() -> dict:
+        client = await ServiceClient.connect(args.host, args.port)
+        async with client:
+            return await client.request("metrics")
+
+    try:
+        response = asyncio.run(_fetch())
+    except (ReproError, OSError) as error:
+        print(f"repro metrics: error: {error}", file=sys.stderr)
+        return 2
+    if not response.get("metrics_enabled"):
+        print("repro metrics: error: server has metrics disabled "
+              "(start it with repro serve --obs)", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(response["metrics"], indent=2, sort_keys=True))
+    else:
+        print(response["prometheus"], end="")
+    return 0
+
+
+def _run_trace(args) -> int:
+    if args.trace_cmd == "record":
+        return _run_trace_record(args)
+    return _run_trace_show(args)
+
+
+def _run_trace_record(args) -> int:
+    import tempfile
+
+    import repro.obs as obs
+    from repro.engine import RunSpec, run
+
+    obs.configure(metrics=True, trace_log=args.out)
+    delta = args.delta if args.delta is not None else max(4, args.n // 8)
+    try:
+        spec = RunSpec(
+            algorithm=args.algorithm, n=args.n, delta=delta,
+            seed=args.seed, graph_family=args.graph_family,
+            # Checkpointing needs a block source; materialized is the
+            # cheapest one and results are bit-identical across backends.
+            stream_backend=(
+                "materialized" if args.checkpoint_every is not None else None
+            ),
+        )
+        if args.checkpoint_every is not None:
+            with tempfile.NamedTemporaryFile(suffix=".ck") as ck:
+                result = run(spec, checkpoint_every=args.checkpoint_every,
+                             checkpoint_path=ck.name)
+        else:
+            result = run(spec)
+    except ReproError as error:
+        print(f"repro trace record: error: {error}", file=sys.stderr)
+        return 2
+    spans = obs.read_trace_log(args.out)
+    print(f"repro trace: recorded {len(spans)} span(s) to {args.out} "
+          f"(algorithm={spec.algorithm}, colors_used={result.colors_used}, "
+          f"passes={result.passes})")
+    return 0
+
+
+def _run_trace_show(args) -> int:
+    import json
+
+    import repro.obs as obs
+
+    try:
+        records = obs.read_trace_log(args.path)
+    except (ReproError, OSError) as error:
+        print(f"repro trace show: error: {error}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    by_span = {r["span"]: r for r in records}
+    children: dict = {}
+    roots = []
+    for record in records:
+        parent = record.get("parent")
+        if parent is not None and parent in by_span:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+
+    def _render(record, depth):
+        fields = record.get("fields", {})
+        extra = "".join(f" {k}={v}" for k, v in sorted(fields.items()))
+        print(f"{'  ' * depth}{record['name']} "
+              f"[{1e3 * record['dur_s']:.2f} ms] "
+              f"pid={record['pid']} trace={record['trace']}{extra}")
+        for child in children.get(record["span"], []):
+            _render(child, depth + 1)
+
+    for root in roots:
+        _render(root, 0)
+    print(f"repro trace: {len(records)} span(s), "
+          f"{len({r['trace'] for r in records})} trace(s), "
+          f"{len({r['pid'] for r in records})} process(es)")
+    return 0
+
+
 def _run_profile(args) -> int:
     import json
 
@@ -755,6 +921,10 @@ def main(argv=None) -> int:
         return _run_loadgen(args)
     if args.command == "profile":
         return _run_profile(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "run":
         if args.resume is not None:
             return _run_resume(args)

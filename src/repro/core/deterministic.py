@@ -36,7 +36,6 @@ token path is the unchanged reference implementation; the two are locked
 together by the block-equivalence suite.
 """
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -58,6 +57,7 @@ from repro.streaming.model import MultipassStreamingAlgorithm
 from repro.streaming.source import StreamSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken
+from repro.obs.clock import perf_now
 
 
 # Pending-key budget for the block slack pass: flushing the (vertex,
@@ -169,12 +169,12 @@ class _SlackPassConsumer(PassConsumer):
         # inside its (timed) loop; charge it to the pass it belongs to.
         n, delta = self.algo.n, self.algo.delta
         s, kk, fixed = self.s, self.kk, self.fixed
-        reduce_start = time.perf_counter()  # repro: noqa[R7] timing extras
+        reduce_start = perf_now()
         if self.key_chunks:
             self.counts += np.bincount(
                 np.concatenate(self.key_chunks), minlength=n * s
             )
-        stream.pass_seconds[-1] += time.perf_counter() - reduce_start  # repro: noqa[R7] timing extras
+        stream.pass_seconds[-1] += perf_now() - reduce_start
         used = self.counts.reshape(n, s)[self.members]
         # base[i, j] = |restrict(j, kk) ∩ [1, delta+1]| in closed form.
         hi = delta + 1
@@ -218,11 +218,11 @@ class _ConflictEdgesConsumer(PassConsumer):
         if not self.chunks:
             return np.empty((0, 2), dtype=np.int64)
         # Deferred dedup mirrors the token path's (timed) in-loop seen-set.
-        reduce_start = time.perf_counter()  # repro: noqa[R7] timing extras
+        reduce_start = perf_now()
         edges = dedupe_edges(
             self.algo.n, np.concatenate(self.chunks), keep_order=True
         )
-        stream.pass_seconds[-1] += time.perf_counter() - reduce_start  # repro: noqa[R7] timing extras
+        stream.pass_seconds[-1] += perf_now() - reduce_start
         return edges
 
 
@@ -257,7 +257,7 @@ class _FinalAdjacencyConsumer(PassConsumer):
         from repro.streaming.blocks import group_pairs
 
         n, unc = self.algo.n, self.unc
-        reduce_start = time.perf_counter()  # repro: noqa[R7] timing extras
+        reduce_start = perf_now()
         arr = np.concatenate(self.chunks)
         fwd = arr[unc[arr[:, 0]]]
         rev = arr[unc[arr[:, 1]]][:, ::-1]
@@ -265,7 +265,7 @@ class _FinalAdjacencyConsumer(PassConsumer):
         keys = np.unique(pairs[:, 0] * n + pairs[:, 1])
         for x, ys in group_pairs(np.stack([keys // n, keys % n], axis=1)):
             adjacency[x] = ys.tolist()
-        stream.pass_seconds[-1] += time.perf_counter() - reduce_start  # repro: noqa[R7] timing extras
+        stream.pass_seconds[-1] += perf_now() - reduce_start
         return adjacency, len(keys)
 
 

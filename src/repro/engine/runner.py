@@ -13,7 +13,6 @@ instead of reading a static stream.
 """
 
 import tempfile
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +37,8 @@ from repro.streaming.source import (
 )
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken, ListToken
+import repro.obs as obs
+from repro.obs.clock import perf_now
 
 __all__ = [
     "GRAPH_FAMILIES",
@@ -451,36 +452,56 @@ def run(
             f"RunSpec.verify must be False, True, or 'strict', "
             f"got {spec.verify!r}"
         )
-    if checkpoint_every is not None:
-        from repro.persist.driver import ResumableRun
+    with obs.span("engine.run", algorithm=spec.algorithm, n=spec.n,
+                  delta=spec.delta, seed=spec.seed) as run_span:
+        if checkpoint_every is not None:
+            from repro.persist.driver import ResumableRun
 
-        if checkpoint_every < 1:
+            if checkpoint_every < 1:
+                raise ReproError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if checkpoint_path is None:
+                raise ReproError("checkpoint_every requires a checkpoint_path")
+            driver = ResumableRun(spec, stream=stream, registry=registry)
+            try:
+                result = driver.run_to_completion(
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_path=checkpoint_path,
+                )
+            finally:
+                driver.close()
+            return _note_run_result(run_span, result)
+        config = entry.make_config(spec.config)
+        owns_stream = stream is None
+        if stream is None:
+            stream = _build_stream(spec, entry, config)
+        elif stream.n != spec.n:
             raise ReproError(
-                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                f"stream is over {stream.n} vertices but the spec "
+                f"says n={spec.n}"
             )
-        if checkpoint_path is None:
-            raise ReproError("checkpoint_every requires a checkpoint_path")
-        driver = ResumableRun(spec, stream=stream, registry=registry)
         try:
-            return driver.run_to_completion(
-                checkpoint_every=checkpoint_every,
-                checkpoint_path=checkpoint_path,
+            return _note_run_result(
+                run_span, _run_on_stream(spec, entry, config, stream)
             )
         finally:
-            driver.close()
-    config = entry.make_config(spec.config)
-    owns_stream = stream is None
-    if stream is None:
-        stream = _build_stream(spec, entry, config)
-    elif stream.n != spec.n:
-        raise ReproError(
-            f"stream is over {stream.n} vertices but the spec says n={spec.n}"
-        )
-    try:
-        return _run_on_stream(spec, entry, config, stream)
-    finally:
-        if owns_stream:
-            _dispose_stream(stream)
+            if owns_stream:
+                _dispose_stream(stream)
+
+
+def _note_run_result(run_span, result):
+    """Stamp run outcome onto the span and the run-latency histogram."""
+    obs.histogram(
+        "repro_run_seconds", "wall seconds per engine run",
+    ).observe(result.wall_time_s)
+    if run_span is not None:
+        run_span.set("colors_used", result.colors_used)
+        run_span.set("passes", result.passes)
+        kernel_hits = result.extras.get("kernel_hits")
+        if kernel_hits:
+            run_span.set("kernel_hits", kernel_hits)
+    return result
 
 
 def resume(
@@ -532,9 +553,9 @@ def _run_on_stream(spec, entry, config, stream) -> ColoringResult:
 
     with use_kernel_tier(spec.kernel_tier):
         algo = entry.create(spec.n, spec.delta, spec.seed, config)
-        start = time.perf_counter()  # repro: noqa[R7] timing extras
+        start = perf_now()
         coloring = algo.color_stream(stream)
-        wall_time = time.perf_counter() - start  # repro: noqa[R7] timing extras
+        wall_time = perf_now() - start
         return _package_result(
             spec, entry, config, stream, algo, coloring, wall_time,
             passes_before, timings_before,
@@ -631,12 +652,12 @@ def run_game(
 
     with use_kernel_tier(None):  # GameSpec uses the process default tier
         algo = entry.create(spec.n, spec.delta, spec.seed, config)
-        start = time.perf_counter()  # repro: noqa[R7] timing extras
+        start = perf_now()
         outcome = run_adversarial_game(
             algo, adversary, n=spec.n, delta=spec.delta, rounds=spec.rounds,
             query_every=spec.query_every, batch_size=spec.batch_size,
         )
-        wall_time = time.perf_counter() - start  # repro: noqa[R7] timing extras
+        wall_time = perf_now() - start
         kernel_tier = active_kernel_tier()
         hits = kernel_run_hits()
 

@@ -27,13 +27,13 @@ every admissible input, so colorings, pass counts, space peaks, and
 random-bit counts never depend on the tier.
 """
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.common.exceptions import ReproError
 from repro.kernels.compiled_impl import COMPILED_KERNELS, NUMBA_AVAILABLE
 from repro.kernels.numpy_impl import NUMPY_KERNELS
+from repro.obs.clock import perf_now
 
 __all__ = [
     "KERNEL_TIERS",
@@ -45,6 +45,7 @@ __all__ = [
     "dispatch",
     "get_default_kernel_tier",
     "kernel_run_hits",
+    "kernel_total_hits",
     "measure_kernels",
     "resolve_kernel_tier",
     "set_default_kernel_tier",
@@ -200,6 +201,16 @@ def use_kernel_tier(tier: str | None):
         _tier_stack.pop()
 
 
+def kernel_total_hits() -> dict[str, int]:
+    """Cumulative per-kernel dispatch counts for this process.
+
+    Unlike :func:`kernel_run_hits` this needs no active tier: it is the
+    pull-time source for the obs plane's
+    ``repro_kernel_dispatch_total{kernel=...}`` counters.
+    """
+    return dict(_hit_counts)
+
+
 def kernel_run_hits() -> dict[str, int]:
     """Per-kernel dispatch counts since the innermost tier activation.
 
@@ -243,9 +254,9 @@ def dispatch(name: str, *args):
         impl = kernel.compiled_impl
     if _timings is None:
         return impl(*args)
-    start = time.perf_counter()  # repro: noqa[R7] profiling harness
+    start = perf_now()
     out = impl(*args)
-    elapsed = time.perf_counter() - start  # repro: noqa[R7] profiling harness
+    elapsed = perf_now() - start
     cell = _timings.setdefault(name, [0, 0.0])
     cell[0] += 1
     cell[1] += elapsed

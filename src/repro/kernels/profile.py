@@ -119,10 +119,16 @@ def profile_sweep(algorithms=None, *, kernel_tier=None, chunk_size=None,
         }
         for (path, line, func), (_, calls, tottime, cumtime, _) in rows
     ]
+    from repro.obs import host_metadata
+
     return {
         "kernel_tier": resolved,
         "compiled_available": compiled_available(),
         "host_cpus": os.cpu_count(),
+        # Full host block (platform, machine, python_version, plus the two
+        # fields above) so --json payloads are comparable with the
+        # BENCH_s1_scale.json host stanza across machines.
+        "host": host_metadata(),
         "cases": cases,
         "kernel_total_s": round(sum(c[1] for c in timings.values()), 6),
         "kernels": kernels,

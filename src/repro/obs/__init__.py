@@ -1,0 +1,136 @@
+"""repro.obs — unified tracing + metrics plane (pure stdlib).
+
+One subsystem, four capabilities, threaded through every layer:
+
+* **clock** — :func:`perf_now`, the only sanctioned ``perf_counter``
+  read in the codebase (staticcheck R12 enforces this).
+* **metrics** — process-local registry of counters/gauges/histograms
+  with numpy-consistent percentile readout; zero-overhead no-op handles
+  when disabled.
+* **trace** — nested spans with explicit ids, cross-process context
+  propagation over the worker-pool control envelope, and a crash-safe
+  append-only JSONL export.
+* **structlog / sysinfo** — structured service log events and the
+  shared host-metadata / RSS-sampling helpers.
+
+Enablement is per process and must happen before the instrumented
+objects are constructed (handles bind once, at instrument time):
+``configure(metrics=True, trace_log=path)`` in the CLI entry point, and
+the same config dict rides to pool workers via ``current_config()`` /
+``configure_from(config)``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.clock import perf_now, perf_now_ns
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    disable_metrics,
+    enable_metrics,
+    gauge,
+    histogram,
+    metrics_enabled,
+    metrics_snapshot,
+    register_collector,
+    registry,
+    render_prometheus,
+)
+from repro.obs.structlog import log_event, log_json_enabled, set_log_json
+from repro.obs.sysinfo import RssSampler, host_metadata, rss_bytes
+from repro.obs.trace import (
+    attach_trace_context,
+    configure_tracing,
+    current_trace_context,
+    disable_tracing,
+    emit_span,
+    read_trace_log,
+    span,
+    trace_log_path,
+    tracing_enabled,
+)
+
+__all__ = [
+    "perf_now", "perf_now_ns",
+    "DEFAULT_BUCKETS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "counter", "gauge", "histogram", "register_collector",
+    "enable_metrics", "disable_metrics", "metrics_enabled",
+    "metrics_snapshot", "render_prometheus", "registry",
+    "configure_tracing", "disable_tracing", "tracing_enabled",
+    "span", "emit_span", "current_trace_context", "attach_trace_context",
+    "read_trace_log", "trace_log_path",
+    "log_event", "set_log_json", "log_json_enabled",
+    "rss_bytes", "RssSampler", "host_metadata",
+    "configure", "configure_from", "current_config", "reset",
+]
+
+
+def _register_builtin_collectors() -> None:
+    """Fold values that live elsewhere into snapshots at pull time.
+
+    Kernel dispatch hits are already counted by ``repro.kernels`` on its
+    own hot path; RSS comes from /proc.  Neither costs the instrumented
+    code anything — the collectors read at export time only.
+    """
+
+    def _kernel_hits():
+        from repro.kernels import kernel_total_hits
+
+        return [
+            ("counter", "repro_kernel_dispatch_total", {"kernel": name}, hits)
+            for name, hits in sorted(kernel_total_hits().items())
+        ]
+
+    def _rss():
+        rss = rss_bytes()
+        return [] if rss is None else [("gauge", "repro_rss_bytes", None, rss)]
+
+    register_collector(_kernel_hits)
+    register_collector(_rss)
+
+
+def configure(*, metrics: bool = False, trace_log=None,
+              log_json: bool = False) -> None:
+    """Enable the requested obs capabilities for this process."""
+    if metrics:
+        enable_metrics()
+        _register_builtin_collectors()
+    if trace_log is not None:
+        configure_tracing(trace_log)
+    set_log_json(log_json)
+
+
+def current_config() -> dict:
+    """A picklable config dict describing this process's obs state.
+
+    Shipped to pool workers (via the spawn args) so child processes
+    mirror the dispatcher's observability setup, including appending to
+    the same trace log.
+    """
+    return {
+        "metrics": metrics_enabled(),
+        "trace_log": trace_log_path(),
+        "log_json": log_json_enabled(),
+    }
+
+
+def configure_from(config) -> None:
+    """Apply a :func:`current_config` dict (worker-process entry hook)."""
+    if not config:
+        return
+    configure(
+        metrics=bool(config.get("metrics")),
+        trace_log=config.get("trace_log"),
+        log_json=bool(config.get("log_json")),
+    )
+
+
+def reset() -> None:
+    """Return obs to the disabled state (test isolation helper)."""
+    disable_metrics(reset=True)
+    disable_tracing()
+    set_log_json(False)

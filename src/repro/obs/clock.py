@@ -1,0 +1,31 @@
+"""The one sanctioned monotonic clock read in the codebase.
+
+Every timing measurement in repro — pass walls, feed latencies, span
+durations, bench harnesses — flows through :func:`perf_now`.  The
+staticcheck R12 rule (instrumentation-discipline) bans raw
+``time.perf_counter`` calls everywhere outside ``repro.obs``, so this
+module is the only place the annotation budget is spent; migrating a
+new timing site means importing ``perf_now``, not adding a ``noqa``.
+
+The value is a process-local monotonic offset in fractional seconds.
+It is meaningful only as a difference between two reads taken in the
+same process; trace records therefore store durations, never absolute
+timestamps, and cross-process ordering is carried by span parentage
+rather than by clocks.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["perf_now"]
+
+
+def perf_now() -> float:
+    """Monotonic seconds for interval timing (process-local origin)."""
+    return time.perf_counter()  # repro: noqa[R7] the sanctioned clock read
+
+
+def perf_now_ns() -> int:
+    """Monotonic nanoseconds, for callers that need integer arithmetic."""
+    return time.perf_counter_ns()  # repro: noqa[R7] the sanctioned clock read

@@ -1,0 +1,368 @@
+"""Process-local metrics registry: counters, gauges, latency histograms.
+
+Design constraints, in order of importance:
+
+1. **Zero overhead when disabled.**  Instrument sites call the
+   module-level :func:`counter` / :func:`gauge` / :func:`histogram`
+   factories *once*, at object-construction time, and keep the handle.
+   When metrics are disabled the factories hand back shared no-op
+   singletons whose methods are empty — the hot path pays one attribute
+   call on a do-nothing object, no dict lookups, no branches.
+
+2. **Percentiles consistent with loadgen.**  ``Histogram.percentile``
+   reimplements ``numpy.percentile``'s default linear interpolation
+   over a bounded window of recent raw samples, so ``repro metrics``
+   p50/p95/p99 agree exactly with ``repro loadgen`` summaries whenever
+   the sample count fits the window (default 4096 observations).
+
+3. **Pull-time collectors.**  Values that already exist elsewhere
+   (kernel dispatch hit counts, per-worker queue depth, ring occupancy,
+   journal lengths, RSS) are folded in at snapshot time via registered
+   collector callables — the owning hot paths are never touched.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections import deque
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "enable_metrics", "disable_metrics", "metrics_enabled",
+    "counter", "gauge", "histogram", "register_collector",
+    "metrics_snapshot", "render_prometheus", "registry",
+]
+
+#: Default latency buckets (seconds): service ops span ~100us..10s.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Raw-sample window per histogram; percentiles are exact while the
+#: observation count stays within it, windowed (most recent) beyond.
+SAMPLE_WINDOW = 4096
+
+
+def _np_percentile(ordered: list, q: float) -> float:
+    """``numpy.percentile(..., q)`` (linear interpolation), pure Python.
+
+    ``ordered`` must already be sorted ascending and non-empty.
+    """
+    n = len(ordered)
+    if n == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (n - 1)
+    lo = int(rank)
+    if lo >= n - 1:
+        return float(ordered[-1])
+    frac = rank - lo
+    return float(ordered[lo] + frac * (ordered[lo + 1] - ordered[lo]))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, occupancy)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram plus a bounded raw-sample window.
+
+    The buckets feed the Prometheus-style exposition (cumulative
+    ``le``-labelled counts); the window feeds :meth:`percentile`, which
+    matches ``numpy.percentile`` exactly while the total observation
+    count is at most :data:`SAMPLE_WINDOW`.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "_window")
+
+    def __init__(self, buckets=DEFAULT_BUCKETS, window: int = SAMPLE_WINDOW):
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +Inf tail
+        self.count = 0
+        self.sum = 0.0
+        self._window = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self._window.append(value)
+
+    def percentile(self, q: float) -> float:
+        if not self._window:
+            return 0.0
+        return _np_percentile(sorted(self._window), q)
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+def _labels_key(labels):
+    return tuple(sorted(labels.items())) if labels else ()
+
+
+def _labels_text(label_items) -> str:
+    if not label_items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in label_items)
+    return "{%s}" % body
+
+
+class MetricsRegistry:
+    """Holds every live metric for one process.
+
+    Keyed by ``(name, sorted label items)``; re-requesting an existing
+    metric returns the same handle, so independent instrument sites can
+    share a series.  Thread-safe for registration; the handles
+    themselves are updated without locks (CPython attribute stores are
+    atomic enough for monitoring data, and the service hot paths are
+    single-threaded per process).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics = {}   # (name, labels_key) -> (kind, handle)
+        self._help = {}      # name -> help text
+        self._collectors = []
+
+    def _get(self, kind, factory, name, help_text, labels, **kwargs):
+        key = (name, _labels_key(labels))
+        with self._lock:
+            found = self._metrics.get(key)
+            if found is not None:
+                if found[0] != kind:
+                    from repro.common.exceptions import ParameterError
+
+                    raise ParameterError(
+                        f"metric {name!r} already registered as {found[0]}"
+                    )
+                return found[1]
+            handle = factory(**kwargs)
+            self._metrics[key] = (kind, handle)
+            if help_text:
+                self._help.setdefault(name, help_text)
+            return handle
+
+    def counter(self, name, help="", labels=None) -> Counter:
+        return self._get("counter", Counter, name, help, labels)
+
+    def gauge(self, name, help="", labels=None) -> Gauge:
+        return self._get("gauge", Gauge, name, help, labels)
+
+    def histogram(self, name, help="", labels=None,
+                  buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get("histogram", Histogram, name, help, labels,
+                         buckets=buckets)
+
+    def register_collector(self, fn) -> None:
+        """Register ``fn() -> iterable of (kind, name, labels, value)``.
+
+        Collectors run at snapshot/export time only; exceptions are
+        swallowed so a dead collector cannot take down the metrics op.
+        """
+        with self._lock:
+            self._collectors.append(fn)
+
+    def _collected(self):
+        rows = []
+        with self._lock:
+            collectors = list(self._collectors)
+        for fn in collectors:
+            try:
+                rows.extend(fn())
+            except Exception:
+                continue
+        return rows
+
+    def _series(self):
+        """All live series: ``(kind, name, labels_key, handle_or_value)``."""
+        with self._lock:
+            items = [(kind, name, lkey, handle)
+                     for (name, lkey), (kind, handle)
+                     in sorted(self._metrics.items())]
+        for kind, name, labels, value in self._collected():
+            items.append((kind, name, _labels_key(labels), float(value)))
+        return items
+
+    def snapshot(self) -> dict:
+        """JSON-able snapshot: counters/gauges flat, histograms summarized."""
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        for kind, name, lkey, handle in self._series():
+            series = name + _labels_text(lkey)
+            if kind == "counter":
+                value = handle if isinstance(handle, float) else handle.value
+                out["counters"][series] = (
+                    out["counters"].get(series, 0.0) + value
+                )
+            elif kind == "gauge":
+                value = handle if isinstance(handle, float) else handle.value
+                out["gauges"][series] = value
+            else:
+                out["histograms"][series] = {
+                    "count": handle.count,
+                    "sum": handle.sum,
+                    "p50": handle.percentile(50),
+                    "p95": handle.percentile(95),
+                    "p99": handle.percentile(99),
+                    "buckets": {
+                        f"{le:g}": c for le, c in
+                        zip(handle.buckets, handle.bucket_counts)
+                    },
+                    "inf": handle.bucket_counts[-1],
+                }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (v0.0.4 flavour, no timestamps)."""
+        lines = []
+        seen_help = set()
+        for kind, name, lkey, handle in self._series():
+            if name in self._help and name not in seen_help:
+                seen_help.add(name)
+                lines.append(f"# HELP {name} {self._help[name]}")
+                lines.append(f"# TYPE {name} {kind}")
+            labels = _labels_text(lkey)
+            if kind in ("counter", "gauge"):
+                value = handle if isinstance(handle, float) else handle.value
+                lines.append(f"{name}{labels} {value:g}")
+                continue
+            cumulative = 0
+            for le, bucket_count in zip(handle.buckets, handle.bucket_counts):
+                cumulative += bucket_count
+                items = dict(lkey)
+                items["le"] = f"{le:g}"
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_labels_text(sorted(items.items()))} {cumulative}"
+                )
+            items = dict(lkey)
+            items["le"] = "+Inf"
+            lines.append(
+                f"{name}_bucket"
+                f"{_labels_text(sorted(items.items()))} {handle.count}"
+            )
+            lines.append(f"{name}_sum{labels} {handle.sum:g}")
+            lines.append(f"{name}_count{labels} {handle.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_REGISTRY = MetricsRegistry()
+_ENABLED = False
+
+
+def registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def enable_metrics() -> None:
+    """Turn metrics on for this process (call before building objects).
+
+    Handles are resolved when instrument sites construct, so enabling
+    must happen before the service/engine objects are created — the
+    CLI entry points do this in ``main()`` ordering.
+    """
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable_metrics(*, reset: bool = True) -> None:
+    global _ENABLED, _REGISTRY
+    _ENABLED = False
+    if reset:
+        _REGISTRY = MetricsRegistry()
+
+
+def metrics_enabled() -> bool:
+    return _ENABLED
+
+
+def counter(name, help="", labels=None):
+    """A counter handle — the shared no-op when metrics are disabled."""
+    if not _ENABLED:
+        return NULL_COUNTER
+    return _REGISTRY.counter(name, help, labels)
+
+
+def gauge(name, help="", labels=None):
+    if not _ENABLED:
+        return NULL_GAUGE
+    return _REGISTRY.gauge(name, help, labels)
+
+
+def histogram(name, help="", labels=None, buckets=DEFAULT_BUCKETS):
+    if not _ENABLED:
+        return NULL_HISTOGRAM
+    return _REGISTRY.histogram(name, help, labels, buckets)
+
+
+def register_collector(fn) -> None:
+    """No-op while disabled, so registration can sit on hot-object init."""
+    if _ENABLED:
+        _REGISTRY.register_collector(fn)
+
+
+def metrics_snapshot() -> dict:
+    return _REGISTRY.snapshot()
+
+
+def render_prometheus() -> str:
+    return _REGISTRY.render_prometheus()

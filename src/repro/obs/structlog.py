@@ -1,0 +1,44 @@
+"""Structured log events for the service surface.
+
+``repro serve`` historically printed free-form lines; tests and CI
+parse them (the port is read off the "listening on" line), so the
+plain-text rendering of an event keeps the exact historical message.
+Under ``--log-json`` every event becomes one JSON object per line —
+level, event name, and fields — for machine consumption.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+__all__ = ["set_log_json", "log_json_enabled", "log_event"]
+
+_LOG_JSON = False
+
+
+def set_log_json(flag: bool) -> None:
+    global _LOG_JSON
+    _LOG_JSON = bool(flag)
+
+
+def log_json_enabled() -> bool:
+    return _LOG_JSON
+
+
+def log_event(event: str, message: str, *, level: str = "info",
+              stream=None, **fields) -> None:
+    """Emit one log event.
+
+    ``message`` is the human line printed in plain mode (kept verbatim
+    for existing consumers); ``event`` and ``fields`` are the machine
+    form used when JSON logging is on.
+    """
+    out = stream if stream is not None else (
+        sys.stderr if level == "error" else sys.stdout
+    )
+    if _LOG_JSON:
+        record = {"level": level, "event": event, **fields}
+        print(json.dumps(record, sort_keys=True), file=out, flush=True)
+    else:
+        print(message, file=out, flush=True)

@@ -1,0 +1,231 @@
+"""Structured trace spans with cross-process propagation.
+
+Span model
+----------
+A *span* is a named, timed unit of work with an explicit id.  Spans
+nest through a :mod:`contextvars` variable, so ``engine.run`` → pass →
+checkpoint spans form a tree without any plumbing through call
+signatures.  Ids are deterministic — ``"<pid hex>.<counter hex>"`` from
+a process-local counter — because R7 bans wall-clock reads and the
+repo's determinism discipline extends to its own instrumentation.
+
+Cross-process propagation
+-------------------------
+The worker pool's control envelope (``_send_msg``) carries the current
+``(trace, span)`` pair as a plain ``_obs`` dict; the worker side wraps
+request handling in :func:`attach_trace_context`, which installs a
+remote parent so spans opened in the worker process nest under the
+dispatcher's request span.  Each process appends to the same trace log
+with ``O_APPEND``; one span = one ``write()`` of one JSON line, which
+Linux keeps atomic at these sizes, so concurrent writers interleave
+only at line granularity.
+
+Durability
+----------
+The log is append-only newline-JSON, same discipline as the session
+journal: a crash mid-write can tear at most the final line, and
+:func:`read_trace_log` tolerates exactly that (a torn *interior* line
+means real corruption and raises).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import os
+
+from repro.obs.clock import perf_now
+
+__all__ = [
+    "configure_tracing", "disable_tracing", "tracing_enabled",
+    "span", "current_trace_context", "attach_trace_context",
+    "read_trace_log", "trace_log_path",
+]
+
+_CURRENT = contextvars.ContextVar("repro_obs_span", default=None)
+_PATH = None
+_FH = None
+_COUNTER = 0
+_PID = None
+
+
+class SpanHandle:
+    """The live span yielded by :func:`span`; ``set`` adds fields."""
+
+    __slots__ = ("trace_id", "span_id", "name", "fields")
+
+    def __init__(self, trace_id, span_id, name, fields):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.name = name
+        self.fields = fields
+
+    def set(self, key, value) -> None:
+        self.fields[key] = value
+
+
+def _new_id() -> str:
+    global _COUNTER, _PID
+    pid = os.getpid()
+    if pid != _PID:        # forked/spawned child: fresh counter space
+        _PID = pid
+        _COUNTER = 0
+    _COUNTER += 1
+    return f"{pid:x}.{_COUNTER:x}"
+
+
+def configure_tracing(path) -> None:
+    """Enable tracing for this process, appending spans to ``path``."""
+    global _PATH, _FH
+    disable_tracing()
+    _PATH = os.fspath(path)
+    _FH = open(_PATH, "a", encoding="utf-8")
+
+
+def disable_tracing() -> None:
+    global _PATH, _FH
+    if _FH is not None:
+        with contextlib.suppress(OSError):
+            _FH.close()
+    _PATH = None
+    _FH = None
+
+
+def tracing_enabled() -> bool:
+    return _FH is not None
+
+
+def trace_log_path():
+    return _PATH
+
+
+def _write_record(record: dict) -> None:
+    fh = _FH
+    if fh is None:
+        return
+    try:
+        fh.write(json.dumps(record, sort_keys=True,
+                            separators=(",", ":")) + "\n")
+        fh.flush()
+    except (OSError, ValueError):
+        pass  # a full disk must not take down the traced workload
+
+
+@contextlib.contextmanager
+def span(name: str, **fields):
+    """Open a span; yields a :class:`SpanHandle` (or None when off).
+
+    The record is written once, at exit, carrying the duration and any
+    fields added during the span.  Exceptions are recorded under an
+    ``error`` field and re-raised.
+    """
+    if _FH is None:
+        yield None
+        return
+    parent = _CURRENT.get()
+    if parent is not None:
+        trace_id, parent_id = parent.trace_id, parent.span_id
+    else:
+        trace_id, parent_id = _new_id(), None
+    handle = SpanHandle(trace_id, _new_id(), name, dict(fields))
+    token = _CURRENT.set(handle)
+    start = perf_now()
+    try:
+        yield handle
+    except BaseException as exc:
+        handle.fields["error"] = type(exc).__name__
+        raise
+    finally:
+        _CURRENT.reset(token)
+        record = {
+            "name": name,
+            "trace": trace_id,
+            "span": handle.span_id,
+            "parent": parent_id,
+            "pid": os.getpid(),
+            "dur_s": perf_now() - start,
+        }
+        if handle.fields:
+            record["fields"] = handle.fields
+        _write_record(record)
+
+
+def emit_span(name: str, dur_s: float, **fields) -> None:
+    """Record a completed span parented at the current context.
+
+    For work whose duration is measured by existing code (stream passes,
+    checkpoint writes) — nothing is pushed on the context stack, so this
+    is safe inside generators, where a ``with span(...)`` wrapping
+    ``yield`` would misnest siblings when frames interleave.
+    """
+    if _FH is None:
+        return
+    parent = _CURRENT.get()
+    if parent is not None:
+        trace_id, parent_id = parent.trace_id, parent.span_id
+    else:
+        trace_id, parent_id = _new_id(), None
+    record = {
+        "name": name,
+        "trace": trace_id,
+        "span": _new_id(),
+        "parent": parent_id,
+        "pid": os.getpid(),
+        "dur_s": dur_s,
+    }
+    if fields:
+        record["fields"] = fields
+    _write_record(record)
+
+
+def current_trace_context():
+    """The ``{"trace", "span"}`` dict to ride on a control envelope."""
+    current = _CURRENT.get()
+    if current is None or _FH is None:
+        return None
+    return {"trace": current.trace_id, "span": current.span_id}
+
+
+@contextlib.contextmanager
+def attach_trace_context(context):
+    """Install a remote parent span received from another process.
+
+    No record is written for the stub itself — the remote process owns
+    that span; this only makes local spans nest under it.
+    """
+    if not context or _FH is None or "trace" not in context:
+        yield
+        return
+    stub = SpanHandle(context["trace"], context["span"], "<remote>", {})
+    token = _CURRENT.set(stub)
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)
+
+
+def read_trace_log(path) -> list:
+    """Parse a trace log into a list of span records.
+
+    Tolerates a torn final line (crash mid-write under the append-only
+    discipline); a malformed line anywhere else raises, because that
+    indicates corruption rather than an interrupted tail.
+    """
+    from repro.common.exceptions import ReproError
+
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for index, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn tail from a mid-write kill
+            raise ReproError(
+                f"trace log {path}: malformed record at line {index + 1}"
+            )
+    return records

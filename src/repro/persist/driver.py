@@ -20,13 +20,14 @@ so a runner-built stream is rebuilt on resume; caller-supplied streams
 must be re-supplied (the header records which case applies).
 """
 
-import time
 from dataclasses import asdict
 
 from repro.common.exceptions import CheckpointError, ReproError
 from repro.kernels import kernel_run_hits, use_kernel_tier
 from repro.persist.checkpoint import read_checkpoint, write_checkpoint
 from repro.streaming.source import StreamSource
+import repro.obs as obs
+from repro.obs.clock import perf_now
 
 __all__ = ["ResumableRun", "strip_volatile"]
 
@@ -117,10 +118,17 @@ class ResumableRun:
         """
         if self.done:
             return False
-        with use_kernel_tier(self.spec.kernel_tier):
+        with obs.span("persist.pass") as sp, \
+                use_kernel_tier(self.spec.kernel_tier):
             more = self._step_pass(checkpoint_every, checkpoint_path)
-            for name, count in kernel_run_hits().items():
+            step_hits = kernel_run_hits()
+            for name, count in step_hits.items():
                 self._kernel_hits[name] = self._kernel_hits.get(name, 0) + count
+            if sp is not None:
+                sp.set("algorithm", self.spec.algorithm)
+                sp.set("pass_index", self.stream.passes_used)
+                if step_hits:
+                    sp.set("kernel_hits", step_hits)
         return more
 
     def _step_pass(self, checkpoint_every, checkpoint_path) -> bool:
@@ -129,7 +137,7 @@ class ResumableRun:
             self._coloring = self.algo.blocks_result()
             self.done = True
             return False
-        start = time.perf_counter()  # repro: noqa[R7] timing extras
+        start = perf_now()
         resume_offset = self._pending_offset
         self._pending_offset = None
         if resume_offset is not None and consumer.resumable:
@@ -154,11 +162,11 @@ class ResumableRun:
                 self._write(
                     checkpoint_path, in_pass=True, offset=offset,
                     resumable=consumer.resumable, pre_state=pre_state,
-                    wall=self._wall + (time.perf_counter() - start),  # repro: noqa[R7] timing extras
+                    wall=self._wall + (perf_now() - start),
                 )
         result = consumer.finish(self.stream)
         self.algo.blocks_deliver(result, self.stream)
-        self._wall += time.perf_counter() - start  # repro: noqa[R7] timing extras
+        self._wall += perf_now() - start
         return True
 
     def run_to_completion(self, checkpoint_every=None, checkpoint_path=None):
@@ -252,16 +260,33 @@ class ResumableRun:
         if state is None:
             raise CheckpointError("mid-pass checkpoint without a pass-boundary state")
         header = self._header(in_pass, offset, resumable, state, wall)
+        write_start = perf_now()
         write_checkpoint(path, header, state["arrays"])
+        write_seconds = perf_now() - write_start
+        obs.histogram(
+            "repro_checkpoint_write_seconds",
+            "wall seconds per REPROCK1 checkpoint write",
+        ).observe(write_seconds)
+        obs.emit_span("persist.checkpoint_write", write_seconds,
+                      in_pass=bool(in_pass), offset=int(offset))
         self._checkpoints_written += 1
 
     # ------------------------------------------------------------------
     @classmethod
     def load(cls, path, stream=None, registry=None) -> "ResumableRun":
         """Restore a run from a checkpoint file (see :meth:`from_snapshot`)."""
+        restore_start = perf_now()
         header, arrays = read_checkpoint(path)
-        return cls.from_snapshot(header, arrays, stream=stream,
-                                 registry=registry)
+        run = cls.from_snapshot(header, arrays, stream=stream,
+                                registry=registry)
+        restore_seconds = perf_now() - restore_start
+        obs.histogram(
+            "repro_checkpoint_restore_seconds",
+            "wall seconds per REPROCK1 checkpoint restore",
+        ).observe(restore_seconds)
+        obs.emit_span("persist.checkpoint_restore", restore_seconds,
+                      algorithm=run.spec.algorithm)
+        return run
 
     @classmethod
     def from_snapshot(cls, header, arrays, stream=None,

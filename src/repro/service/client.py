@@ -13,7 +13,10 @@ Robustness knobs (all per client):
   is considered broken afterwards (the reply may still be in flight, so
   reusing the stream would desync request/response pairing).
 - ``connect(..., retries=, backoff=)`` — bounded exponential-backoff
-  reconnect, for servers that are still booting or restarting.
+  reconnect with bounded jitter, for servers that are still booting or
+  restarting.  Jitter desynchronises the retry schedules of clients
+  that all lost the same server at the same instant (a worker restart
+  would otherwise produce reconnect stampedes in lockstep).
 - ``busy_retries`` — transparent retry of ``busy: true`` load-shed
   replies (the sharded execution plane's backpressure signal), pausing
   ``retry_after`` seconds per attempt.  Shed requests were never
@@ -22,10 +25,15 @@ Robustness knobs (all per client):
 
 import asyncio
 import contextlib
+import random
 
 import numpy as np
 
-from repro.common.exceptions import ServiceBusyError, ServiceError
+from repro.common.exceptions import (
+    ParameterError,
+    ServiceBusyError,
+    ServiceError,
+)
 from repro.service.protocol import MAX_LINE, decode_message, encode_message
 
 __all__ = ["ServiceClient", "build_session_workload", "submit_workload"]
@@ -58,10 +66,25 @@ class ServiceClient:
     async def connect(cls, host: str, port: int, *,
                       timeout: float | None = DEFAULT_TIMEOUT,
                       retries: int = 0, backoff: float = 0.1,
-                      max_backoff: float = 2.0,
+                      max_backoff: float = 2.0, jitter: float = 0.5,
+                      rng: random.Random | None = None,
                       busy_retries: int = DEFAULT_BUSY_RETRIES,
                       ) -> "ServiceClient":
-        """Connect, with ``retries`` exponential-backoff reattempts."""
+        """Connect, with ``retries`` jittered exponential-backoff reattempts.
+
+        Attempt ``k`` sleeps uniformly in ``[base * (1 - jitter), base]``
+        where ``base = min(backoff * 2**k, max_backoff)`` — bounded
+        ("equal"-style) jitter: never longer than the deterministic
+        schedule, never shorter than ``1 - jitter`` of it.  ``jitter=0``
+        recovers the old deterministic schedule; pass a seeded ``rng``
+        for a reproducible one.  This is client-side operational
+        randomness, not algorithmic randomness: it is intentionally
+        outside the metered ``SeededRng`` accounting (R1).
+        """
+        if not 0.0 <= jitter <= 1.0:
+            raise ParameterError(f"jitter must be in [0, 1], got {jitter!r}")
+        if rng is None:
+            rng = random.Random()
         attempt = 0
         delay = backoff
         while True:
@@ -78,7 +101,7 @@ class ServiceClient:
                         f"{attempt + 1} attempt(s): {error}"
                     ) from None
                 attempt += 1
-                await asyncio.sleep(delay)
+                await asyncio.sleep(delay * (1.0 - jitter * rng.random()))
                 delay = min(delay * 2, max_backoff)
 
     async def close(self) -> None:

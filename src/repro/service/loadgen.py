@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.exceptions import ReproError
+from repro.obs.clock import perf_now
 from repro.service.client import (
     DEFAULT_FEED_EDGES,
     ServiceClient,
@@ -82,10 +83,9 @@ def _max_rss_mb() -> float:
 
 async def _one_session(spec: LoadSpec, index: int, workload, t0: float,
                        arrival: float) -> dict:
-    import time
 
     session_spec, arranged, lists = workload
-    now = time.perf_counter()  # repro: noqa[R7] load-harness timing
+    now = perf_now()
     delay = (t0 + arrival) - now
     if delay > 0:
         await asyncio.sleep(delay)
@@ -99,7 +99,7 @@ async def _one_session(spec: LoadSpec, index: int, workload, t0: float,
     finally:
         busy = client.busy_retries_used
         await client.close()
-    done = time.perf_counter()  # repro: noqa[R7] load-harness timing
+    done = perf_now()
     return {
         "index": index,
         "seed": session_spec["seed"],
@@ -118,7 +118,6 @@ async def _one_session(spec: LoadSpec, index: int, workload, t0: float,
 
 async def run_load(spec: LoadSpec) -> dict:
     """Drive one open-loop run; returns the measurement row."""
-    import time
 
     if spec.sessions < 1:
         raise ReproError(f"sessions must be >= 1, got {spec.sessions}")
@@ -142,7 +141,7 @@ async def run_load(spec: LoadSpec) -> dict:
         for i in range(spec.sessions)
     ]
     cpu_before = _cpu_seconds()
-    t0 = time.perf_counter()  # repro: noqa[R7] load-harness timing
+    t0 = perf_now()
     outcomes = await asyncio.gather(
         *(
             _one_session(spec, i, workloads[i], t0, arrivals[i])
@@ -150,7 +149,7 @@ async def run_load(spec: LoadSpec) -> dict:
         ),
         return_exceptions=True,
     )
-    wall = time.perf_counter() - t0  # repro: noqa[R7] load-harness timing
+    wall = perf_now() - t0
     cpu_after = _cpu_seconds()
     completed = [o for o in outcomes if isinstance(o, dict)]
     failures = [o for o in outcomes if not isinstance(o, dict)]

@@ -24,7 +24,6 @@ await point.
 import asyncio
 import os
 import tempfile
-import time
 from contextlib import asynccontextmanager, suppress
 from dataclasses import asdict
 
@@ -39,6 +38,8 @@ from repro.persist.driver import ResumableRun
 from repro.streaming.source import DEFAULT_CHUNK_SIZE, GeneratorSource
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken, ListToken
+import repro.obs as obs
+from repro.obs.clock import perf_now
 
 __all__ = ["Session", "SessionManager", "validate_lists", "validate_spec"]
 
@@ -222,6 +223,24 @@ class SessionManager:
         self._lock = asyncio.Lock()
         self.evictions = 0
         self.restores = 0
+        # Obs handles bind here, once — no-op singletons unless the
+        # process enabled metrics before constructing the manager.
+        self._obs_feed_seconds = obs.histogram(
+            "repro_feed_seconds", "wall seconds per feed op")
+        self._obs_evictions = obs.counter(
+            "repro_session_evictions_total", "LRU evictions to checkpoint")
+        self._obs_restores = obs.counter(
+            "repro_session_restores_total", "sessions restored from checkpoint")
+        self._obs_ck_write = obs.histogram(
+            "repro_checkpoint_write_seconds",
+            "wall seconds per REPROCK1 checkpoint write")
+        self._obs_ck_restore = obs.histogram(
+            "repro_checkpoint_restore_seconds",
+            "wall seconds per REPROCK1 checkpoint restore")
+        obs.register_collector(lambda: [
+            ("gauge", "repro_sessions_resident", None, len(self._resident)),
+            ("gauge", "repro_sessions_total", None, self._count()),
+        ])
 
     # ------------------------------------------------------------------
     # session table
@@ -327,13 +346,15 @@ class SessionManager:
                     f"session {sid} is sealed; no further edges accepted"
                 )
             block = self._validate_edges(edges, session.spec.n)
-            start = time.perf_counter()  # repro: noqa[R7] timing extras
+            start = perf_now()
             if len(block):
                 session.log.append(block)
                 session.edges_total += len(block)
                 if session.onepass:
                     session.algo.process_block(block)
-            session.feed_seconds += time.perf_counter() - start  # repro: noqa[R7] timing extras
+            elapsed = perf_now() - start
+            session.feed_seconds += elapsed
+            self._obs_feed_seconds.observe(elapsed)
         return {"accepted": int(len(block)), "edges_total": session.edges_total}
 
     @staticmethod
@@ -543,10 +564,15 @@ class SessionManager:
         # runs off-lock in a thread (see _restore_task).
         path = os.path.join(self.checkpoint_dir, f"{session.sid}.ck")
         header, arrays = self._session_snapshot(session)
+        write_start = perf_now()
         write_checkpoint(path, header, arrays)
+        write_seconds = perf_now() - write_start
         self._resident.pop(session.sid, None)
         self._evicted[session.sid] = path
         self.evictions += 1
+        self._obs_evictions.inc()
+        self._obs_ck_write.observe(write_seconds)
+        obs.emit_span("session.evict", write_seconds, sid=session.sid)
         return path
 
     def _session_snapshot(self, session: Session) -> tuple[dict, dict]:
@@ -589,6 +615,7 @@ class SessionManager:
         behind the manager lock for the disk round-trip.
         """
         try:
+            restore_start = perf_now()
             try:
                 header, arrays = await asyncio.to_thread(read_checkpoint, path)
             except CheckpointError as error:
@@ -596,6 +623,9 @@ class SessionManager:
                     f"session {sid} checkpoint is unreadable: {error}"
                 ) from None
             session = self._build_session(sid, header, arrays)
+            restore_seconds = perf_now() - restore_start
+            self._obs_ck_restore.observe(restore_seconds)
+            obs.emit_span("session.restore", restore_seconds, sid=sid)
             async with self._lock:
                 if self._evicted.pop(sid, None) is None:
                     raise ServiceError(
@@ -603,6 +633,7 @@ class SessionManager:
                     )
                 self._resident[sid] = session
                 self.restores += 1
+                self._obs_restores.inc()
                 # Freshen recency first, or the restoree is its own LRU
                 # victim.
                 self._touch(sid)

@@ -62,6 +62,7 @@ from repro.common.exceptions import (
     StreamProtocolError,
 )
 from repro.engine.registry import REGISTRY
+import repro.obs as obs
 from repro.service.manager import SessionManager, validate_spec
 from repro.streaming.shm import EDGE_BYTES, EdgeRing
 
@@ -148,13 +149,19 @@ def _recv_msg(conn) -> dict:
 # ----------------------------------------------------------------------
 # worker process
 # ----------------------------------------------------------------------
-def _worker_main(conn, ring_handle: dict, manager_kwargs: dict) -> None:
+def _worker_main(conn, ring_handle: dict, manager_kwargs: dict,
+                 obs_config: dict | None = None) -> None:
     """Entry point of one pool worker process."""
     import signal
 
     # Terminal Ctrl-C delivers SIGINT to the whole process group; the
     # dispatcher drives graceful shutdown, so workers must outlive it.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Mirror the dispatcher's observability setup before the manager is
+    # built, so metric handles bind live and worker spans append to the
+    # same trace log (one JSON line per write; O_APPEND keeps concurrent
+    # writers line-atomic).
+    obs.configure_from(obs_config)
     asyncio.run(_worker_serve(conn, ring_handle, manager_kwargs))
 
 
@@ -174,7 +181,13 @@ async def _worker_serve(conn, ring_handle: dict, manager_kwargs: dict) -> None:
                 return
             if op == "crash":
                 os._exit(17)  # test hook: die without cleanup
-            response = await _apply(manager, ring, request)
+            context = request.pop("_obs", None)
+            span_fields = {}
+            if "session" in request:
+                span_fields["session"] = request["session"]
+            with obs.attach_trace_context(context), \
+                    obs.span(f"worker.{op}", **span_fields):
+                response = await _apply(manager, ring, request)
             try:
                 _send_msg(conn, response)
             except (BrokenPipeError, OSError):
@@ -307,6 +320,32 @@ class WorkerPool:
         self._closed = False
         self.crashes = 0
         self.recoveries = 0
+        # Obs handles bind once here; queue depth / ring occupancy /
+        # journal length are read by a pull-time collector instead of
+        # touching the request hot path.
+        self._obs_sheds = obs.counter(
+            "repro_busy_sheds_total",
+            "requests shed with busy/retry_after backpressure")
+        obs.register_collector(self._collect_obs_metrics)
+
+    def _collect_obs_metrics(self):
+        rows = [
+            ("gauge", "repro_pool_sessions", None, len(self._journals)),
+            ("gauge", "repro_journal_blocks", None,
+             sum(len(j.blocks) for j in self._journals.values())),
+            ("counter", "repro_worker_crashes_total", None, self.crashes),
+            ("counter", "repro_worker_recoveries_total", None,
+             self.recoveries),
+        ]
+        for worker in self._workers:
+            if worker is None:
+                continue
+            labels = {"worker": str(worker.index)}
+            rows.append(("gauge", "repro_worker_queue_depth", labels,
+                         len(worker.inflight)))
+            rows.append(("gauge", "repro_ring_used_bytes", labels,
+                         worker.ring.used_bytes))
+        return rows
 
     @classmethod
     async def start(cls, config: PoolConfig | None = None,
@@ -343,7 +382,8 @@ class WorkerPool:
             "checkpoint_dir": wdir,
         }
         proc = self._ctx.Process(
-            target=_worker_main, args=(child_conn, ring.handle, kwargs),
+            target=_worker_main,
+            args=(child_conn, ring.handle, kwargs, obs.current_config()),
             daemon=True,
         )
         try:
@@ -459,13 +499,20 @@ class WorkerPool:
         pipe send) atomic, so pipe order == in-flight order == ring push
         order — the invariant FIFO slot freeing depends on.
         """
+        context = obs.current_trace_context()
+        if context is not None:
+            # Span context rides the control envelope: session ops on the
+            # worker nest under the dispatcher's request span.
+            message = {**message, "_obs": context}
         async with worker.send_lock:
             if not worker.alive or (worker.stopping and not allow_stopping):
+                self._obs_sheds.inc()
                 raise ServiceBusyError(
                     f"worker {worker.index} is unavailable; retry",
                     retry_after=self.config.retry_after,
                 )
             if len(worker.inflight) >= self.config.queue_depth:
+                self._obs_sheds.inc()
                 raise ServiceBusyError(
                     f"worker {worker.index} queue is full; retry",
                     retry_after=self.config.retry_after,
@@ -474,6 +521,7 @@ class WorkerPool:
             if block is not None:
                 slot = worker.ring.push(block)
                 if slot is None:
+                    self._obs_sheds.inc()
                     raise ServiceBusyError(
                         f"worker {worker.index} ring is full; retry",
                         retry_after=self.config.retry_after,

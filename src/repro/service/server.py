@@ -9,6 +9,8 @@ Ops (see :mod:`repro.service.protocol` for framing):
 - ``finalize`` — run to completion; returns the uniform result record;
 - ``result`` — re-fetch a finalized session's result;
 - ``status`` / ``stats`` — per-session and manager-level introspection;
+- ``metrics`` — live obs snapshot (JSON + Prometheus text) when the
+  server was started with metrics enabled (``repro serve --obs``);
 - ``checkpoint`` — evict a session to its ``REPROCK1`` file now;
 - ``drop`` — discard a session (and its checkpoint);
 - ``shutdown`` — stop the server loop (used by tests and the bench).
@@ -24,6 +26,8 @@ import contextlib
 import sys
 
 from repro.common.exceptions import ReproError, ServiceError
+import repro.obs as obs
+from repro.obs.clock import perf_now
 from repro.service.manager import SessionManager
 from repro.service.protocol import (
     MAX_LINE,
@@ -47,20 +51,31 @@ class ColoringService:
         self.shutdown_event = asyncio.Event()
         self._inflight = 0
         self._writers: set = set()
+        self._obs_requests = obs.counter(
+            "repro_requests_total", "protocol requests dispatched")
+        self._obs_request_seconds = obs.histogram(
+            "repro_request_seconds", "wall seconds per protocol request")
 
     # ------------------------------------------------------------------
     async def dispatch(self, request: dict) -> dict:
         """Handle one request; always returns a response envelope."""
-        try:
-            payload = await self._dispatch(request)
-        except ReproError as error:
-            return error_response(error, request)
-        except (TypeError, ValueError, KeyError) as error:
-            # Unvalidated request shapes (string sizes, unhashable ids,
-            # ...) must produce an envelope, never kill the connection.
-            return error_response(
-                ServiceError(f"bad request: {error}"), request
-            )
+        self._obs_requests.inc()
+        start = perf_now()
+        with obs.span("service.request", op=str(request.get("op"))) as sp:
+            try:
+                payload = await self._dispatch(request)
+            except ReproError as error:
+                if sp is not None:
+                    sp.set("error", type(error).__name__)
+                return error_response(error, request)
+            except (TypeError, ValueError, KeyError) as error:
+                # Unvalidated request shapes (string sizes, unhashable ids,
+                # ...) must produce an envelope, never kill the connection.
+                return error_response(
+                    ServiceError(f"bad request: {error}"), request
+                )
+            finally:
+                self._obs_request_seconds.observe(perf_now() - start)
         response = {"ok": True, **payload}
         if "id" in request:
             response["id"] = request["id"]
@@ -78,6 +93,14 @@ class ColoringService:
             return {"session": sid}
         if op == "stats":
             return manager.stats()
+        if op == "metrics":
+            if not obs.metrics_enabled():
+                return {"metrics_enabled": False}
+            return {
+                "metrics_enabled": True,
+                "metrics": obs.metrics_snapshot(),
+                "prometheus": obs.render_prometheus(),
+            }
         if op == "shutdown":
             self.shutdown_event.set()
             return {"stopping": True}
@@ -176,7 +199,11 @@ class ColoringService:
                 pass  # non-Unix loops; the shutdown op still works
         server = await self.serve_tcp(host, port)
         addr = server.sockets[0].getsockname()
-        print(f"repro serve: listening on {addr[0]}:{addr[1]}", flush=True)
+        obs.log_event(
+            "serve.listening",
+            f"repro serve: listening on {addr[0]}:{addr[1]}",
+            host=str(addr[0]), port=int(addr[1]),
+        )
         try:
             async with server:
                 await self.shutdown_event.wait()
@@ -186,10 +213,11 @@ class ColoringService:
                 quiesce = getattr(self.manager, "quiesce", None)
                 if quiesce is not None:
                     checkpoints = await quiesce()
-                print(
+                obs.log_event(
+                    "serve.shutdown",
                     f"repro serve: shut down cleanly "
                     f"({len(checkpoints)} session(s) checkpointed)",
-                    flush=True,
+                    sessions_checkpointed=len(checkpoints),
                 )
         finally:
             for signum in handled:

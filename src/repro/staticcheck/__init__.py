@@ -1,6 +1,6 @@
 """``repro.staticcheck``: the AST contract checker.
 
-Eleven repository-specific rules prove, at lint time, the structural
+Twelve repository-specific rules prove, at lint time, the structural
 invariants the runtime verification layers (``repro.verify``,
 ``repro.persist``, ``repro.service``) rely on implicitly:
 
@@ -33,6 +33,9 @@ R10 kernel-dispatch          numba imports only inside ``repro.kernels``;
 R11 shard-container          the ``REPROED2`` magic and the container's
     discipline               private helpers stay inside
                              ``repro.streaming.sharded``
+R12 instrumentation-         raw monotonic-clock reads live only in
+    discipline               ``repro.obs``; everything else measures via
+                             ``perf_now`` / spans / histograms
 ==  =======================  =================================================
 
 Per-site suppression: ``# repro: noqa[R7] reason`` (or bare

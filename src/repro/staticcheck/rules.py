@@ -1,4 +1,4 @@
-"""The eleven contract rules.
+"""The twelve contract rules.
 
 Each rule proves one structural invariant the runtime layers rely on
 implicitly (the guarantee oracles of :mod:`repro.verify`, the snapshot
@@ -824,6 +824,46 @@ class ShardContainerRule(Rule):
                         )
 
 
+# ----------------------------------------------------------------------
+# R12 — instrumentation discipline
+# ----------------------------------------------------------------------
+class InstrumentationRule(Rule):
+    """Raw timing reads live only inside :mod:`repro.obs`.
+
+    Every measurement — pass walls, feed latencies, span durations,
+    bench harnesses — flows through the obs plane (``perf_now`` /
+    ``span`` / histogram ``observe``), so there is exactly one place
+    where a clock is read and exactly one annotation budget (R7's
+    per-site ``noqa`` inside ``repro.obs.clock``).  A module calling
+    ``time.perf_counter`` directly bypasses the metrics/trace plane:
+    its numbers never show up in ``repro metrics`` and its noqa
+    annotations creep back into the diff.
+    """
+
+    id = "R12"
+    title = "instrumentation-discipline"
+    _OBS = "repro.obs"
+    _TIMING = frozenset({
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+    })
+
+    def check(self, mod, project):
+        if not _in_package(mod, "repro") or _in_package(mod, self._OBS):
+            return
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Call):
+                dotted = mod.resolve(node.func)
+                if dotted in self._TIMING:
+                    yield _finding(
+                        mod, node, self.id,
+                        f"raw timing read {dotted}(); measurement goes "
+                        f"through repro.obs (perf_now, span, or a "
+                        f"histogram) so it reaches the metrics/trace plane",
+                    )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     MeteredRandomnessRule(),
     SnapshotCompletenessRule(),
@@ -836,6 +876,7 @@ ALL_RULES: tuple[Rule, ...] = (
     WorkerIpcRule(),
     KernelDisciplineRule(),
     ShardContainerRule(),
+    InstrumentationRule(),
 )
 
 

@@ -42,6 +42,7 @@ import os
 import numpy as np
 
 from repro.common.exceptions import EdgeFileError, StreamProtocolError
+import repro.obs as obs
 from repro.streaming.source import (
     _HEADER,
     _MAGIC,
@@ -403,6 +404,15 @@ class ShardedFileSource(StreamSource):
                         fh = open(os.path.join(self.path, self._names[idx]), "rb")
                         fh_idx = idx
                         fh.seek(_PAYLOAD_OFFSET + 16 * (row - starts[idx]))
+                        obs.counter(
+                            "repro_shard_open_total",
+                            "shard files opened by ShardedFileSource",
+                        ).inc()
+                        if row != starts[idx]:
+                            obs.counter(
+                                "repro_shard_seek_total",
+                                "mid-shard seeks (resume/restart entry)",
+                            ).inc()
                     take = min(want, starts[idx + 1] - row)
                     data = fh.read(16 * take)
                     if len(data) != 16 * take:

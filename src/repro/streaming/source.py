@@ -36,13 +36,14 @@ import abc
 import itertools
 import os
 import struct
-import time
 
 import numpy as np
 
 from repro.common.exceptions import EdgeFileError, StreamProtocolError
 from repro.streaming.stream import TokenStream
 from repro.streaming.tokens import EdgeToken, ListToken
+import repro.obs as obs
+from repro.obs.clock import perf_now
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -182,14 +183,17 @@ class StreamSource(abc.ABC):
 
     def _record_pass_time(self, seconds: float) -> None:
         self._pass_seconds.append(seconds)
+        obs.emit_span("stream.pass", seconds,
+                      backend=type(self).__name__,
+                      pass_index=self.passes_used)
 
     # -------------------------------------------------------------------
     def new_pass(self):
         """Begin a pass; yields edge blocks (and list tokens) in order."""
         self._count_pass()
-        start = time.perf_counter()  # repro: noqa[R7] timing extras
+        start = perf_now()
         yield from self._pass_items()
-        self._record_pass_time(time.perf_counter() - start)  # repro: noqa[R7] timing extras
+        self._record_pass_time(perf_now() - start)
 
     @abc.abstractmethod
     def _pass_items(self):
@@ -231,9 +235,9 @@ class StreamSource(abc.ABC):
         if offset < 0:
             raise StreamProtocolError(f"resume offset must be >= 0, got {offset}")
         self._count_pass()
-        start = time.perf_counter()  # repro: noqa[R7] timing extras
+        start = perf_now()
         yield from self._pass_items_from(offset)
-        self._record_pass_time(time.perf_counter() - start)  # repro: noqa[R7] timing extras
+        self._record_pass_time(perf_now() - start)
 
     def _pass_items_from(self, offset: int):
         """One sweep starting at item ``offset`` (generic skip loop)."""
@@ -348,6 +352,9 @@ class MaterializedSource(StreamSource):
 
     def _record_pass_time(self, seconds: float) -> None:
         self.stream.pass_seconds.append(seconds)
+        obs.emit_span("stream.pass", seconds,
+                      backend=type(self).__name__,
+                      pass_index=self.passes_used)
 
     # -------------------------------------------------------------------
     def _build_segments(self) -> list:
@@ -382,7 +389,7 @@ class MaterializedSource(StreamSource):
 
     def new_pass(self):
         self._count_pass()
-        start = time.perf_counter()  # repro: noqa[R7] timing extras
+        start = perf_now()
         observer = self.stream._observer
         if observer is None:
             yield from self._pass_items()
@@ -395,7 +402,7 @@ class MaterializedSource(StreamSource):
                     yield np.array([[token.u, token.v]], dtype=np.int64)
                 else:
                     yield token
-        self._record_pass_time(time.perf_counter() - start)  # repro: noqa[R7] timing extras
+        self._record_pass_time(perf_now() - start)
 
     def set_observer(self, callback) -> None:
         self.stream.set_observer(callback)

@@ -16,10 +16,11 @@ to token iteration.  The token list is treated as immutable once the stream
 is constructed (``edge_count``/``max_degree`` are cached on first use).
 """
 
-import time
 
 from repro.common.exceptions import StreamProtocolError
 from repro.streaming.tokens import EdgeToken, ListToken
+import repro.obs as obs
+from repro.obs.clock import perf_now
 
 __all__ = [
     "TokenStream",
@@ -68,14 +69,17 @@ class TokenStream:
         """
         self.passes_used += 1
         pass_index = self.passes_used
-        start = time.perf_counter()  # repro: noqa[R7] timing extras
+        start = perf_now()
         if self._observer is None:
             yield from self.tokens
         else:
             for i, token in enumerate(self.tokens):
                 self._observer(pass_index, i)
                 yield token
-        self.pass_seconds.append(time.perf_counter() - start)  # repro: noqa[R7] timing extras
+        elapsed = perf_now() - start
+        self.pass_seconds.append(elapsed)
+        obs.emit_span("stream.pass", elapsed, backend="tokens",
+                      pass_index=pass_index)
 
     def as_source(self, chunk_size=None):
         """A chunked :class:`~repro.streaming.source.MaterializedSource` view.

@@ -666,3 +666,115 @@ class TestGridSharedEdges:
             runner.run_specs(
                 [game], shared_edges=np.zeros((1, 2), dtype=np.int64)
             )
+
+
+# ----------------------------------------------------------------------
+# trace continuity: spans crossing the process boundary
+# ----------------------------------------------------------------------
+class TestTraceContinuity:
+    """The obs plane's cross-process story, exercised on a real pool.
+
+    Span context rides the ``_obs`` key of the control envelope; worker
+    processes append to the same O_APPEND trace log.  The checks: worker
+    spans land under the dispatcher-side parent with distinct pids, a
+    SIGKILL'd worker (``inject_crash``) never leaves the log unparseable,
+    and a session restored via checkpoint + journal replay keeps tracing
+    into the same trace from a different worker pid.
+    """
+
+    def test_request_span_contains_worker_child_spans(self, tmp_path):
+        import repro.obs as obs
+
+        arranged, n, delta = zoo_cell()
+        path = tmp_path / "trace.jsonl"
+        obs.configure(trace_log=path)
+        try:
+            async def go():
+                pool = await WorkerPool.start(PoolConfig(workers=2))
+                service = ColoringService(manager=pool)
+                try:
+                    created = await service.dispatch(
+                        {"op": "create", "spec": spec_dict("cgs22", n, delta)}
+                    )
+                    sid = created["session"]
+                    await service.dispatch({
+                        "op": "feed", "session": sid,
+                        "edges": np.asarray(arranged).tolist(),
+                    })
+                    await service.dispatch(
+                        {"op": "finalize", "session": sid}
+                    )
+                finally:
+                    pool.close()
+
+            asyncio.run(go())
+        finally:
+            obs.reset()
+        records = _read_trace(path)
+        requests = {r["span"]: r for r in records
+                    if r["name"] == "service.request"}
+        workers = [r for r in records if r["name"].startswith("worker.")]
+        assert requests and workers
+        for span in workers:
+            parent = requests.get(span["parent"])
+            assert parent is not None, span
+            assert span["trace"] == parent["trace"]
+            assert span["pid"] != os.getpid()
+            assert parent["pid"] == os.getpid()
+
+    def test_trace_survives_crash_and_journal_replay(self, tmp_path):
+        import repro.obs as obs
+
+        arranged, n, delta = zoo_cell()
+        blocks = blocks_of(arranged, 8)
+        crash_at = len(blocks) // 2
+        path = tmp_path / "trace.jsonl"
+        obs.configure(trace_log=path)
+        try:
+            async def go():
+                # checkpoint_every_ops=3: recovery goes through
+                # adopt-from-snapshot + journal tail replay.
+                pool = await WorkerPool.start(
+                    PoolConfig(workers=2, checkpoint_every_ops=3)
+                )
+                try:
+                    with obs.span("session.lifecycle") as lifecycle:
+                        sid = await pool.create(spec_dict("cgs22", n, delta))
+                        for block in blocks[:crash_at]:
+                            await pool.feed(sid, block)
+                        victim = pool._routes[sid]
+                        await pool.inject_crash(victim.index)
+                        for block in blocks[crash_at:]:
+                            await feed_retrying(pool, sid, block)
+                        result = await pool.finalize(sid)
+                    assert pool.crashes == 1
+                    return result, lifecycle
+                finally:
+                    pool.close()
+
+            result, lifecycle = asyncio.run(go())
+        finally:
+            obs.reset()
+        assert result["proper"]
+        # SIGKILL mid-traffic: the log must stay parseable (at worst a
+        # torn tail, which read_trace_log tolerates by contract).
+        records = _read_trace(path)
+        session_spans = [
+            r for r in records
+            if r["name"].startswith("worker.")
+            and r["trace"] == lifecycle.trace_id
+        ]
+        assert all(
+            r["parent"] == lifecycle.span_id for r in session_spans
+        )
+        pids = {r["pid"] for r in session_spans}
+        assert os.getpid() not in pids
+        # The session traced from two worker processes: the victim
+        # before the crash and the survivor it was restored onto.
+        assert len(pids) >= 2, pids
+
+
+def _read_trace(path):
+    from repro.obs import read_trace_log
+
+    return read_trace_log(path)

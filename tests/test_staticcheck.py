@@ -474,6 +474,52 @@ def test_r11_allows_container_module_prose_and_public_api(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# R12 instrumentation discipline
+# ----------------------------------------------------------------------
+def test_r12_flags_raw_timing_outside_obs(tmp_path):
+    report = lint_snippet(tmp_path, "repro/engine/tuner.py", """\
+        import time
+
+        def measure(fn):
+            start = time.perf_counter()
+            fn()
+            return time.perf_counter() - start
+        """, rules=["R12"])
+    assert rule_ids(report) == {"R12"}
+    assert len(report.findings) == 2
+    assert all("repro.obs" in f.message for f in report.findings)
+
+
+def test_r12_flags_monotonic_variants(tmp_path):
+    report = lint_snippet(tmp_path, "repro/service/probe.py", """\
+        import time
+
+        def tick():
+            return time.monotonic_ns()
+        """, rules=["R12"])
+    assert rule_ids(report) == {"R12"}
+
+
+def test_r12_allows_obs_and_perf_now_consumers(tmp_path):
+    owner = lint_snippet(tmp_path, "repro/obs/clock.py", """\
+        import time
+
+        def perf_now():
+            return time.perf_counter()
+        """, rules=["R12"])
+    assert owner.findings == []
+    consumer = lint_snippet(tmp_path, "repro/engine/tuner.py", """\
+        from repro.obs.clock import perf_now
+
+        def measure(fn):
+            start = perf_now()
+            fn()
+            return perf_now() - start
+        """, rules=["R12"])
+    assert consumer.findings == []
+
+
+# ----------------------------------------------------------------------
 # framework: suppression, baseline, rule selection
 # ----------------------------------------------------------------------
 def test_bare_noqa_suppresses_all_rules(tmp_path):
@@ -491,7 +537,7 @@ def test_unknown_rule_id_is_an_error():
     with pytest.raises(ReproError, match="unknown rule"):
         rules_by_id(["R99"])
     assert len(rules_by_id(["r1", "R8"])) == 2
-    assert {rule.id for rule in ALL_RULES} == {f"R{i}" for i in range(1, 12)}
+    assert {rule.id for rule in ALL_RULES} == {f"R{i}" for i in range(1, 13)}
 
 
 def test_baseline_round_trip_and_stale_detection(tmp_path):
@@ -545,7 +591,7 @@ def test_compare_with_baseline_counts():
 def test_self_scan_is_clean_against_committed_baseline():
     report = run_lint([SRC], root=REPO_ROOT, baseline_path=BASELINE)
     assert report.files >= 75
-    assert report.rules == [f"R{i}" for i in range(1, 12)]
+    assert report.rules == [f"R{i}" for i in range(1, 13)]
     assert report.ok, "\n" + report.render()
 
 
